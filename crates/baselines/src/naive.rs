@@ -1,0 +1,175 @@
+//! The naive direct-communication baseline (ablation E16).
+//!
+//! §2.2: *"a node is not able to send or receive a large set of messages in
+//! few rounds; the center of a star, for example, would need linear time to
+//! deliver messages to all of its neighbors."* This module implements that
+//! naive strategy — frontier nodes talk to every neighbor directly — made
+//! *capacity-safe* with a deterministic sender-TDMA schedule: time is
+//! sliced into `⌈n / cap⌉` slots per wave; node `u` transmits only in slot
+//! `u mod slots`, in send-cap-sized batches. At most `cap` potential
+//! senders share a slot, so no receiver can be overrun and nothing is
+//! dropped — but a wave costs `Θ(n/log n + Δ/log n)` rounds instead of the
+//! primitive stack's `O(a + log n)`.
+
+use ncc_graph::Graph;
+use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeId, NodeProgram};
+
+/// Result of the naive BFS.
+#[derive(Debug, Clone)]
+pub struct NaiveBfsResult {
+    pub dist: Vec<u32>,
+    pub parent: Vec<Option<NodeId>>,
+    pub phases: u32,
+    pub stats: ExecStats,
+}
+
+/// One TDMA wave: every node in `senders` transmits `value` to all of its
+/// neighbors, capacity-safely. Used as the building block of the naive BFS.
+struct WaveProgram {
+    slots: u64,
+    batch: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct WaveState {
+    /// Remaining neighbors to message (empty if not a sender).
+    pending: Vec<NodeId>,
+    value: u64,
+    received: Vec<(NodeId, u64)>,
+}
+
+impl NodeProgram for WaveProgram {
+    type State = WaveState;
+    type Payload = u64;
+
+    fn init(&self, st: &mut WaveState, ctx: &mut Ctx<'_, u64>) {
+        if !st.pending.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+
+    fn round(&self, st: &mut WaveState, inbox: &[Envelope<u64>], ctx: &mut Ctx<'_, u64>) {
+        for env in inbox {
+            st.received.push((env.src, env.payload));
+        }
+        if st.pending.is_empty() {
+            return;
+        }
+        // my slot comes up every `slots` rounds
+        if ctx.round % self.slots == ctx.id as u64 % self.slots {
+            let take = st.pending.len().min(self.batch);
+            for v in st.pending.drain(..take) {
+                ctx.send(v, st.value);
+            }
+        }
+        if !st.pending.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+/// Naive BFS: per frontier wave, every frontier node sends its identifier
+/// directly to each neighbor under the TDMA schedule.
+pub fn naive_bfs(
+    engine: &mut Engine,
+    g: &Graph,
+    src: NodeId,
+) -> Result<NaiveBfsResult, ModelError> {
+    let n = engine.n();
+    assert_eq!(n, g.n());
+    let cap = engine
+        .config()
+        .capacity
+        .send
+        .min(engine.config().capacity.recv);
+    let slots = (n as u64).div_ceil(cap as u64).max(1);
+    let mut stats = ExecStats::default();
+
+    let mut dist = vec![u32::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    dist[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut phase = 0u32;
+
+    while !frontier.is_empty() {
+        phase += 1;
+        let prog = WaveProgram { slots, batch: cap };
+        let mut states: Vec<WaveState> = (0..n).map(|_| WaveState::default()).collect();
+        for &u in &frontier {
+            states[u as usize].pending = g.neighbors(u).to_vec();
+            states[u as usize].value = u as u64;
+        }
+        stats.merge(&engine.execute(&prog, &mut states)?);
+
+        let mut next = Vec::new();
+        for v in 0..n {
+            if dist[v] == u32::MAX {
+                if let Some(&(_, m)) = states[v].received.iter().min_by_key(|&&(_, m)| m) {
+                    dist[v] = phase;
+                    parent[v] = Some(m as NodeId);
+                    next.push(v as NodeId);
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    Ok(NaiveBfsResult {
+        dist,
+        parent,
+        phases: phase,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncc_graph::{check, gen};
+    use ncc_model::NetConfig;
+
+    #[test]
+    fn naive_bfs_correct_on_path() {
+        let g = gen::path(16);
+        let mut eng = Engine::new(NetConfig::new(16, 1));
+        let r = naive_bfs(&mut eng, &g, 0).unwrap();
+        check::check_bfs(&g, 0, &r.dist, &r.parent).unwrap();
+        assert!(r.stats.clean());
+    }
+
+    #[test]
+    fn naive_bfs_correct_on_star_but_slow() {
+        let n = 256;
+        let g = gen::star(n);
+        let mut eng = Engine::new(NetConfig::new(n, 2));
+        let r = naive_bfs(&mut eng, &g, 0).unwrap();
+        check::check_bfs(&g, 0, &r.dist, &r.parent).unwrap();
+        assert!(r.stats.clean(), "TDMA must prevent drops");
+        // the center must push n−1 ids through a Θ(log n) cap: Θ(n/log n)
+        let cap = eng.config().capacity.send as u64;
+        assert!(
+            r.stats.rounds >= (n as u64 - 1) / cap,
+            "rounds {} suspiciously fast",
+            r.stats.rounds
+        );
+    }
+
+    #[test]
+    fn naive_bfs_random_graph() {
+        let g = gen::gnp(48, 0.12, 5);
+        let mut eng = Engine::new(NetConfig::new(48, 3));
+        let r = naive_bfs(&mut eng, &g, 7).unwrap();
+        check::check_bfs(&g, 7, &r.dist, &r.parent).unwrap();
+        assert!(r.stats.clean());
+    }
+
+    #[test]
+    fn naive_bfs_never_drops_under_tdma() {
+        // adversarial: dense bipartite-ish graph, many simultaneous senders
+        let g = gen::gnp(64, 0.5, 7);
+        let mut eng = Engine::new(NetConfig::new(64, 4));
+        let r = naive_bfs(&mut eng, &g, 0).unwrap();
+        check::check_bfs(&g, 0, &r.dist, &r.parent).unwrap();
+        assert_eq!(r.stats.dropped, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Centralised greedy references for solution-quality comparisons.
+//!
+//! These never touch the simulated network; they provide the yardsticks the
+//! experiment harness reports next to the distributed outputs (MIS size,
+//! matching size, colors used).
+
+use ncc_graph::{Graph, NodeId};
+
+/// Greedy MIS in identifier order.
+pub fn greedy_mis(g: &Graph) -> Vec<bool> {
+    let n = g.n();
+    let mut in_set = vec![false; n];
+    let mut blocked = vec![false; n];
+    for u in 0..n as NodeId {
+        if !blocked[u as usize] {
+            in_set[u as usize] = true;
+            blocked[u as usize] = true;
+            for &v in g.neighbors(u) {
+                blocked[v as usize] = true;
+            }
+        }
+    }
+    in_set
+}
+
+/// Greedy maximal matching in edge order.
+pub fn greedy_matching(g: &Graph) -> Vec<Option<NodeId>> {
+    let n = g.n();
+    let mut mate: Vec<Option<NodeId>> = vec![None; n];
+    for (u, v) in g.edges() {
+        if mate[u as usize].is_none() && mate[v as usize].is_none() {
+            mate[u as usize] = Some(v);
+            mate[v as usize] = Some(u);
+        }
+    }
+    mate
+}
+
+/// Greedy coloring along a degeneracy order (uses ≤ degeneracy + 1 colors,
+/// the quality benchmark for the §5.4 `O(a)`-coloring).
+pub fn greedy_coloring(g: &Graph) -> (Vec<u32>, u32) {
+    let n = g.n();
+    let (_, order) = ncc_graph::analysis::degeneracy(g);
+    let mut colors = vec![u32::MAX; n];
+    let mut max_color = 0;
+    // color in reverse peeling order so each node sees ≤ degeneracy colored
+    // neighbors when its turn comes
+    for &u in order.iter().rev() {
+        let mut used: Vec<u32> = g
+            .neighbors(u)
+            .iter()
+            .map(|&v| colors[v as usize])
+            .filter(|&c| c != u32::MAX)
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let mut c = 0;
+        for &x in &used {
+            if x == c {
+                c += 1;
+            } else if x > c {
+                break;
+            }
+        }
+        colors[u as usize] = c;
+        max_color = max_color.max(c);
+    }
+    (colors, max_color + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncc_graph::{check, gen};
+
+    #[test]
+    fn greedy_mis_valid() {
+        for g in [gen::path(20), gen::star(20), gen::gnp(50, 0.15, 3)] {
+            let s = greedy_mis(&g);
+            check::check_mis(&g, &s).unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_matching_valid() {
+        for g in [gen::path(21), gen::complete(10), gen::gnp(50, 0.15, 4)] {
+            let m = greedy_matching(&g);
+            check::check_matching(&g, &m).unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_valid_and_tight() {
+        for (g, bound) in [
+            (gen::path(30), 2u32),
+            (gen::cycle(30), 3),
+            (gen::star(30), 2),
+            (gen::grid(6, 6), 3),
+        ] {
+            let (colors, used) = greedy_coloring(&g);
+            check::check_coloring(&g, &colors, used).unwrap();
+            assert!(used <= bound, "{used} > {bound}");
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_degeneracy_bound() {
+        let g = gen::gnp(60, 0.1, 9);
+        let (deg, _) = ncc_graph::analysis::degeneracy(&g);
+        let (colors, used) = greedy_coloring(&g);
+        check::check_coloring(&g, &colors, used).unwrap();
+        assert!(used as usize <= deg + 1);
+    }
+}

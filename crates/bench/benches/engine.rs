@@ -1,0 +1,65 @@
+//! Criterion benches for the raw engine: message throughput, drop path,
+//! parallel step scaling, and the dissemination protocols (E13's subjects).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncc_baselines::{broadcast_all, gossip_all};
+use ncc_bench::SEED;
+use ncc_model::{Capacity, Engine, NetConfig};
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip");
+    group.sample_size(10);
+    for &n in &[512usize, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng = Engine::new(NetConfig::new(n, SEED));
+                gossip_all(&mut eng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    c.bench_function("broadcast_8192", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(NetConfig::new(8192, SEED));
+            broadcast_all(&mut eng, 42).unwrap()
+        });
+    });
+}
+
+fn bench_parallel_step(c: &mut Criterion) {
+    // gossip is all-nodes-active every round: a good parallel-step stressor
+    let mut group = c.benchmark_group("gossip_4096_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut eng = Engine::new(NetConfig::new(4096, SEED).with_threads(t));
+                gossip_all(&mut eng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_drop_path(c: &mut Criterion) {
+    // squeezed capacity forces the network's drop machinery every round
+    c.bench_function("drop_path_1024", |b| {
+        b.iter(|| {
+            let cfg = NetConfig::new(1024, SEED)
+                .with_capacity(Capacity::squeezed(64, 8))
+                .permissive();
+            let mut eng = Engine::new(cfg);
+            gossip_all(&mut eng).unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gossip, bench_broadcast, bench_parallel_step, bench_drop_path
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for the §3 MST (Table 1 row 1): full runs at small and
+//! medium sizes. Round counts are validated by `exp07_mst`; this tracks the
+//! simulator's wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncc_bench::SEED;
+use ncc_graph::gen;
+use ncc_hashing::SharedRandomness;
+use ncc_model::{Engine, NetConfig};
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let g = gen::gnp(n, 24.0 / n as f64, SEED);
+        let wg = gen::with_random_weights(&g, (n * n) as u64, SEED + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let shared = SharedRandomness::new(SEED);
+            b.iter(|| {
+                let mut eng = Engine::new(NetConfig::new(n, SEED));
+                ncc_core::mst(&mut eng, &shared, &wg).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst);
+criterion_main!(benches);

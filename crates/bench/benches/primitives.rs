@@ -1,0 +1,107 @@
+//! Criterion wall-clock benches for the communication primitives
+//! (Theorems 2.2–2.6). Round counts are covered by the `expNN` binaries;
+//! these benches track simulator throughput so performance regressions in
+//! the engine or the routing queues are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncc_bench::SEED;
+use ncc_butterfly::{
+    aggregate, aggregate_and_broadcast, multicast, multicast_setup, self_joins, AggregationSpec,
+    GroupId, MinU64, SumU64,
+};
+use ncc_hashing::SharedRandomness;
+use ncc_model::{Engine, NetConfig};
+
+fn bench_aggregate_and_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_and_broadcast");
+    for &n in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng = Engine::new(NetConfig::new(n, SEED));
+                let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
+                aggregate_and_broadcast(&mut eng, inputs, &SumU64).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+#[allow(clippy::needless_range_loop)]
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_l1_8");
+    for &n in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let shared = SharedRandomness::new(SEED);
+            b.iter(|| {
+                let memberships: Vec<Vec<(GroupId, u64)>> = (0..n)
+                    .map(|u| {
+                        (0..8u32)
+                            .map(|j| {
+                                (
+                                    GroupId::new(((u * 31 + j as usize * 977) % n) as u32, j),
+                                    1u64,
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let mut eng = Engine::new(NetConfig::new(n, SEED));
+                aggregate(
+                    &mut eng,
+                    &shared,
+                    AggregationSpec {
+                        memberships,
+                        ell2_hat: 48,
+                    },
+                    &SumU64,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_multicast_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multicast_setup_plus_send");
+    for &n in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let shared = SharedRandomness::new(SEED);
+            b.iter(|| {
+                let joins: Vec<Vec<GroupId>> = (0..n)
+                    .map(|u| vec![GroupId::new((u % (n / 8)) as u32, 0)])
+                    .collect();
+                let mut eng = Engine::new(NetConfig::new(n, SEED));
+                let (trees, _) = multicast_setup(&mut eng, &shared, self_joins(joins)).unwrap();
+                let messages: Vec<Option<(GroupId, u64)>> = (0..n)
+                    .map(|u| {
+                        if u < n / 8 {
+                            Some((GroupId::new(u as u32, 0), u as u64))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                multicast(&mut eng, &shared, &trees, messages, 1).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_min_aggregate(c: &mut Criterion) {
+    c.bench_function("agg_bcast_min_4096", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(NetConfig::new(4096, SEED));
+            let inputs: Vec<Option<u64>> = (0..4096u64).map(|v| Some(v * 7 % 997)).collect();
+            aggregate_and_broadcast(&mut eng, inputs, &MinU64).unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_aggregate_and_broadcast, bench_aggregation, bench_multicast_roundtrip, bench_min_aggregate
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E7 — Theorem 3.2: MST in `O(log⁴ n)` rounds.
+//!
+//! Sweeps `n` over several graph families and weight ranges `W = n, n², n³`;
+//! verifies each output against Kruskal and prints `rounds / log⁴ n`.
+
+use ncc_bench::{engine, f2, lg, Table, SEED};
+use ncc_core::AlgoReport;
+use ncc_graph::{check, gen};
+
+fn run(name: &str, g: &ncc_graph::Graph, w_max: u64, t: &mut Table) {
+    let n = g.n();
+    let wg = gen::with_random_weights(g, w_max, SEED + 9);
+    let mut eng = engine(n, SEED + 10);
+    let mut report = AlgoReport::default();
+    let shared = ncc_bench::agree_randomness(&mut eng, &mut report, SEED + 11);
+    let r = ncc_core::mst(&mut eng, &shared, &wg).expect("mst");
+    report.push("mst", r.report.total);
+    let ok = check::check_mst(&wg, &r.edges).is_ok();
+    let bound = lg(n).powi(4);
+    t.row(vec![
+        name.into(),
+        n.to_string(),
+        w_max.to_string(),
+        r.phases.to_string(),
+        report.total.rounds.to_string(),
+        f2(bound),
+        f2(report.total.rounds as f64 / bound),
+        ok.to_string(),
+    ]);
+}
+
+fn main() {
+    println!("# E7 — Theorem 3.2 (MST): rounds vs log⁴ n");
+    let mut t = Table::new(&[
+        "graph", "n", "W", "phases", "rounds", "log^4 n", "ratio", "ok",
+    ]);
+    for &n in &[32usize, 64, 128, 256, 512] {
+        run(
+            "gnp",
+            &gen::gnp(n, 24.0 / n as f64, SEED + n as u64),
+            (n * n) as u64,
+            &mut t,
+        );
+    }
+    // weight-range sweep at fixed n (Lemma 3.1's log W factor folds into
+    // the key width; with W = poly(n) the bound is unchanged)
+    let n = 128usize;
+    run("gnp", &gen::gnp(n, 0.2, SEED + 1), n as u64, &mut t);
+    run("gnp", &gen::gnp(n, 0.2, SEED + 1), (n * n) as u64, &mut t);
+    run(
+        "gnp",
+        &gen::gnp(n, 0.2, SEED + 1),
+        (n * n * n) as u64,
+        &mut t,
+    );
+    // structure sweep
+    run("grid", &gen::grid(16, 16), 1000, &mut t);
+    run("star", &gen::star(256), 1000, &mut t);
+    run("forests(8)", &gen::forest_union(256, 8, SEED), 1000, &mut t);
+    t.print();
+    println!("\nexpected: ratio flat in n; weak growth in W (key width), none in structure.");
+}

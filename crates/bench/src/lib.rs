@@ -1,0 +1,148 @@
+//! # ncc-bench — the experiment harness
+//!
+//! One binary per experiment (see DESIGN.md §3 for the index); each prints
+//! a table in the shape of the paper's results (round counts next to the
+//! theorem bound, plus the bound *ratio*, which should stay flat across the
+//! sweep if the asymptotic shape holds). Criterion benches in `benches/`
+//! cover wall-clock performance of the simulator itself.
+//!
+//! Everything is seeded; rerunning a binary reproduces its table exactly.
+
+use ncc_core::broadcast_trees::BroadcastTrees;
+use ncc_core::AlgoReport;
+use ncc_graph::Graph;
+use ncc_hashing::SharedRandomness;
+use ncc_model::{Engine, NetConfig};
+
+/// Standard experiment seed (documented in EXPERIMENTS.md).
+pub const SEED: u64 = 20190622; // SPAA'19 conference date
+
+/// log₂-style helper used in bound formulas.
+pub fn lg(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// Prints a fixed-width table.
+pub struct Table {
+    headers: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            widths: headers.iter().map(|s| s.len()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    pub fn print(&self) {
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                s.push_str(&format!("| {c:>w$} "));
+            }
+            s.push('|');
+            println!("{s}");
+        };
+        line(&self.headers, &self.widths);
+        let sep: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep, &self.widths);
+        for r in &self.rows {
+            line(r, &self.widths);
+        }
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Builds an engine with the repository-default capacity.
+pub fn engine(n: usize, seed: u64) -> Engine {
+    Engine::new(NetConfig::new(n, seed))
+}
+
+/// Agrees on shared randomness in-model (charged) and returns it with the
+/// setup statistics folded into the report.
+pub fn agree_randomness(eng: &mut Engine, report: &mut AlgoReport, seed: u64) -> SharedRandomness {
+    let n = eng.n();
+    let k = SharedRandomness::k_for(n);
+    // enough bits for the hash-function budget of the largest consumer
+    // (MST: O(log n) functions of Θ(log n) coefficients, §3)
+    let bits = SharedRandomness::bits_required(n, 2 * ncc_model::ilog2_ceil(n).max(1) as usize, k);
+    let (shared, stats) =
+        ncc_butterfly::broadcast_seed(eng, seed ^ 0x5eed, bits).expect("seed broadcast");
+    report.push("seed-agreement", stats);
+    shared
+}
+
+/// Full §5 preparation pipeline: seed agreement + orientation + broadcast
+/// trees, with all costs in the report.
+pub fn prepare(
+    eng: &mut Engine,
+    g: &Graph,
+    seed: u64,
+) -> (SharedRandomness, BroadcastTrees, AlgoReport) {
+    let mut report = AlgoReport::default();
+    let shared = agree_randomness(eng, &mut report, seed);
+    let (bt, rep) = ncc_core::build_broadcast_trees(eng, &shared, g).expect("broadcast trees");
+    report.push("orientation+trees", rep.total);
+    (shared, bt, report)
+}
+
+/// The bounded-arboricity workload family used across Table-1 experiments.
+pub fn arboricity_workload(n: usize, a: usize, seed: u64) -> Graph {
+    ncc_graph::gen::forest_union(n, a, seed)
+}
+
+/// Describes a graph in one line (for table captions).
+pub fn describe(g: &Graph) -> String {
+    let (lo, hi) = ncc_graph::analysis::arboricity_bounds(g);
+    format!(
+        "n={} m={} deg_max={} arboricity∈[{lo},{hi}]",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["n", "rounds", "ratio"]);
+        t.row(vec!["64".into(), "120".into(), f2(1.25)]);
+        t.print();
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn prepare_pipeline_runs() {
+        let g = arboricity_workload(32, 2, 1);
+        let mut eng = engine(32, 2);
+        let (_, bt, report) = prepare(&mut eng, &g, 3);
+        assert!(report.total.rounds > 0);
+        assert!(bt.a_hat >= 1);
+        assert!(report.total.clean());
+    }
+
+    #[test]
+    fn lg_monotone() {
+        assert!(lg(1024) > lg(256));
+        assert!((lg(1024) - 10.0).abs() < 1e-9);
+    }
+}

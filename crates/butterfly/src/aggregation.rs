@@ -1,0 +1,643 @@
+//! The Aggregation Algorithm (Theorem 2.3, Appendix B.2).
+//!
+//! Aggregates the inputs of arbitrary *aggregation groups* to their targets
+//! in `O(L/n + (ℓ₁ + ℓ̂₂)/log n + log n)` rounds w.h.p., where `L` is the
+//! global load (total memberships), `ℓ₁` the maximum memberships per node
+//! and `ℓ̂₂` a known bound on targets per node.
+//!
+//! Three phases, separated by [`sync_barrier`] (App. B.1 synchronisation):
+//!
+//! 1. **Preprocessing** — every node sends its packets `(group, value)` in
+//!    batches of `⌈log n⌉` per round to uniformly random level-0 columns.
+//! 2. **Combining** — the random-rank routing protocol of Aleliunas/Upfal
+//!    \[1, 57\] moves packets level by level toward `h(group)` on the bottom
+//!    level (bit-fixing paths). Packets of the same group that collide on a
+//!    butterfly node **combine** via the distributive aggregate; when
+//!    packets of different groups contend for one butterfly edge, the
+//!    smallest rank `ρ(group)` wins and the rest wait (Theorem B.2 bounds
+//!    the total delay). One packet crosses each butterfly edge per round.
+//! 3. **Postprocessing** — each level-`d` node delivers every finished
+//!    group aggregate to its target in a round chosen uniformly from
+//!    `{1..⌈ℓ̂₂/log n⌉}`, smoothing the receive load.
+//!
+//! Group targets are encoded in the group identifier ([`GroupId`]), mirroring
+//! the paper's content-addressed group names (`A_{id(w)∘i}`).
+
+use std::collections::BTreeMap;
+
+use ncc_hashing::shared::labels;
+use ncc_hashing::{PolyHash, SharedRandomness};
+use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeProgram, Payload};
+use rand::Rng;
+
+use crate::agg_bcast::sync_barrier;
+use crate::aggregate::Aggregate;
+use crate::topology::{Butterfly, GroupId};
+
+/// Per-node delivery lists: for each node, the `(group, value)` pairs it
+/// received as a target/member.
+pub type GroupedDeliveries<V> = Vec<Vec<(GroupId, V)>>;
+
+/// Inputs to one aggregation run.
+#[derive(Debug, Clone)]
+pub struct AggregationSpec<V> {
+    /// Per node: `(group, input)` for every group the node is a member of.
+    pub memberships: Vec<Vec<(GroupId, V)>>,
+    /// Known upper bound `ℓ̂₂` on the number of groups any node is target of.
+    pub ell2_hat: usize,
+}
+
+/// Hash plumbing shared by the routing programs (derived from the agreed
+/// shared randomness, so every node computes identical values locally).
+#[derive(Debug, Clone)]
+pub(crate) struct RouteHashes {
+    target_fn: PolyHash,
+    rank_fn: PolyHash,
+    pub(crate) columns: u64,
+    /// Random-rank contention (the paper's protocol). `false` degrades to a
+    /// static priority (rank ≡ 0, ties by group id) — the E17 ablation.
+    pub(crate) random_ranks: bool,
+}
+
+impl RouteHashes {
+    pub(crate) fn new(shared: &SharedRandomness, bf: &Butterfly, n: usize) -> Self {
+        let k = SharedRandomness::k_for(n);
+        RouteHashes {
+            target_fn: shared.poly(labels::AGG_TARGET, 0, k),
+            rank_fn: shared.poly(labels::AGG_RANK, 0, k),
+            columns: bf.columns() as u64,
+            random_ranks: true,
+        }
+    }
+
+    pub(crate) fn with_fifo(mut self) -> Self {
+        self.random_ranks = false;
+        self
+    }
+
+    /// Intermediate target `h(group)`: a uniform level-`d` column.
+    #[inline]
+    pub(crate) fn target_column(&self, g: u64) -> u32 {
+        self.target_fn.to_range(g, self.columns) as u32
+    }
+
+    /// Routing rank `ρ(group)` (ties broken by group id, as in App. B.2).
+    #[inline]
+    pub(crate) fn rank(&self, g: u64) -> u64 {
+        if self.random_ranks {
+            self.rank_fn.to_range(g, 1 << 32)
+        } else {
+            0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: preprocessing (random injection in batches of ⌈log n⌉)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub(crate) struct PacketMsg<V> {
+    pub group: u64,
+    pub value: V,
+}
+
+impl<V: Payload> Payload for PacketMsg<V> {
+    fn bit_size(&self) -> u32 {
+        2 + ncc_model::payload::min_bits(self.group) + self.value.bit_size()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InjectState<V> {
+    /// Outgoing packets (members' inputs), consumed in batches.
+    pub to_send: Vec<(u64, V)>,
+    /// Packets that landed on this column's level-0 butterfly node.
+    pub landed: Vec<(u64, V)>,
+}
+
+pub(crate) struct InjectProgram<V> {
+    pub batch: usize,
+    pub columns: u32,
+    pub _pd: std::marker::PhantomData<V>,
+}
+
+impl<V: Payload> InjectProgram<V> {
+    fn send_batch(&self, st: &mut InjectState<V>, ctx: &mut Ctx<'_, PacketMsg<V>>) {
+        let take = st.to_send.len().min(self.batch);
+        for (group, value) in st.to_send.drain(..take) {
+            let col = ctx.rng.gen_range(0..self.columns);
+            ctx.send(col, PacketMsg { group, value });
+        }
+        if !st.to_send.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+impl<V: Payload> NodeProgram for InjectProgram<V> {
+    type State = InjectState<V>;
+    type Payload = PacketMsg<V>;
+
+    fn init(&self, st: &mut InjectState<V>, ctx: &mut Ctx<'_, PacketMsg<V>>) {
+        self.send_batch(st, ctx);
+    }
+
+    fn round(
+        &self,
+        st: &mut InjectState<V>,
+        inbox: &[Envelope<PacketMsg<V>>],
+        ctx: &mut Ctx<'_, PacketMsg<V>>,
+    ) {
+        for env in inbox {
+            st.landed
+                .push((env.payload.group, env.payload.value.clone()));
+        }
+        self.send_batch(st, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: combining (random-rank routing with in-network combining)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub(crate) struct LevelMsg<V> {
+    /// Level of the butterfly node this packet is arriving at.
+    pub level: u8,
+    pub group: u64,
+    pub value: V,
+}
+
+impl<V: Payload> Payload for LevelMsg<V> {
+    fn bit_size(&self) -> u32 {
+        6 + ncc_model::payload::min_bits(self.group) + self.value.bit_size()
+    }
+}
+
+pub(crate) struct CombineState<V> {
+    /// `queues[i][dir]`: packets waiting at `(i, α)` to traverse the edge to
+    /// level `i+1` — `dir` 0 = straight, 1 = cross. Keyed by `(rank, group)`
+    /// so `pop_first` is the contention rule and same-group inserts combine.
+    pub queues: Vec<[BTreeMap<(u64, u64), V>; 2]>,
+    /// Finished aggregates at level `d` (this column is `h(group)`).
+    pub arrived: BTreeMap<u64, V>,
+}
+
+impl<V> CombineState<V> {
+    pub fn new(d: u32) -> Self {
+        CombineState {
+            queues: (0..d).map(|_| [BTreeMap::new(), BTreeMap::new()]).collect(),
+            arrived: BTreeMap::new(),
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.queues
+            .iter()
+            .any(|q| !q[0].is_empty() || !q[1].is_empty())
+    }
+}
+
+pub(crate) struct CombineProgram<'a, V, A> {
+    pub bf: Butterfly,
+    pub hashes: RouteHashes,
+    pub agg: &'a A,
+    pub _pd: std::marker::PhantomData<V>,
+}
+
+impl<V: Payload, A: Aggregate<V>> CombineProgram<'_, V, A> {
+    /// Inserts a packet at `(level, α)`, combining with a same-group packet
+    /// already queued there.
+    pub(crate) fn insert(
+        &self,
+        st: &mut CombineState<V>,
+        alpha: u32,
+        level: u32,
+        group: u64,
+        value: V,
+    ) {
+        let d = self.bf.d();
+        if level == d {
+            match st.arrived.entry(group) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(value);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = self.agg.combine(e.get(), &value);
+                    e.insert(merged);
+                }
+            }
+            return;
+        }
+        let target = self.hashes.target_column(group);
+        let dir = self.bf.route_is_cross(alpha, level, target) as usize;
+        let key = (self.hashes.rank(group), group);
+        match st.queues[level as usize][dir].entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let merged = self.agg.combine(e.get(), &value);
+                e.insert(merged);
+            }
+        }
+    }
+
+    /// One routing step: every queue forwards its minimum-rank packet.
+    /// Levels are processed top-down so a locally forwarded packet cannot
+    /// advance twice in one round.
+    fn step(&self, st: &mut CombineState<V>, alpha: u32, ctx: &mut Ctx<'_, LevelMsg<V>>) {
+        let d = self.bf.d();
+        for level in (0..d).rev() {
+            for dir in 0..2usize {
+                let popped = st.queues[level as usize][dir].pop_first();
+                if let Some(((_rank, group), value)) = popped {
+                    let next_col = if dir == 0 {
+                        alpha
+                    } else {
+                        alpha ^ (1 << level)
+                    };
+                    if next_col == alpha {
+                        // straight edge: stays on this node
+                        self.insert(st, alpha, level + 1, group, value);
+                    } else {
+                        ctx.send(
+                            self.bf.emulator(next_col),
+                            LevelMsg {
+                                level: (level + 1) as u8,
+                                group,
+                                value,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if st.busy() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+impl<V: Payload, A: Aggregate<V>> NodeProgram for CombineProgram<'_, V, A> {
+    type State = CombineState<V>;
+    type Payload = LevelMsg<V>;
+
+    fn init(&self, st: &mut CombineState<V>, ctx: &mut Ctx<'_, LevelMsg<V>>) {
+        if self.bf.emulates(ctx.id) && st.busy() {
+            ctx.stay_awake();
+        }
+    }
+
+    fn round(
+        &self,
+        st: &mut CombineState<V>,
+        inbox: &[Envelope<LevelMsg<V>>],
+        ctx: &mut Ctx<'_, LevelMsg<V>>,
+    ) {
+        let alpha = self.bf.column_of(ctx.id);
+        for env in inbox {
+            self.insert(
+                st,
+                alpha,
+                env.payload.level as u32,
+                env.payload.group,
+                env.payload.value.clone(),
+            );
+        }
+        self.step(st, alpha, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: postprocessing (randomized delivery rounds)
+// ---------------------------------------------------------------------------
+
+pub(crate) struct DeliverState<V> {
+    /// `(round, group, value)` deliveries this column owes, sorted by round.
+    pub scheduled: Vec<(u64, u64, V)>,
+    /// Aggregates received by this node as a *target*.
+    pub received: Vec<(GroupId, V)>,
+}
+
+pub(crate) struct DeliverProgram<V> {
+    pub spread: u64,
+    pub _pd: std::marker::PhantomData<V>,
+}
+
+impl<V: Payload> DeliverProgram<V> {
+    fn flush(&self, st: &mut DeliverState<V>, ctx: &mut Ctx<'_, PacketMsg<V>>) {
+        // scheduled is sorted by round; send everything due now
+        let now = ctx.round + 1; // rounds are drawn from 1..=spread
+        let due = st.scheduled.partition_point(|(r, _, _)| *r <= now);
+        for (_, group, value) in st.scheduled.drain(..due) {
+            ctx.send(GroupId(group).target(), PacketMsg { group, value });
+        }
+        if !st.scheduled.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+impl<V: Payload> NodeProgram for DeliverProgram<V> {
+    type State = DeliverState<V>;
+    type Payload = PacketMsg<V>;
+
+    fn init(&self, st: &mut DeliverState<V>, ctx: &mut Ctx<'_, PacketMsg<V>>) {
+        // draw delivery rounds and sort
+        let mut scheduled = std::mem::take(&mut st.scheduled);
+        for slot in scheduled.iter_mut() {
+            slot.0 = ctx.rng.gen_range(1..=self.spread);
+        }
+        scheduled.sort_by_key(|(r, g, _)| (*r, *g));
+        st.scheduled = scheduled;
+        self.flush(st, ctx);
+    }
+
+    fn round(
+        &self,
+        st: &mut DeliverState<V>,
+        inbox: &[Envelope<PacketMsg<V>>],
+        ctx: &mut Ctx<'_, PacketMsg<V>>,
+    ) {
+        for env in inbox {
+            st.received
+                .push((GroupId(env.payload.group), env.payload.value.clone()));
+        }
+        self.flush(st, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Runs the full Aggregation Algorithm. Every group's inputs are combined
+/// with `agg` and delivered to the group's target; the per-node output lists
+/// the `(group, aggregate)` pairs that node received as a target.
+///
+/// Round complexity (Theorem 2.3): `O(L/n + (ℓ₁ + ℓ̂₂)/log n + log n)` w.h.p.
+pub fn aggregate<V: Payload, A: Aggregate<V>>(
+    engine: &mut Engine,
+    shared: &SharedRandomness,
+    spec: AggregationSpec<V>,
+    agg: &A,
+) -> Result<(GroupedDeliveries<V>, ExecStats), ModelError> {
+    aggregate_opt(engine, shared, spec, agg, true)
+}
+
+/// [`aggregate`] with the contention rule exposed: `random_ranks = false`
+/// replaces the random-rank routing with a static priority (ablation E17 —
+/// Theorem B.2's guarantee only holds for random ranks).
+pub fn aggregate_opt<V: Payload, A: Aggregate<V>>(
+    engine: &mut Engine,
+    shared: &SharedRandomness,
+    spec: AggregationSpec<V>,
+    agg: &A,
+    random_ranks: bool,
+) -> Result<(GroupedDeliveries<V>, ExecStats), ModelError> {
+    let n = engine.n();
+    assert_eq!(spec.memberships.len(), n);
+    let mut total = ExecStats::default();
+
+    if n == 1 {
+        // trivial network: combine locally
+        let mut by_group: BTreeMap<u64, V> = BTreeMap::new();
+        for (g, v) in spec.memberships.into_iter().flatten() {
+            match by_group.entry(g.raw()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let m = agg.combine(e.get(), &v);
+                    e.insert(m);
+                }
+            }
+        }
+        let out = vec![by_group.into_iter().map(|(g, v)| (GroupId(g), v)).collect()];
+        return Ok((out, total));
+    }
+
+    let bf = Butterfly::for_n(n);
+    let hashes = if random_ranks {
+        RouteHashes::new(shared, &bf, n)
+    } else {
+        RouteHashes::new(shared, &bf, n).with_fifo()
+    };
+    let logn = ncc_model::ilog2_ceil(n).max(1) as usize;
+
+    // --- phase 1: inject ---------------------------------------------------
+    let inject = InjectProgram {
+        batch: logn,
+        columns: bf.columns() as u32,
+        _pd: std::marker::PhantomData,
+    };
+    let mut inj_states: Vec<InjectState<V>> = spec
+        .memberships
+        .into_iter()
+        .map(|ms| InjectState {
+            to_send: ms.into_iter().map(|(g, v)| (g.raw(), v)).collect(),
+            landed: Vec::new(),
+        })
+        .collect();
+    total.merge(&engine.execute(&inject, &mut inj_states)?);
+    total.merge(&sync_barrier(engine)?);
+
+    // --- phase 2: combine --------------------------------------------------
+    let combine = CombineProgram {
+        bf,
+        hashes: hashes.clone(),
+        agg,
+        _pd: std::marker::PhantomData,
+    };
+    let mut comb_states: Vec<CombineState<V>> = (0..n).map(|_| CombineState::new(bf.d())).collect();
+    for (col, inj) in inj_states.into_iter().enumerate() {
+        for (group, value) in inj.landed {
+            combine.insert(&mut comb_states[col], col as u32, 0, group, value);
+        }
+    }
+    total.merge(&engine.execute(&combine, &mut comb_states)?);
+    total.merge(&sync_barrier(engine)?);
+
+    // --- phase 3: deliver --------------------------------------------------
+    let spread = (spec.ell2_hat.div_ceil(logn)).max(1) as u64;
+    let deliver = DeliverProgram {
+        spread,
+        _pd: std::marker::PhantomData,
+    };
+    let mut del_states: Vec<DeliverState<V>> = comb_states
+        .into_iter()
+        .map(|cs| DeliverState {
+            scheduled: cs.arrived.into_iter().map(|(g, v)| (0, g, v)).collect(),
+            received: Vec::new(),
+        })
+        .collect();
+    total.merge(&engine.execute(&deliver, &mut del_states)?);
+    total.merge(&sync_barrier(engine)?);
+
+    let out = del_states.into_iter().map(|s| s.received).collect();
+    Ok((out, total))
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // tests index several parallel per-node arrays
+mod tests {
+    use super::*;
+    use crate::aggregate::{MinU64, SumU64, XorU64};
+    use ncc_model::NetConfig;
+
+    fn run_sum(
+        n: usize,
+        memberships: Vec<Vec<(GroupId, u64)>>,
+        ell2: usize,
+    ) -> (Vec<Vec<(GroupId, u64)>>, ExecStats) {
+        let mut eng = Engine::new(NetConfig::new(n, 7));
+        let shared = SharedRandomness::new(99);
+        aggregate(
+            &mut eng,
+            &shared,
+            AggregationSpec {
+                memberships,
+                ell2_hat: ell2,
+            },
+            &SumU64,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_group_sums_all_inputs() {
+        let n = 32;
+        let g = GroupId::new(5, 0);
+        let memberships: Vec<Vec<(GroupId, u64)>> = (0..n).map(|v| vec![(g, v as u64)]).collect();
+        let (out, stats) = run_sum(n, memberships, 1);
+        for (v, res) in out.iter().enumerate() {
+            if v == 5 {
+                assert_eq!(res.as_slice(), &[(g, (0..32u64).sum())]);
+            } else {
+                assert!(res.is_empty(), "node {v} got {res:?}");
+            }
+        }
+        assert!(stats.clean());
+    }
+
+    #[test]
+    fn many_groups_to_distinct_targets() {
+        // group t collects from members {t, t+1, t+2 mod n}, for every t
+        let n = 64;
+        let mut memberships: Vec<Vec<(GroupId, u64)>> = vec![Vec::new(); n];
+        for t in 0..n as u32 {
+            for off in 0..3u32 {
+                let member = ((t + off) % n as u32) as usize;
+                memberships[member].push((GroupId::new(t, 1), 10 + off as u64));
+            }
+        }
+        let (out, stats) = run_sum(n, memberships, 1);
+        for t in 0..n {
+            assert_eq!(out[t].len(), 1, "node {t}: {:?}", out[t]);
+            let (g, v) = out[t][0];
+            assert_eq!(g, GroupId::new(t as u32, 1));
+            assert_eq!(v, 33);
+        }
+        assert!(stats.clean());
+    }
+
+    #[test]
+    fn min_aggregate_and_multiple_groups_per_target() {
+        let n = 40;
+        let mut memberships: Vec<Vec<(GroupId, u64)>> = vec![Vec::new(); n];
+        // two groups target node 3, members everywhere
+        for v in 0..n {
+            memberships[v].push((GroupId::new(3, 0), (v as u64) + 100));
+            memberships[v].push((GroupId::new(3, 1), 1000 - v as u64));
+        }
+        let mut eng = Engine::new(NetConfig::new(n, 7));
+        let shared = SharedRandomness::new(99);
+        let (out, _) = aggregate(
+            &mut eng,
+            &shared,
+            AggregationSpec {
+                memberships,
+                ell2_hat: 2,
+            },
+            &MinU64,
+        )
+        .unwrap();
+        let mut got = out[3].clone();
+        got.sort_by_key(|(g, _)| *g);
+        assert_eq!(
+            got,
+            vec![(GroupId::new(3, 0), 100), (GroupId::new(3, 1), 1000 - 39)]
+        );
+    }
+
+    #[test]
+    fn xor_cancellation_across_members() {
+        let n = 16;
+        let g = GroupId::new(0, 7);
+        let mut memberships: Vec<Vec<(GroupId, u64)>> = vec![Vec::new(); n];
+        memberships[2].push((g, 0xAA));
+        memberships[9].push((g, 0xAA));
+        memberships[12].push((g, 0x55));
+        let mut eng = Engine::new(NetConfig::new(n, 1));
+        let shared = SharedRandomness::new(5);
+        let (out, _) = aggregate(
+            &mut eng,
+            &shared,
+            AggregationSpec {
+                memberships,
+                ell2_hat: 1,
+            },
+            &XorU64,
+        )
+        .unwrap();
+        assert_eq!(out[0], vec![(g, 0x55)]);
+    }
+
+    #[test]
+    fn empty_spec_is_cheap() {
+        let n = 16;
+        let (out, stats) = run_sum(n, vec![Vec::new(); n], 1);
+        assert!(out.iter().all(Vec::is_empty));
+        // three sync barriers still run: O(log n) each
+        assert!(stats.rounds < 40, "rounds {}", stats.rounds);
+    }
+
+    #[test]
+    fn rounds_follow_theorem_bound() {
+        // Theorem 2.3: O(L/n + (ℓ₁+ℓ̂₂)/log n + log n). With L = n·ℓ₁ and
+        // small ℓ₁, rounds should stay O(log n)-ish, far below L.
+        let n = 128;
+        let ell1 = 8;
+        let mut memberships: Vec<Vec<(GroupId, u64)>> = vec![Vec::new(); n];
+        for v in 0..n as u32 {
+            for j in 0..ell1 {
+                let target = (v.wrapping_mul(31).wrapping_add(j)) % n as u32;
+                memberships[v as usize].push((GroupId::new(target, j), 1));
+            }
+        }
+        let (out, stats) = run_sum(n, memberships, 2 * ell1 as usize + 8);
+        let total: u64 = out.iter().flatten().map(|(_, v)| v).sum();
+        assert_eq!(total, (n * ell1 as usize) as u64, "no packet lost");
+        let logn = 7;
+        let bound = 40 * logn; // generous constant on O(L/n + ℓ/logn + logn) = O(logn) here
+        assert!(
+            (stats.rounds as usize) < bound,
+            "rounds {} exceed c·log n = {bound}",
+            stats.rounds
+        );
+        assert!(stats.clean());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let n = 32;
+        let g = GroupId::new(1, 0);
+        let mems: Vec<Vec<(GroupId, u64)>> = (0..n).map(|v| vec![(g, v as u64)]).collect();
+        let a = run_sum(n, mems.clone(), 1);
+        let b = run_sum(n, mems, 1);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,62 @@
+//! # ncc-butterfly — butterfly emulation and communication primitives
+//!
+//! §2.2 and Appendix B of the paper build a toolbox of primitives on an
+//! emulated butterfly network, which everything else (MST, orientation,
+//! BFS, MIS, matching, coloring) is written against:
+//!
+//! | primitive | paper | bound |
+//! |---|---|---|
+//! | [`aggregate_and_broadcast`] | Thm 2.2 | `O(log n)` |
+//! | [`aggregate`](aggregation::aggregate) | Thm 2.3 | `O(L/n + (ℓ₁+ℓ̂₂)/log n + log n)` |
+//! | [`multicast_setup`] | Thm 2.4 | `O(L/n + ℓ/log n + log n)`, congestion `O(L/n + log n)` |
+//! | [`multicast`](multicast::multicast) | Thm 2.5 | `O(C + ℓ̂/log n + log n)` |
+//! | [`multi_aggregate`] | Thm 2.6 | `O(C + log n)` |
+//!
+//! Every node with identifier `< 2^d` (`d = ⌊log₂ n⌋`) emulates one complete
+//! *column* of the `d`-dimensional butterfly; nodes with identifier `≥ 2^d`
+//! attach to a proxy column. A butterfly communication round maps to one NCC
+//! round because a column touches `O(log n)` butterfly edges and each node
+//! may send/receive `O(log n)` messages (§2.2).
+//!
+//! ## Phase synchronisation
+//!
+//! The paper interleaves a token-passing variant of Aggregate-and-Broadcast
+//! to synchronise phase boundaries (App. B.1). Here each primitive is a
+//! sequence of phase programs; the engine's quiescence detection plays the
+//! token protocol's role, and an **explicit in-model A&B run is charged at
+//! every phase boundary** so round totals include the synchronisation cost,
+//! exactly as the paper's bounds do.
+//!
+//! # Example: global minimum in `O(log n)` rounds
+//!
+//! ```
+//! use ncc_butterfly::{aggregate_and_broadcast, MinU64};
+//! use ncc_model::{Engine, NetConfig};
+//!
+//! let n = 100;
+//! let mut engine = Engine::new(NetConfig::new(n, 7));
+//! let inputs: Vec<Option<u64>> = (0..n as u64).map(|v| Some(1000 - v)).collect();
+//! let (results, stats) = aggregate_and_broadcast(&mut engine, inputs, &MinU64).unwrap();
+//! assert!(results.iter().all(|r| *r == Some(1000 - 99))); // everyone learns the min
+//! assert!(stats.rounds <= 2 * 7 + 3);                      // 2·⌈log₂ n⌉ + O(1)
+//! ```
+
+pub mod agg_bcast;
+pub mod aggregate;
+pub mod aggregation;
+pub mod mctree;
+pub mod multi_agg;
+pub mod multicast;
+pub mod seed;
+pub mod topology;
+
+pub use agg_bcast::{aggregate_and_broadcast, sync_barrier};
+pub use aggregate::{
+    Aggregate, MaxU64, MinByKey, MinU64, SumPair, SumU64, XorPair, XorSum, XorU64,
+};
+pub use aggregation::{aggregate, aggregate_opt, AggregationSpec, GroupedDeliveries};
+pub use mctree::{multicast_setup, self_joins, MulticastTrees};
+pub use multi_agg::multi_aggregate;
+pub use multicast::multicast;
+pub use seed::broadcast_seed;
+pub use topology::{Butterfly, GroupId};

@@ -1,0 +1,384 @@
+//! Multicast Tree Setup (Theorem 2.4, Appendix B.3).
+//!
+//! For multicast groups `A_1..A_N` (each node source of at most one group),
+//! builds a multicast tree `T_i` per group inside the butterfly: the root is
+//! the uniform level-`d` column `h(i)`, and each member `u ∈ A_i` owns a
+//! random level-0 leaf `l(i, u)`. The trees are the union of the paths the
+//! members' join-packets take during an aggregation run — every butterfly
+//! node records, per group, along which in-edges packets arrived.
+//!
+//! Setup time `O(L/n + ℓ/log n + log n)`; the resulting trees have
+//! congestion `O(L/n + log n)` w.h.p. (number of trees sharing a butterfly
+//! node), which is measured by [`MulticastTrees::congestion`] and validated
+//! in experiment E4.
+
+use std::collections::BTreeMap;
+
+use ncc_hashing::{FxHashMap, SharedRandomness};
+use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeId, NodeProgram};
+
+use crate::agg_bcast::sync_barrier;
+use crate::aggregation::{InjectProgram, InjectState, LevelMsg, RouteHashes};
+use crate::topology::{Butterfly, GroupId};
+
+/// The recorded forest of multicast trees, indexed by column.
+///
+/// Each NCC node holds (and during multicast, uses) only its own column's
+/// slice; the aggregate structure exists driver-side for analysis and for
+/// constructing per-node multicast states.
+#[derive(Debug, Clone)]
+pub struct MulticastTrees {
+    pub d: u32,
+    pub n: usize,
+    /// `leaves[α]`: groups whose leaf for some members is column α's level-0
+    /// node, with those members.
+    pub leaves: Vec<FxHashMap<u64, Vec<NodeId>>>,
+    /// `in_edges[α][i]` for `i ∈ 1..=d` (index `i−1`): per group, whether a
+    /// packet arrived at `(i, α)` via the straight edge and/or the cross
+    /// edge from level `i−1`.
+    pub in_edges: Vec<Vec<FxHashMap<u64, (bool, bool)>>>,
+    /// Groups rooted at each column (level `d`).
+    pub roots: Vec<Vec<u64>>,
+}
+
+impl MulticastTrees {
+    /// Maximum number of distinct trees sharing one butterfly node — the
+    /// congestion `C` of Theorems 2.4–2.6.
+    pub fn congestion(&self) -> usize {
+        let mut best = 0;
+        for alpha in 0..self.leaves.len() {
+            // level 0: leaf sets
+            best = best.max(self.leaves[alpha].len());
+            for lvl in &self.in_edges[alpha] {
+                best = best.max(lvl.len());
+            }
+            best = best.max(self.roots[alpha].len());
+        }
+        best
+    }
+
+    /// Total number of tree nodes across all trees (size of the forest).
+    pub fn total_tree_nodes(&self) -> usize {
+        self.leaves.iter().map(FxHashMap::len).sum::<usize>()
+            + self
+                .in_edges
+                .iter()
+                .flat_map(|lvls| lvls.iter().map(FxHashMap::len))
+                .sum::<usize>()
+    }
+}
+
+/// Per-node recording state for the tree-building routing run.
+pub(crate) struct RecordState {
+    /// Routing queues as in the combining phase, value = unit (join packets
+    /// carry no data; combining just merges paths).
+    queues: Vec<[BTreeMap<(u64, u64), ()>; 2]>,
+    leaves: FxHashMap<u64, Vec<NodeId>>,
+    in_edges: Vec<FxHashMap<u64, (bool, bool)>>,
+}
+
+impl RecordState {
+    fn new(d: u32) -> Self {
+        RecordState {
+            queues: (0..d).map(|_| [BTreeMap::new(), BTreeMap::new()]).collect(),
+            leaves: FxHashMap::default(),
+            in_edges: (0..d).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.queues
+            .iter()
+            .any(|q| !q[0].is_empty() || !q[1].is_empty())
+    }
+}
+
+pub(crate) struct RecordProgram {
+    bf: Butterfly,
+    hashes: RouteHashes,
+}
+
+impl RecordProgram {
+    /// Inserts a join packet at `(level, α)`, recording the in-edge
+    /// (`via_cross`) it used; `level == d` records the root.
+    fn insert(&self, st: &mut RecordState, alpha: u32, level: u32, group: u64, via_cross: bool) {
+        let d = self.bf.d();
+        if level > 0 {
+            let e = st.in_edges[level as usize - 1]
+                .entry(group)
+                .or_insert((false, false));
+            if via_cross {
+                e.1 = true;
+            } else {
+                e.0 = true;
+            }
+            if level == d {
+                // packets stop at level d — the root absorbs them
+                return;
+            }
+        }
+        let target = self.hashes.target_column(group);
+        let dir = self.bf.route_is_cross(alpha, level, target) as usize;
+        let key = (self.hashes.rank(group), group);
+        st.queues[level as usize][dir].insert(key, ());
+    }
+}
+
+impl NodeProgram for RecordProgram {
+    type State = RecordState;
+    type Payload = LevelMsg<u64>;
+
+    fn init(&self, st: &mut RecordState, ctx: &mut Ctx<'_, LevelMsg<u64>>) {
+        if self.bf.emulates(ctx.id) && st.busy() {
+            ctx.stay_awake();
+        }
+    }
+
+    fn round(
+        &self,
+        st: &mut RecordState,
+        inbox: &[Envelope<LevelMsg<u64>>],
+        ctx: &mut Ctx<'_, LevelMsg<u64>>,
+    ) {
+        let alpha = self.bf.column_of(ctx.id);
+        for env in inbox {
+            self.insert(st, alpha, env.payload.level as u32, env.payload.group, true);
+        }
+        let d = self.bf.d();
+        for level in (0..d).rev() {
+            for dir in 0..2usize {
+                if let Some(((_rank, group), ())) = st.queues[level as usize][dir].pop_first() {
+                    let next_col = if dir == 0 {
+                        alpha
+                    } else {
+                        alpha ^ (1 << level)
+                    };
+                    if next_col == alpha {
+                        self.insert(st, alpha, level + 1, group, false);
+                    } else {
+                        ctx.send(
+                            self.bf.emulator(next_col),
+                            LevelMsg {
+                                level: (level + 1) as u8,
+                                group,
+                                value: 0,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if st.busy() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+/// Sets up multicast trees from explicit *registrations*: node `u`'s list
+/// `joins[u]` contains `(group, member)` pairs — usually `member == u`
+/// ("u joins group g", see [`self_joins`]), but a node may also register
+/// *another* node into a group, which is how the broadcast-tree
+/// construction of §5 lets each node inject packets for its out-neighbors
+/// (Lemma 5.1) instead of forcing high-degree nodes to inject `Θ(Δ)`
+/// packets themselves.
+pub fn multicast_setup(
+    engine: &mut Engine,
+    shared: &SharedRandomness,
+    joins: Vec<Vec<(GroupId, NodeId)>>,
+) -> Result<(MulticastTrees, ExecStats), ModelError> {
+    let n = engine.n();
+    assert_eq!(joins.len(), n);
+    assert!(n >= 2, "multicast trees need n ≥ 2");
+    let bf = Butterfly::for_n(n);
+    let hashes = RouteHashes::new(shared, &bf, n);
+    let logn = ncc_model::ilog2_ceil(n).max(1) as usize;
+    let mut total = ExecStats::default();
+
+    // phase 1: registrations are injected as join packets (value = member
+    // id) at random level-0 columns — the landing columns become the
+    // leaves l(i, u).
+    let inject = InjectProgram::<u64> {
+        batch: logn,
+        columns: bf.columns() as u32,
+        _pd: std::marker::PhantomData,
+    };
+    let mut inj_states: Vec<InjectState<u64>> = joins
+        .into_iter()
+        .map(|gs| InjectState {
+            to_send: gs.into_iter().map(|(g, m)| (g.raw(), m as u64)).collect(),
+            landed: Vec::new(),
+        })
+        .collect();
+    total.merge(&engine.execute(&inject, &mut inj_states)?);
+    total.merge(&sync_barrier(engine)?);
+
+    // phase 2: route join packets to the roots, recording tree edges.
+    let record = RecordProgram { bf, hashes };
+    let mut rec_states: Vec<RecordState> = (0..n).map(|_| RecordState::new(bf.d())).collect();
+    for (col, inj) in inj_states.into_iter().enumerate() {
+        for (group, member) in inj.landed {
+            rec_states[col]
+                .leaves
+                .entry(group)
+                .or_default()
+                .push(member as NodeId);
+            record.insert(&mut rec_states[col], col as u32, 0, group, false);
+        }
+    }
+    total.merge(&engine.execute(&record, &mut rec_states)?);
+    total.merge(&sync_barrier(engine)?);
+
+    let mut trees = MulticastTrees {
+        d: bf.d(),
+        n,
+        leaves: Vec::with_capacity(n),
+        in_edges: Vec::with_capacity(n),
+        roots: Vec::with_capacity(n),
+    };
+    for st in rec_states {
+        // the groups rooted at this column are exactly those with a
+        // recorded in-edge at level d
+        let mut roots: Vec<u64> = st
+            .in_edges
+            .last()
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        roots.sort_unstable();
+        trees.leaves.push(st.leaves);
+        trees.in_edges.push(st.in_edges);
+        trees.roots.push(roots);
+    }
+    Ok((trees, total))
+}
+
+/// Convenience: turns per-node group lists into self-registrations
+/// (`joins[u] = [g…]` ⇒ node `u` joins each `g` itself).
+pub fn self_joins(joins: Vec<Vec<GroupId>>) -> Vec<Vec<(GroupId, NodeId)>> {
+    joins
+        .into_iter()
+        .enumerate()
+        .map(|(u, gs)| gs.into_iter().map(|g| (g, u as NodeId)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // tests index several parallel per-node arrays
+mod tests {
+    use super::*;
+    use ncc_model::NetConfig;
+
+    fn setup(n: usize, joins: Vec<Vec<GroupId>>) -> (MulticastTrees, ExecStats, RouteHashes) {
+        let mut eng = Engine::new(NetConfig::new(n, 11));
+        let shared = SharedRandomness::new(31);
+        let (trees, stats) = multicast_setup(&mut eng, &shared, self_joins(joins)).unwrap();
+        let bf = Butterfly::for_n(n);
+        let hashes = RouteHashes::new(&shared, &bf, n);
+        (trees, stats, hashes)
+    }
+
+    /// Walk down from the root of `group` and collect the members reachable
+    /// through recorded edges — must equal the joining set.
+    fn reachable_members(trees: &MulticastTrees, hashes: &RouteHashes, group: u64) -> Vec<NodeId> {
+        let root = hashes.target_column(group);
+        let d = trees.d;
+        let mut stack = vec![(d, root)];
+        let mut members = Vec::new();
+        while let Some((level, alpha)) = stack.pop() {
+            if level == 0 {
+                if let Some(ms) = trees.leaves[alpha as usize].get(&group) {
+                    members.extend_from_slice(ms);
+                }
+                continue;
+            }
+            if let Some(&(straight, cross)) =
+                trees.in_edges[alpha as usize][level as usize - 1].get(&group)
+            {
+                if straight {
+                    stack.push((level - 1, alpha));
+                }
+                if cross {
+                    stack.push((level - 1, alpha ^ (1 << (level - 1))));
+                }
+            }
+        }
+        members.sort_unstable();
+        members
+    }
+
+    #[test]
+    fn tree_spans_all_members() {
+        let n = 64;
+        let g = GroupId::new(3, 0);
+        let members: Vec<usize> = vec![1, 5, 17, 33, 60, 63];
+        let mut joins = vec![Vec::new(); n];
+        for &m in &members {
+            joins[m].push(g);
+        }
+        let (trees, stats, hashes) = setup(n, joins);
+        let got = reachable_members(&trees, &hashes, g.raw());
+        assert_eq!(
+            got,
+            members.iter().map(|&m| m as NodeId).collect::<Vec<_>>()
+        );
+        assert!(stats.clean());
+    }
+
+    #[test]
+    fn every_node_in_some_group() {
+        // n groups, node u joins group (u mod 8): trees for 8 groups
+        let n = 32;
+        let mut joins = vec![Vec::new(); n];
+        for u in 0..n {
+            joins[u].push(GroupId::new((u % 8) as u32, 2));
+        }
+        let (trees, _, hashes) = setup(n, joins);
+        for t in 0..8u32 {
+            let g = GroupId::new(t, 2);
+            let expect: Vec<NodeId> = (0..n as u32).filter(|u| u % 8 == t).collect();
+            assert_eq!(reachable_members(&trees, &hashes, g.raw()), expect);
+        }
+    }
+
+    #[test]
+    fn congestion_near_load_over_n_plus_log() {
+        // L = n memberships over N = n/4 groups: congestion O(L/n + log n) = O(log n)
+        let n = 256;
+        let mut joins = vec![Vec::new(); n];
+        for u in 0..n {
+            joins[u].push(GroupId::new((u % (n / 4)) as u32, 0));
+        }
+        let (trees, stats, _) = setup(n, joins);
+        let c = trees.congestion();
+        let logn = 8;
+        assert!(c <= 6 * logn, "congestion {c} too high");
+        assert!(c >= 1);
+        assert!(stats.clean());
+    }
+
+    #[test]
+    fn member_of_multiple_groups() {
+        let n = 16;
+        let mut joins = vec![Vec::new(); n];
+        // node 2 joins three groups
+        for s in 0..3u32 {
+            joins[2].push(GroupId::new(s, 9));
+            joins[(s as usize) + 5].push(GroupId::new(s, 9));
+        }
+        let (trees, _, hashes) = setup(n, joins);
+        for s in 0..3u32 {
+            let g = GroupId::new(s, 9);
+            let got = reachable_members(&trees, &hashes, g.raw());
+            let mut expect = vec![2 as NodeId, s + 5];
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn empty_joins_no_trees() {
+        let n = 16;
+        let (trees, _, _) = setup(n, vec![Vec::new(); n]);
+        assert_eq!(trees.congestion(), 0);
+        assert_eq!(trees.total_tree_nodes(), 0);
+    }
+}

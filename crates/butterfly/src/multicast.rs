@@ -1,0 +1,402 @@
+//! The Multicast Algorithm (Theorem 2.5, Appendix B.4).
+//!
+//! With multicast trees already set up (Theorem 2.4), every source `s_i`
+//! delivers its packet `p_i` to all members of its group `A_i` in
+//! `O(C + ℓ̂/log n + log n)` rounds, where `C` is the tree congestion and
+//! `ℓ̂` a known bound on group memberships per node:
+//!
+//! 1. each source sends `p_i` directly to the root `h(i)` (one NCC message);
+//! 2. **spreading** — packets travel down the recorded tree edges from
+//!    level `d` to level 0, one packet per butterfly edge per round,
+//!    smallest rank first (the reverse of the combining-phase routing);
+//!    a packet is *copied* onto every recorded child edge;
+//! 3. leaves `l(i, u)` deliver `p_i` to their members `u` in rounds chosen
+//!    uniformly from `{1..⌈ℓ̂/log n⌉}`.
+
+use std::collections::BTreeMap;
+
+use ncc_hashing::SharedRandomness;
+use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeId, NodeProgram, Payload};
+use rand::Rng;
+
+use crate::agg_bcast::sync_barrier;
+use crate::aggregation::{LevelMsg, RouteHashes};
+use crate::mctree::MulticastTrees;
+use crate::topology::{Butterfly, GroupId};
+
+// ---------------------------------------------------------------------------
+// Spreading phase (shared with multi-aggregation)
+// ---------------------------------------------------------------------------
+
+/// Per-node state for the downward spreading phase. The tree slices
+/// (`in_edges`, `leaves`) are this column's share of the recorded forest.
+pub(crate) struct SpreadState<V> {
+    /// `queues[i][dir]` (index `i` = level of the holding node − 1, i.e.
+    /// levels `1..=d`): packets waiting to traverse the down-edge to the
+    /// straight (`dir` 0) or cross (`dir` 1) child.
+    pub queues: Vec<[BTreeMap<(u64, u64), V>; 2]>,
+    /// This column's recorded in-edges (index `level − 1`, group → edges).
+    pub in_edges: Vec<ncc_hashing::FxHashMap<u64, (bool, bool)>>,
+    /// This column's leaf registrations (group → members).
+    pub leaves: ncc_hashing::FxHashMap<u64, Vec<NodeId>>,
+    /// `(group, member, value)` reaching level-0 leaves here.
+    pub at_leaves: Vec<(u64, NodeId, V)>,
+    /// If this node is a source: packet to fire at the root in round 0.
+    pub source_packet: Option<(u64, V)>,
+}
+
+impl<V> SpreadState<V> {
+    fn busy(&self) -> bool {
+        self.queues
+            .iter()
+            .any(|q| !q[0].is_empty() || !q[1].is_empty())
+    }
+}
+
+pub(crate) struct SpreadProgram<V> {
+    pub bf: Butterfly,
+    pub hashes: RouteHashes,
+    pub _pd: std::marker::PhantomData<V>,
+}
+
+impl<V: Payload> SpreadProgram<V> {
+    /// A packet arrives at `(level, α)`: copy it onto every recorded child
+    /// edge, or register leaf arrivals at level 0.
+    fn arrive(&self, st: &mut SpreadState<V>, _alpha: u32, level: u32, group: u64, value: V) {
+        if level == 0 {
+            if let Some(members) = st.leaves.get(&group) {
+                for &m in members {
+                    st.at_leaves.push((group, m, value.clone()));
+                }
+            }
+            return;
+        }
+        let Some(&(straight, cross)) = st.in_edges[level as usize - 1].get(&group) else {
+            return; // no members below this tree node
+        };
+        let key = (self.hashes.rank(group), group);
+        if straight {
+            st.queues[level as usize - 1][0].insert(key, value.clone());
+        }
+        if cross {
+            st.queues[level as usize - 1][1].insert(key, value);
+        }
+    }
+}
+
+impl<V: Payload> NodeProgram for SpreadProgram<V> {
+    type State = SpreadState<V>;
+    type Payload = LevelMsg<V>;
+
+    fn init(&self, st: &mut SpreadState<V>, ctx: &mut Ctx<'_, LevelMsg<V>>) {
+        if let Some((group, value)) = st.source_packet.take() {
+            let root = self.hashes.target_column(group);
+            ctx.send(
+                self.bf.emulator(root),
+                LevelMsg {
+                    level: self.bf.d() as u8,
+                    group,
+                    value,
+                },
+            );
+        }
+    }
+
+    fn round(
+        &self,
+        st: &mut SpreadState<V>,
+        inbox: &[Envelope<LevelMsg<V>>],
+        ctx: &mut Ctx<'_, LevelMsg<V>>,
+    ) {
+        let alpha = self.bf.column_of(ctx.id);
+        for env in inbox {
+            self.arrive(
+                st,
+                alpha,
+                env.payload.level as u32,
+                env.payload.group,
+                env.payload.value.clone(),
+            );
+        }
+        // forward one packet per down-edge; ascending level order so a
+        // packet advanced locally is not advanced twice in one round
+        let d = self.bf.d();
+        for level in 1..=d {
+            for dir in 0..2usize {
+                if let Some(((_r, group), value)) = st.queues[level as usize - 1][dir].pop_first() {
+                    let child = if dir == 0 {
+                        alpha
+                    } else {
+                        alpha ^ (1 << (level - 1))
+                    };
+                    if child == alpha {
+                        self.arrive(st, alpha, level - 1, group, value);
+                    } else {
+                        ctx.send(
+                            self.bf.emulator(child),
+                            LevelMsg {
+                                level: (level - 1) as u8,
+                                group,
+                                value,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if st.busy() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+/// Builds per-node spreading states from the recorded forest and the
+/// sources' packets.
+pub(crate) fn spread_states<V: Payload>(
+    trees: &MulticastTrees,
+    messages: Vec<Option<(GroupId, V)>>,
+    d: u32,
+) -> Vec<SpreadState<V>> {
+    let n = trees.n;
+    let mut states: Vec<SpreadState<V>> = (0..n)
+        .map(|col| SpreadState {
+            queues: (0..d).map(|_| [BTreeMap::new(), BTreeMap::new()]).collect(),
+            in_edges: trees
+                .in_edges
+                .get(col)
+                .cloned()
+                .unwrap_or_else(|| (0..d).map(|_| ncc_hashing::FxHashMap::default()).collect()),
+            leaves: trees.leaves.get(col).cloned().unwrap_or_default(),
+            at_leaves: Vec::new(),
+            source_packet: None,
+        })
+        .collect();
+    for (u, msg) in messages.into_iter().enumerate() {
+        if let Some((g, v)) = msg {
+            states[u].source_packet = Some((g.raw(), v));
+        }
+    }
+    states
+}
+
+// ---------------------------------------------------------------------------
+// Leaf delivery phase
+// ---------------------------------------------------------------------------
+
+pub(crate) struct McDeliverState<V> {
+    /// `(round, member, group, value)`, sorted by round after init.
+    pub scheduled: Vec<(u64, NodeId, u64, V)>,
+    pub received: Vec<(GroupId, V)>,
+}
+
+pub(crate) struct McDeliverProgram<V> {
+    pub spread: u64,
+    pub _pd: std::marker::PhantomData<V>,
+}
+
+impl<V: Payload> McDeliverProgram<V> {
+    fn flush(
+        &self,
+        st: &mut McDeliverState<V>,
+        ctx: &mut Ctx<'_, crate::aggregation::PacketMsg<V>>,
+    ) {
+        let now = ctx.round + 1;
+        let due = st.scheduled.partition_point(|(r, _, _, _)| *r <= now);
+        for (_, member, group, value) in st.scheduled.drain(..due) {
+            ctx.send(member, crate::aggregation::PacketMsg { group, value });
+        }
+        if !st.scheduled.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+impl<V: Payload> NodeProgram for McDeliverProgram<V> {
+    type State = McDeliverState<V>;
+    type Payload = crate::aggregation::PacketMsg<V>;
+
+    fn init(
+        &self,
+        st: &mut McDeliverState<V>,
+        ctx: &mut Ctx<'_, crate::aggregation::PacketMsg<V>>,
+    ) {
+        let mut scheduled = std::mem::take(&mut st.scheduled);
+        for slot in scheduled.iter_mut() {
+            slot.0 = ctx.rng.gen_range(1..=self.spread);
+        }
+        scheduled.sort_by_key(|(r, m, g, _)| (*r, *m, *g));
+        st.scheduled = scheduled;
+        self.flush(st, ctx);
+    }
+
+    fn round(
+        &self,
+        st: &mut McDeliverState<V>,
+        inbox: &[Envelope<crate::aggregation::PacketMsg<V>>],
+        ctx: &mut Ctx<'_, crate::aggregation::PacketMsg<V>>,
+    ) {
+        for env in inbox {
+            st.received
+                .push((GroupId(env.payload.group), env.payload.value.clone()));
+        }
+        self.flush(st, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Runs the Multicast Algorithm over previously set-up trees.
+///
+/// `messages[u]` is `Some((group, payload))` iff node `u` is the source of
+/// `group`. `ell_hat` is the known bound on group memberships per node.
+/// Returns, per node, the multicast packets it received as a member.
+pub fn multicast<V: Payload>(
+    engine: &mut Engine,
+    shared: &SharedRandomness,
+    trees: &MulticastTrees,
+    messages: Vec<Option<(GroupId, V)>>,
+    ell_hat: usize,
+) -> Result<(crate::aggregation::GroupedDeliveries<V>, ExecStats), ModelError> {
+    let n = engine.n();
+    assert_eq!(messages.len(), n);
+    let bf = Butterfly::for_n(n);
+    let hashes = RouteHashes::new(shared, &bf, n);
+    let logn = ncc_model::ilog2_ceil(n).max(1) as usize;
+    let mut total = ExecStats::default();
+
+    // phases 1–2: inject at roots, spread down the trees
+    let spread_prog = SpreadProgram::<V> {
+        bf,
+        hashes,
+        _pd: std::marker::PhantomData,
+    };
+    let mut sstates = spread_states(trees, messages, bf.d());
+    total.merge(&engine.execute(&spread_prog, &mut sstates)?);
+    total.merge(&sync_barrier(engine)?);
+
+    // phase 3: leaf delivery
+    let spread = (ell_hat.div_ceil(logn)).max(1) as u64;
+    let deliver = McDeliverProgram::<V> {
+        spread,
+        _pd: std::marker::PhantomData,
+    };
+    let mut dstates: Vec<McDeliverState<V>> = sstates
+        .into_iter()
+        .map(|s| McDeliverState {
+            scheduled: s
+                .at_leaves
+                .into_iter()
+                .map(|(g, m, v)| (0, m, g, v))
+                .collect(),
+            received: Vec::new(),
+        })
+        .collect();
+    total.merge(&engine.execute(&deliver, &mut dstates)?);
+    total.merge(&sync_barrier(engine)?);
+
+    Ok((dstates.into_iter().map(|s| s.received).collect(), total))
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // tests index several parallel per-node arrays
+mod tests {
+    use super::*;
+    use crate::mctree::{multicast_setup, self_joins};
+    use ncc_model::NetConfig;
+
+    fn run(
+        n: usize,
+        joins: Vec<Vec<GroupId>>,
+        messages: Vec<Option<(GroupId, u64)>>,
+        ell_hat: usize,
+    ) -> (Vec<Vec<(GroupId, u64)>>, ExecStats) {
+        let mut eng = Engine::new(NetConfig::new(n, 17));
+        let shared = SharedRandomness::new(23);
+        let (trees, _) = multicast_setup(&mut eng, &shared, self_joins(joins)).unwrap();
+        multicast(&mut eng, &shared, &trees, messages, ell_hat).unwrap()
+    }
+
+    #[test]
+    fn one_source_many_members() {
+        let n = 64;
+        let g = GroupId::new(7, 0);
+        let members = [2usize, 9, 31, 40, 63];
+        let mut joins = vec![Vec::new(); n];
+        for &m in &members {
+            joins[m].push(g);
+        }
+        let mut messages = vec![None; n];
+        messages[7] = Some((g, 0xCAFE));
+        let (out, stats) = run(n, joins, messages, 1);
+        for v in 0..n {
+            if members.contains(&v) {
+                assert_eq!(out[v], vec![(g, 0xCAFE)], "node {v}");
+            } else {
+                assert!(out[v].is_empty(), "node {v} got {:?}", out[v]);
+            }
+        }
+        assert!(stats.clean());
+    }
+
+    #[test]
+    fn many_concurrent_multicasts() {
+        // every node sources a group; node u joins groups of u−1, u+1 (ring)
+        let n = 32;
+        let mut joins = vec![Vec::new(); n];
+        let mut messages = vec![None; n];
+        for u in 0..n {
+            let left = GroupId::new(((u + n - 1) % n) as u32, 4);
+            let right = GroupId::new(((u + 1) % n) as u32, 4);
+            joins[u].push(left);
+            joins[u].push(right);
+            messages[u] = Some((GroupId::new(u as u32, 4), 1000 + u as u64));
+        }
+        let (out, stats) = run(n, joins, messages, 2);
+        for u in 0..n {
+            let mut got = out[u].clone();
+            got.sort_by_key(|(g, _)| g.raw());
+            let l = ((u + n - 1) % n) as u32;
+            let r = ((u + 1) % n) as u32;
+            let mut expect = vec![
+                (GroupId::new(l, 4), 1000 + l as u64),
+                (GroupId::new(r, 4), 1000 + r as u64),
+            ];
+            expect.sort_by_key(|(g, _)| g.raw());
+            assert_eq!(got, expect, "node {u}");
+        }
+        assert!(stats.clean());
+    }
+
+    #[test]
+    fn source_without_members_delivers_nothing() {
+        let n = 16;
+        let g = GroupId::new(0, 1);
+        let joins = vec![Vec::new(); n];
+        let mut messages = vec![None; n];
+        messages[0] = Some((g, 5));
+        let (out, _) = run(n, joins, messages, 1);
+        assert!(out.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn rounds_scale_with_congestion_plus_log() {
+        // broadcast-tree-like load: n/8 groups of 8 members each
+        let n = 128;
+        let mut joins = vec![Vec::new(); n];
+        let mut messages = vec![None; n];
+        for u in 0..n {
+            joins[u].push(GroupId::new((u % (n / 8)) as u32, 0));
+        }
+        for s in 0..(n / 8) as u32 {
+            messages[s as usize] = Some((GroupId::new(s, 0), s as u64));
+        }
+        let (out, stats) = run(n, joins, messages, 1);
+        let delivered: usize = out.iter().map(Vec::len).sum();
+        assert_eq!(delivered, n);
+        // C = O(log n) here, so total O(log n); allow a generous constant
+        assert!(stats.rounds < 30 * 7, "rounds {}", stats.rounds);
+        assert!(stats.clean());
+    }
+}

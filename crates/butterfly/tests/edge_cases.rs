@@ -1,0 +1,194 @@
+//! Edge-case integration tests for the butterfly primitives: non-power-of-
+//! two network sizes (proxy columns), non-emulating sources and targets,
+//! heavy loads, and multi-threaded engine equivalence.
+
+use ncc_butterfly::{
+    aggregate, aggregate_and_broadcast, multi_aggregate, multicast, multicast_setup, self_joins,
+    AggregationSpec, GroupId, MinU64, SumU64,
+};
+use ncc_hashing::SharedRandomness;
+use ncc_model::{Engine, NetConfig};
+
+/// n values straddling powers of two: 2^d, 2^d ± 1, and mid-range.
+const SIZES: &[usize] = &[16, 17, 31, 33, 48, 63, 64, 65, 100];
+
+#[test]
+fn aggregation_to_non_emulating_targets() {
+    // target nodes above 2^d are reached through the postprocessing sends
+    for &n in SIZES {
+        let bf_cols = 1usize << ncc_model::ilog2_floor(n);
+        if bf_cols == n {
+            continue; // no non-emulating nodes
+        }
+        let target = (n - 1) as u32; // guaranteed ≥ 2^d
+        let g = GroupId::new(target, 0);
+        let memberships: Vec<Vec<(GroupId, u64)>> = (0..n).map(|u| vec![(g, u as u64)]).collect();
+        let mut eng = Engine::new(NetConfig::new(n, 3));
+        let shared = SharedRandomness::new(5);
+        let (out, stats) = aggregate(
+            &mut eng,
+            &shared,
+            AggregationSpec {
+                memberships,
+                ell2_hat: 1,
+            },
+            &SumU64,
+        )
+        .unwrap();
+        let expect: u64 = (0..n as u64).sum();
+        assert_eq!(out[target as usize], vec![(g, expect)], "n={n}");
+        assert!(stats.clean(), "n={n}");
+    }
+}
+
+#[test]
+fn multicast_with_non_emulating_source_and_members() {
+    for &n in &[20usize, 40, 70] {
+        let src = (n - 1) as u32;
+        let member = (n - 2) as u32;
+        let g = GroupId::new(src, 0);
+        let mut joins = vec![Vec::new(); n];
+        joins[member as usize].push(g);
+        joins[3].push(g);
+        let mut eng = Engine::new(NetConfig::new(n, 7));
+        let shared = SharedRandomness::new(9);
+        let (trees, _) = multicast_setup(&mut eng, &shared, self_joins(joins)).unwrap();
+        let mut messages = vec![None; n];
+        messages[src as usize] = Some((g, 777u64));
+        let (out, stats) = multicast(&mut eng, &shared, &trees, messages, 1).unwrap();
+        assert_eq!(out[member as usize], vec![(g, 777)], "n={n}");
+        assert_eq!(out[3], vec![(g, 777)], "n={n}");
+        assert!(stats.clean());
+    }
+}
+
+#[test]
+fn agg_bcast_all_sizes() {
+    for &n in SIZES {
+        let mut eng = Engine::new(NetConfig::new(n, 11));
+        let inputs: Vec<Option<u64>> = (0..n as u64).map(|v| Some(v + 1)).collect();
+        let (res, stats) = aggregate_and_broadcast(&mut eng, inputs, &MinU64).unwrap();
+        assert!(res.iter().all(|r| *r == Some(1)), "n={n}");
+        assert!(stats.clean(), "n={n}");
+    }
+}
+
+#[test]
+fn heavy_aggregation_load_stays_clean() {
+    // L = 64·n packets through a 256-node butterfly
+    let n = 256;
+    let shared = SharedRandomness::new(13);
+    let memberships: Vec<Vec<(GroupId, u64)>> = (0..n)
+        .map(|u| {
+            (0..64u32)
+                .map(|j| (GroupId::new((u as u32 * 13 + j * 29) % n as u32, j), 1u64))
+                .collect()
+        })
+        .collect();
+    let mut eng = Engine::new(NetConfig::new(n, 15));
+    let (out, stats) = aggregate(
+        &mut eng,
+        &shared,
+        AggregationSpec {
+            memberships,
+            ell2_hat: 160,
+        },
+        &SumU64,
+    )
+    .unwrap();
+    let total: u64 = out.iter().flatten().map(|(_, v)| v).sum();
+    assert_eq!(total, (n * 64) as u64, "no packet lost under heavy load");
+    assert!(stats.clean());
+    // Theorem 2.3: O(L/n + ℓ/log n + log n) = O(64 + 160/8 + 8)
+    assert!(stats.rounds < 40 * (64 + 20 + 8), "rounds {}", stats.rounds);
+}
+
+#[test]
+fn parallel_engine_matches_sequential_for_primitives() {
+    let n = 700; // above the parallel step threshold
+    let shared = SharedRandomness::new(17);
+    let build = || -> Vec<Vec<(GroupId, u64)>> {
+        (0..n)
+            .map(|u| {
+                (0..4u32)
+                    .map(|j| {
+                        (
+                            GroupId::new((u as u32 * 7 + j * 311) % n as u32, j),
+                            u as u64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let run = |threads: usize| {
+        let mut eng = Engine::new(NetConfig::new(n, 19).with_threads(threads));
+        aggregate(
+            &mut eng,
+            &shared,
+            AggregationSpec {
+                memberships: build(),
+                ell2_hat: 32,
+            },
+            &SumU64,
+        )
+        .unwrap()
+    };
+    let (out1, stats1) = run(1);
+    let (out4, stats4) = run(4);
+    assert_eq!(out1, out4, "parallel engine must be bit-identical");
+    assert_eq!(stats1, stats4);
+}
+
+#[test]
+fn multi_aggregate_empty_and_single_member() {
+    let n = 24;
+    let shared = SharedRandomness::new(21);
+    let mut eng = Engine::new(NetConfig::new(n, 23));
+    // one group, one member, source non-emulating
+    let src = (n - 1) as u32;
+    let g = GroupId::new(src, 0);
+    let mut joins = vec![Vec::new(); n];
+    joins[2].push(g);
+    let (trees, _) = multicast_setup(&mut eng, &shared, self_joins(joins)).unwrap();
+    let mut messages = vec![None; n];
+    messages[src as usize] = Some((g, 5u64));
+    let (out, _) = multi_aggregate(
+        &mut eng,
+        &shared,
+        &trees,
+        messages,
+        |_, _, _, v| *v,
+        &MinU64,
+    )
+    .unwrap();
+    assert_eq!(out[2], Some(5));
+    assert!(out.iter().enumerate().all(|(i, o)| i == 2 || o.is_none()));
+}
+
+#[test]
+fn repeated_executions_on_one_engine_are_independent() {
+    // the engine's global round advances, but each primitive run must be
+    // self-contained
+    let n = 32;
+    let shared = SharedRandomness::new(25);
+    let mut eng = Engine::new(NetConfig::new(n, 27));
+    let g = GroupId::new(5, 0);
+    for round in 0..5u64 {
+        let memberships: Vec<Vec<(GroupId, u64)>> =
+            (0..n).map(|u| vec![(g, u as u64 + round)]).collect();
+        let (out, _) = aggregate(
+            &mut eng,
+            &shared,
+            AggregationSpec {
+                memberships,
+                ell2_hat: 1,
+            },
+            &SumU64,
+        )
+        .unwrap();
+        let expect: u64 = (0..n as u64).map(|u| u + round).sum();
+        assert_eq!(out[5], vec![(g, expect)], "iteration {round}");
+    }
+    assert!(eng.total.clean());
+}

@@ -1,0 +1,174 @@
+//! BFS trees (§5.1, Theorem 5.2): `O((a + D + log n) log n)` rounds.
+//!
+//! Layer-synchronous BFS over the broadcast trees: in phase `i` the nodes
+//! at distance `i − 1` multicast their identifiers to their neighborhoods
+//! (Multi-Aggregation with MIN, Corollary 1); a node receiving its first
+//! message fixes `δ(u) = i − 1 + 1` and `π(u)` = the smallest identifier
+//! received — the paper's tie-breaking rule. An Aggregate-and-Broadcast per
+//! phase decides termination, after at most `D + 1` phases.
+
+use ncc_butterfly::{aggregate_and_broadcast, multi_aggregate, MaxU64, MinU64};
+use ncc_graph::Graph;
+use ncc_hashing::SharedRandomness;
+use ncc_model::{Engine, ModelError, NodeId};
+
+use crate::broadcast_trees::{neighborhood_group, BroadcastTrees};
+use crate::report::AlgoReport;
+
+/// Distance marker for unreachable nodes (matches `ncc_graph::analysis`).
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Output of the distributed BFS.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    pub dist: Vec<u32>,
+    pub parent: Vec<Option<NodeId>>,
+    /// Number of frontier phases executed (`≤ D + 1`).
+    pub phases: u32,
+    pub report: AlgoReport,
+}
+
+/// Runs BFS from `src` over prebuilt broadcast trees.
+pub fn bfs(
+    engine: &mut Engine,
+    shared: &SharedRandomness,
+    bt: &BroadcastTrees,
+    g: &Graph,
+    src: NodeId,
+) -> Result<BfsResult, ModelError> {
+    let n = engine.n();
+    assert_eq!(n, g.n());
+    let mut report = AlgoReport::default();
+
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    dist[src as usize] = 0;
+    let mut frontier: Vec<NodeId> = vec![src];
+
+    let mut phase: u32 = 0;
+    while !frontier.is_empty() {
+        phase += 1;
+        // frontier nodes multicast their identifiers; MIN keeps the
+        // smallest sender per receiving node (§5.1's π tie-break)
+        let mut messages: Vec<Option<(ncc_butterfly::GroupId, u64)>> = vec![None; n];
+        for &u in &frontier {
+            messages[u as usize] = Some((neighborhood_group(u), u as u64));
+        }
+        let (mins, s) = multi_aggregate(
+            engine,
+            shared,
+            &bt.trees,
+            messages,
+            |_, _, _, v| *v,
+            &MinU64,
+        )?;
+        report.push(format!("phase{phase}:spread"), s);
+
+        let mut next = Vec::new();
+        for v in 0..n {
+            if dist[v] == UNREACHABLE {
+                if let Some(m) = mins[v] {
+                    dist[v] = phase;
+                    parent[v] = Some(m as NodeId);
+                    next.push(v as NodeId);
+                }
+            }
+        }
+        frontier = next;
+
+        // termination consensus (also the phase barrier)
+        let inputs: Vec<Option<u64>> = (0..n)
+            .map(|v| if dist[v] == phase { Some(1) } else { None })
+            .collect();
+        let (any_new, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
+        report.push(format!("phase{phase}:check"), s);
+        if any_new[0].is_none() {
+            break;
+        }
+    }
+
+    Ok(BfsResult {
+        dist,
+        parent,
+        phases: phase,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast_trees::build_broadcast_trees;
+    use ncc_graph::{check, gen};
+    use ncc_model::NetConfig;
+
+    fn run(g: &Graph, src: NodeId, seed: u64) -> BfsResult {
+        let mut eng = Engine::new(NetConfig::new(g.n(), seed));
+        let shared = SharedRandomness::new(seed ^ 0xBF5);
+        let (bt, _) = build_broadcast_trees(&mut eng, &shared, g).unwrap();
+        bfs(&mut eng, &shared, &bt, g, src).unwrap()
+    }
+
+    fn assert_valid(g: &Graph, src: NodeId, r: &BfsResult) {
+        check::check_bfs(g, src, &r.dist, &r.parent).unwrap_or_else(|e| panic!("invalid BFS: {e}"));
+    }
+
+    #[test]
+    fn path_graph_distances() {
+        let g = gen::path(24);
+        let r = run(&g, 0, 1);
+        assert_valid(&g, 0, &r);
+        assert_eq!(r.dist[23], 23);
+        assert_eq!(r.phases as usize, 24); // D + 1
+    }
+
+    #[test]
+    fn star_from_center_and_leaf() {
+        let g = gen::star(48);
+        let r = run(&g, 0, 2);
+        assert_valid(&g, 0, &r);
+        assert!(r.dist[1..].iter().all(|&d| d == 1));
+        let r = run(&g, 5, 3);
+        assert_valid(&g, 5, &r);
+        assert_eq!(r.dist[0], 1);
+        assert_eq!(r.dist[7], 2);
+        assert_eq!(r.parent[7], Some(0));
+    }
+
+    #[test]
+    fn grid_distances_and_parents() {
+        let g = gen::grid(6, 6);
+        let r = run(&g, 0, 4);
+        assert_valid(&g, 0, &r);
+        assert_eq!(r.dist[35], 10);
+    }
+
+    #[test]
+    fn disconnected_marks_unreachable() {
+        let g = Graph::from_edges(12, [(0, 1), (1, 2), (4, 5)]);
+        let r = run(&g, 0, 5);
+        assert_valid(&g, 0, &r);
+        assert_eq!(r.dist[2], 2);
+        assert_eq!(r.dist[4], UNREACHABLE);
+        assert_eq!(r.dist[11], UNREACHABLE);
+    }
+
+    #[test]
+    fn random_graph_matches_reference() {
+        let g = gen::gnp(40, 0.12, 7);
+        let r = run(&g, 3, 6);
+        assert_valid(&g, 3, &r);
+    }
+
+    #[test]
+    fn tree_parents_are_tree_edges() {
+        let g = gen::random_tree(32, 8);
+        let r = run(&g, 0, 7);
+        assert_valid(&g, 0, &r);
+        // in a tree, the parent is the unique neighbor toward the root
+        for v in 1..32u32 {
+            let p = r.parent[v as usize].unwrap();
+            assert!(g.has_edge(v, p));
+        }
+    }
+}

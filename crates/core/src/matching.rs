@@ -1,0 +1,272 @@
+//! Maximal Matching (§5.3, Theorem 5.4): `O((a + log n) log n)`.
+//!
+//! Israeli–Itai \[31\] over the primitives, phase by phase:
+//!
+//! 1. every unmatched node multicasts a pick-me packet over its broadcast
+//!    tree; the Multi-Aggregation leaves annotate each delivered copy with
+//!    a uniform random rank, and the annotated-minimum aggregate leaves
+//!    each receiver with a **uniformly random unmatched neighbor** — the
+//!    paper's modified Multi-Aggregation, verbatim;
+//! 2. nodes chosen by several neighbors accept one (Aggregation, MIN over
+//!    chooser ids) and notify the accepted chooser directly — the result is
+//!    a collection of paths and cycles;
+//! 3. every node on a path/cycle proposes to one of its ≤ 2 incident
+//!    chain edges at random; mutual proposals join the matching.
+//!
+//! `O(log n)` phases suffice w.h.p. (Corollary 3.5 of \[31\] + Chernoff).
+
+use ncc_butterfly::{
+    aggregate, aggregate_and_broadcast, multi_aggregate, AggregationSpec, GroupId, MaxU64,
+    MinByKey, MinU64,
+};
+use ncc_graph::Graph;
+use ncc_hashing::SharedRandomness;
+use ncc_model::{Engine, ModelError, NodeId};
+use rand::Rng;
+
+use crate::broadcast_trees::{neighborhood_group, BroadcastTrees};
+use crate::report::AlgoReport;
+use crate::support::scheduled_exchange;
+
+/// Output of the distributed maximal matching.
+#[derive(Debug, Clone)]
+pub struct MatchingResult {
+    /// `mate[u]` is `Some(v)` iff edge `{u, v}` is in the matching.
+    pub mate: Vec<Option<NodeId>>,
+    pub phases: u32,
+    pub report: AlgoReport,
+}
+
+/// Runs Israeli–Itai maximal matching over prebuilt broadcast trees.
+pub fn maximal_matching(
+    engine: &mut Engine,
+    shared: &SharedRandomness,
+    bt: &BroadcastTrees,
+    g: &Graph,
+) -> Result<MatchingResult, ModelError> {
+    let n = engine.n();
+    assert_eq!(n, g.n());
+    let logn = ncc_model::ilog2_ceil(n).max(1);
+    let mut report = AlgoReport::default();
+
+    let mut mate: Vec<Option<NodeId>> = vec![None; n];
+    let max_phases = 8 * logn + 24;
+
+    let mut phase: u32 = 0;
+    loop {
+        phase += 1;
+        assert!(
+            phase <= max_phases,
+            "matching did not converge in {max_phases} phases"
+        );
+
+        // --- step 1: random unmatched neighbor via annotated-min ----------
+        let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
+        for u in 0..n {
+            if mate[u].is_none() {
+                messages[u] = Some((neighborhood_group(u as NodeId), u as u64));
+            }
+        }
+        let (picks, s) = multi_aggregate(
+            engine,
+            shared,
+            &bt.trees,
+            messages,
+            // the leaf l(i,u) annotates with r ∈ [0,1] (here: 24 random
+            // bits), exactly as §5.3 prescribes
+            |rng, _g, _member, v| ((rng.gen::<u64>() >> 40), *v),
+            &MinByKey,
+        )?;
+        report.push(format!("phase{phase}:pick"), s);
+
+        // pick(u): a uniformly random unmatched neighbor (None if no
+        // unmatched neighbor remains). Matched nodes ignore deliveries.
+        let pick: Vec<Option<NodeId>> = (0..n)
+            .map(|u| {
+                if mate[u].is_none() {
+                    picks[u].map(|(_, v)| v as NodeId)
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // --- termination: anyone still pairable? ---------------------------
+        let inputs: Vec<Option<u64>> = (0..n)
+            .map(|u| if pick[u].is_some() { Some(1) } else { None })
+            .collect();
+        let (any, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
+        report.push(format!("phase{phase}:check"), s);
+        if any[0].is_none() {
+            break;
+        }
+
+        // --- step 2: accept one chooser (MIN id), notify it ----------------
+        let memberships: Vec<Vec<(GroupId, u64)>> = (0..n)
+            .map(|u| match pick[u] {
+                Some(v) => vec![(GroupId::new(v, 9), u as u64)],
+                None => Vec::new(),
+            })
+            .collect();
+        let (accepted_in, s) = aggregate(
+            engine,
+            shared,
+            AggregationSpec {
+                memberships,
+                ell2_hat: 1,
+            },
+            &MinU64,
+        )?;
+        report.push(format!("phase{phase}:accept"), s);
+        // acc(v): the chooser v accepts (only meaningful for unmatched v)
+        let acc: Vec<Option<NodeId>> = (0..n)
+            .map(|v| {
+                if mate[v].is_none() {
+                    accepted_in[v].first().map(|&(_, u)| u as NodeId)
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // notify the accepted chooser: v → acc(v); receiver u learns its
+        // pick was accepted, i.e. chain edge (u → pick(u)) exists
+        let schedules: Vec<Vec<(u64, NodeId, u64)>> = (0..n)
+            .map(|v| match acc[v] {
+                Some(u) => vec![(1, u, 1)],
+                None => Vec::new(),
+            })
+            .collect();
+        let (notifs, s) = scheduled_exchange(engine, schedules)?;
+        report.push(format!("phase{phase}:notify"), s);
+
+        // --- step 3: chain nodes propose to one incident chain edge --------
+        // chain neighbors of x: `out` = pick(x) if accepted, `in` = acc(x)
+        let mut chain: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for x in 0..n {
+            if notifs[x].iter().any(|&(src, _)| Some(src) == pick[x]) {
+                chain[x].push(pick[x].unwrap());
+            }
+            if let Some(c) = acc[x] {
+                if !chain[x].contains(&c) {
+                    chain[x].push(c);
+                }
+            }
+        }
+        let schedules: Vec<Vec<(u64, NodeId, u64)>> = (0..n)
+            .map(|x| {
+                if chain[x].is_empty() {
+                    return Vec::new();
+                }
+                let mut rng = ncc_model::rng::node_rng(
+                    engine.config().seed ^ 0x4d4d_5000 ^ ((phase as u64) << 32),
+                    x as u32,
+                );
+                let t = chain[x][rng.gen_range(0..chain[x].len())];
+                vec![(1, t, 2)]
+            })
+            .collect();
+        // remember who we proposed to (local knowledge)
+        let proposed: Vec<Option<NodeId>> = schedules
+            .iter()
+            .map(|s| s.first().map(|&(_, t, _)| t))
+            .collect();
+        let (props, s) = scheduled_exchange(engine, schedules)?;
+        report.push(format!("phase{phase}:propose"), s);
+
+        for x in 0..n {
+            if let Some(y) = proposed[x] {
+                // mutual proposal ⇒ matched
+                if props[x].iter().any(|&(src, _)| src == y) {
+                    mate[x] = Some(y);
+                }
+            }
+        }
+    }
+
+    Ok(MatchingResult {
+        mate,
+        phases: phase,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast_trees::build_broadcast_trees;
+    use ncc_graph::{check, gen};
+    use ncc_model::NetConfig;
+
+    fn run(g: &Graph, seed: u64) -> MatchingResult {
+        let mut eng = Engine::new(NetConfig::new(g.n(), seed));
+        let shared = SharedRandomness::new(seed ^ 0x99A);
+        let (bt, _) = build_broadcast_trees(&mut eng, &shared, g).unwrap();
+        maximal_matching(&mut eng, &shared, &bt, g).unwrap()
+    }
+
+    fn assert_valid(g: &Graph, r: &MatchingResult) {
+        check::check_matching(g, &r.mate).unwrap_or_else(|e| panic!("invalid matching: {e}"));
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = Graph::from_edges(8, [(2, 5)]);
+        let r = run(&g, 1);
+        assert_valid(&g, &r);
+        assert_eq!(r.mate[2], Some(5));
+        assert_eq!(r.mate[5], Some(2));
+    }
+
+    #[test]
+    fn star_matches_exactly_one_leaf() {
+        let g = gen::star(32);
+        let r = run(&g, 2);
+        assert_valid(&g, &r);
+        assert!(r.mate[0].is_some());
+        let matched = r.mate.iter().filter(|m| m.is_some()).count();
+        assert_eq!(matched, 2);
+    }
+
+    #[test]
+    fn path_matching_maximal() {
+        let g = gen::path(25);
+        let r = run(&g, 3);
+        assert_valid(&g, &r);
+    }
+
+    #[test]
+    fn complete_graph_perfect_matching() {
+        let g = gen::complete(16);
+        let r = run(&g, 4);
+        assert_valid(&g, &r);
+        // maximal on K_16 is perfect
+        assert!(r.mate.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn random_graphs_valid() {
+        for seed in 0..3 {
+            let g = gen::gnp(48, 0.12, seed);
+            let r = run(&g, 20 + seed);
+            assert_valid(&g, &r);
+            assert!(r.phases <= 40, "phases {}", r.phases);
+        }
+    }
+
+    #[test]
+    fn empty_graph_trivial() {
+        let g = Graph::empty(12);
+        let r = run(&g, 5);
+        assert_valid(&g, &r);
+        assert!(r.mate.iter().all(Option::is_none));
+        assert_eq!(r.phases, 1);
+    }
+
+    #[test]
+    fn bounded_arboricity_graph() {
+        let g = gen::forest_union(64, 4, 6);
+        let r = run(&g, 7);
+        assert_valid(&g, &r);
+    }
+}

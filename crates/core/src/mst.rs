@@ -1,0 +1,464 @@
+//! Minimum Spanning Tree (§3, Theorem 3.2): `O(log⁴ n)` rounds.
+//!
+//! Boruvka with Heads/Tails clustering. Each component keeps a leader and a
+//! multicast tree (congestion `O(log n)` — components are disjoint); per
+//! Boruvka phase:
+//!
+//! 1. the leader flips Heads/Tails and multicasts the coin;
+//! 2. **FindMin** (King–Kutten–Thorup \[35\] adapted): the component finds its
+//!    minimum outgoing edge by binary search over the combined
+//!    `(weight ∘ arc id)` key space. Each probe asks "does the component
+//!    have an outgoing arc with key in `[lo, mid)`?", answered by comparing
+//!    the XOR sketches `h↑(C)` and `h↓(C)` (§3): internal edges contribute
+//!    the same arc ids to both sums and cancel; outgoing arcs survive. One
+//!    Multicast (the range) plus one Aggregation (the packed multi-trial
+//!    sketch pair, see `ncc_hashing::XorSketch`) per probe;
+//! 3. the inside endpoint of the minimum outgoing edge joins the outside
+//!    endpoint's multicast group and learns its component's coin and
+//!    leader (Theorem 2.4 + 2.5);
+//! 4. Tails components whose outgoing edge leads to a Heads component add
+//!    the edge to the MST (**only the inside endpoint learns this**, as in
+//!    the paper), adopt the Heads leader, and the trees are rebuilt.
+//!
+//! `O(log n)` phases merge everything w.h.p. \[23, 24\].
+
+use ncc_butterfly::{
+    aggregate, aggregate_and_broadcast, multicast, multicast_setup, AggregationSpec, GroupId,
+    MaxU64, XorPair,
+};
+use ncc_graph::{NodeId, WeightedGraph};
+use ncc_hashing::{SharedRandomness, XorSketch};
+use ncc_model::{Engine, ModelError};
+use rand::Rng;
+
+use crate::report::AlgoReport;
+use crate::support::{arc_id, node_id_bits, scheduled_exchange};
+
+/// Sub-identifier namespaces for the MST's group families.
+const COMP_SUB: u32 = 11; // component trees (target = leader)
+const LINK_SUB: u32 = 13; // cross-component coin queries (target = outside endpoint)
+const FIND_SUB: u32 = 12; // FindMin sketch aggregation (target = leader)
+
+/// Sketch trials per probe: failure 2⁻⁴⁰ per probe, packed in one word and
+/// still `O(log n)` bits.
+const SKETCH_TRIALS: usize = 40;
+
+/// Output of the distributed MST.
+#[derive(Debug, Clone)]
+pub struct MstResult {
+    /// MST/MSF edges, canonical `(min, max)` — the union over nodes of the
+    /// locally learned edges (each edge is known to exactly one endpoint).
+    pub edges: Vec<(NodeId, NodeId)>,
+    pub phases: u32,
+    pub report: AlgoReport,
+}
+
+/// Runs the MST algorithm. Works on disconnected graphs (yields a forest).
+pub fn mst(
+    engine: &mut Engine,
+    shared: &SharedRandomness,
+    wg: &WeightedGraph,
+) -> Result<MstResult, ModelError> {
+    let n = engine.n();
+    assert_eq!(n, wg.n());
+    assert!(n >= 2, "MST needs n ≥ 2");
+    let idb = node_id_bits(n);
+    let arc_mask: u64 = (1u64 << (2 * idb)) - 1;
+    let logn = ncc_model::ilog2_ceil(n).max(1);
+    let mut report = AlgoReport::default();
+
+    // agree on W (weights are {1..W}, W = poly(n))
+    let inputs: Vec<Option<u64>> = (0..n)
+        .map(|u| wg.weighted_neighbors(u as NodeId).map(|(_, w)| w).max())
+        .collect();
+    let (wmax, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
+    report.push("agree-w", s);
+    let w_max = wmax[0].unwrap_or(1);
+
+    let key_of = |w: u64, a: NodeId, b: NodeId| -> u64 { (w << (2 * idb)) | arc_id(a, b, idb) };
+    let range_hi: u64 = (w_max + 1) << (2 * idb);
+    let probe_count = 64 - (range_hi - 1).leading_zeros(); // ⌈log₂ range⌉
+
+    let sketch = XorSketch::derive(
+        shared,
+        ncc_hashing::shared::labels::MST_SKETCH,
+        SKETCH_TRIALS,
+        SharedRandomness::k_for(n),
+    );
+
+    let mut leader: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut mst_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let max_phases = 4 * logn + 16;
+
+    let mut phase: u32 = 0;
+    loop {
+        phase += 1;
+        assert!(phase <= max_phases, "Boruvka did not converge");
+
+        // ---- component trees ------------------------------------------------
+        let joins: Vec<Vec<(GroupId, NodeId)>> = (0..n)
+            .map(|u| {
+                if leader[u] != u as NodeId {
+                    vec![(GroupId::new(leader[u], COMP_SUB), u as NodeId)]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let (trees, s) = multicast_setup(engine, shared, joins)?;
+        report.push(format!("p{phase}:trees"), s);
+
+        // ---- coin flips ------------------------------------------------------
+        let mut coin: Vec<bool> = vec![false; n]; // per node: its component's coin
+        let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
+        for u in 0..n {
+            if leader[u] == u as NodeId {
+                let mut rng = ncc_model::rng::node_rng(
+                    engine.config().seed ^ 0x6d73_7400 ^ ((phase as u64) << 32),
+                    u as u32,
+                );
+                coin[u] = rng.gen_bool(0.5);
+                messages[u] = Some((GroupId::new(u as NodeId, COMP_SUB), coin[u] as u64));
+            }
+        }
+        let (coins_recv, s) = multicast(engine, shared, &trees, messages, 1)?;
+        report.push(format!("p{phase}:coin"), s);
+        for u in 0..n {
+            if leader[u] != u as NodeId {
+                coin[u] = coins_recv[u]
+                    .first()
+                    .map(|&(_, c)| c == 1)
+                    .expect("member must receive its component's coin");
+            }
+        }
+
+        // ---- FindMin: binary search over (weight ∘ arc id) keys -------------
+        let mut lo: Vec<u64> = vec![0; n]; // per node: its leader's view, mirrored
+        let mut hi: Vec<u64> = vec![range_hi; n];
+        // Only leaders maintain the authoritative [lo, hi); members learn the
+        // probe range from the multicast each step.
+        for step in 0..=probe_count {
+            // leaders announce the probe range [lo, mid) — or the final
+            // existence probe [lo, lo+1) in the last step
+            let mut messages: Vec<Option<(GroupId, (u64, u64))>> = vec![None; n];
+            let mut probe: Vec<(u64, u64)> = vec![(0, 0); n];
+            for u in 0..n {
+                if leader[u] == u as NodeId {
+                    let mid = if step < probe_count {
+                        lo[u] + (hi[u] - lo[u]) / 2
+                    } else {
+                        lo[u] + 1
+                    };
+                    probe[u] = (lo[u], mid);
+                    messages[u] = Some((GroupId::new(u as NodeId, COMP_SUB), (lo[u], mid)));
+                }
+            }
+            let (ranges, s) = multicast(engine, shared, &trees, messages, 1)?;
+            report.push(format!("p{phase}:find{step}:mc"), s);
+            for u in 0..n {
+                if leader[u] != u as NodeId {
+                    probe[u] = ranges[u]
+                        .first()
+                        .map(|&(_, r)| r)
+                        .expect("range reaches members");
+                }
+            }
+
+            // every node sketches its incident arcs with keys in [plo, pmid)
+            let memberships: Vec<Vec<(GroupId, (u64, u64))>> = (0..n)
+                .map(|u| {
+                    let (plo, pmid) = probe[u];
+                    let mut up = 0u64;
+                    let mut down = 0u64;
+                    for (v, w) in wg.weighted_neighbors(u as NodeId) {
+                        let k_up = key_of(w, u as NodeId, v);
+                        if (plo..pmid).contains(&k_up) {
+                            up ^= sketch.element_mask(k_up & arc_mask | (w << (2 * idb)));
+                        }
+                        let k_dn = key_of(w, v, u as NodeId);
+                        if (plo..pmid).contains(&k_dn) {
+                            down ^= sketch.element_mask(k_dn & arc_mask | (w << (2 * idb)));
+                        }
+                    }
+                    vec![(GroupId::new(leader[u], FIND_SUB), (up, down))]
+                })
+                .collect();
+            let (sketches, s) = aggregate(
+                engine,
+                shared,
+                AggregationSpec {
+                    memberships,
+                    ell2_hat: 1,
+                },
+                &XorPair,
+            )?;
+            report.push(format!("p{phase}:find{step}:agg"), s);
+
+            for u in 0..n {
+                if leader[u] == u as NodeId {
+                    let (up, down) = sketches[u].first().map(|&(_, v)| v).unwrap_or((0, 0));
+                    let has_outgoing = up != down;
+                    let (plo, pmid) = probe[u];
+                    if step < probe_count {
+                        if has_outgoing {
+                            hi[u] = pmid;
+                        } else {
+                            lo[u] = pmid;
+                        }
+                    } else {
+                        // final existence probe on the single key lo
+                        if !has_outgoing {
+                            lo[u] = u64::MAX; // sentinel: no outgoing edge
+                        }
+                        let _ = (plo, pmid);
+                    }
+                }
+            }
+        }
+
+        // leaders announce the found key (or "none")
+        let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
+        let mut found: Vec<Option<u64>> = vec![None; n];
+        for u in 0..n {
+            if leader[u] == u as NodeId {
+                let code = if lo[u] == u64::MAX { 0 } else { lo[u] + 1 };
+                if code > 0 {
+                    found[u] = Some(code - 1);
+                }
+                messages[u] = Some((GroupId::new(u as NodeId, COMP_SUB), code));
+            }
+        }
+        let (keys_recv, s) = multicast(engine, shared, &trees, messages, 1)?;
+        report.push(format!("p{phase}:announce"), s);
+        for u in 0..n {
+            if leader[u] != u as NodeId {
+                let code = keys_recv[u]
+                    .first()
+                    .map(|&(_, c)| c)
+                    .expect("key reaches members");
+                found[u] = if code > 0 { Some(code - 1) } else { None };
+            }
+        }
+
+        // ---- global termination: any component with an outgoing edge? -------
+        let inputs: Vec<Option<u64>> = (0..n)
+            .map(|u| {
+                if leader[u] == u as NodeId && found[u].is_some() {
+                    Some(1)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let (any, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
+        report.push(format!("p{phase}:done?"), s);
+        if any[0].is_none() {
+            break;
+        }
+
+        // ---- inside endpoints identify themselves ---------------------------
+        // key decodes to arc (a, b); exactly one endpoint is in the component
+        // and only component members received the key.
+        let mut inside: Vec<Option<(NodeId, NodeId)>> = vec![None; n]; // u → (me, outside)
+        for u in 0..n {
+            if let Some(k) = found[u] {
+                let arc = k & arc_mask;
+                let a = (arc >> idb) as NodeId;
+                let b = (arc & ((1 << idb) - 1)) as NodeId;
+                if u as NodeId == a {
+                    inside[u] = Some((a, b));
+                } else if u as NodeId == b {
+                    inside[u] = Some((b, a));
+                }
+            }
+        }
+
+        // ---- learn the neighbor component's coin and leader ------------------
+        let joins: Vec<Vec<(GroupId, NodeId)>> = (0..n)
+            .map(|u| match inside[u] {
+                Some((_, y)) if !coin[u] => {
+                    vec![(GroupId::new(y, LINK_SUB), u as NodeId)]
+                }
+                _ => Vec::new(),
+            })
+            .collect();
+        let (link_trees, s) = multicast_setup(engine, shared, joins)?;
+        report.push(format!("p{phase}:link-trees"), s);
+        let messages: Vec<Option<(GroupId, (u64, u64))>> = (0..n)
+            .map(|y| {
+                Some((
+                    GroupId::new(y as NodeId, LINK_SUB),
+                    (coin[y] as u64, leader[y] as u64),
+                ))
+            })
+            .collect();
+        let (link_info, s) = multicast(engine, shared, &link_trees, messages, 1)?;
+        report.push(format!("p{phase}:link-mc"), s);
+
+        // ---- merge decisions --------------------------------------------------
+        // Tails component whose edge leads to Heads: record the MST edge at
+        // the inside endpoint and ship the new leader to the old leader.
+        let mut new_leader_msg: Vec<Vec<(u64, NodeId, u64)>> = vec![Vec::new(); n];
+        let mut local_new_leader: Vec<Option<NodeId>> = vec![None; n];
+        for u in 0..n {
+            let Some((me, y)) = inside[u] else { continue };
+            if coin[u] {
+                continue; // Heads components don't move
+            }
+            let Some(&(_, (coin_y, leader_y))) = link_info[u].first() else {
+                continue;
+            };
+            if coin_y == 1 {
+                // Tails → Heads: edge joins the MST (only `me` learns this)
+                mst_edges.push((me.min(y), me.max(y)));
+                if leader[u] == u as NodeId {
+                    local_new_leader[u] = Some(leader_y as NodeId);
+                } else {
+                    new_leader_msg[u].push((1, leader[u], leader_y));
+                }
+            }
+        }
+        let (leader_inbox, s) = scheduled_exchange(engine, new_leader_msg)?;
+        report.push(format!("p{phase}:adopt"), s);
+
+        // leaders broadcast the adopted leader (0 = unchanged)
+        let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
+        let mut adopted: Vec<Option<NodeId>> = vec![None; n];
+        for u in 0..n {
+            if leader[u] == u as NodeId {
+                let nl = local_new_leader[u]
+                    .or_else(|| leader_inbox[u].first().map(|&(_, nl)| nl as NodeId));
+                adopted[u] = nl;
+                messages[u] = Some((
+                    GroupId::new(u as NodeId, COMP_SUB),
+                    nl.map_or(0, |l| l as u64 + 1),
+                ));
+            }
+        }
+        let (adopt_recv, s) = multicast(engine, shared, &trees, messages, 1)?;
+        report.push(format!("p{phase}:adopt-mc"), s);
+        for u in 0..n {
+            if leader[u] == u as NodeId {
+                if let Some(nl) = adopted[u] {
+                    leader[u] = nl;
+                }
+            } else {
+                let code = adopt_recv[u]
+                    .first()
+                    .map(|&(_, c)| c)
+                    .expect("members hear adoption");
+                if code > 0 {
+                    leader[u] = (code - 1) as NodeId;
+                }
+            }
+        }
+    }
+
+    mst_edges.sort_unstable();
+    mst_edges.dedup();
+    Ok(MstResult {
+        edges: mst_edges,
+        phases: phase,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncc_graph::{check, gen};
+    use ncc_model::NetConfig;
+
+    fn run(wg: &WeightedGraph, seed: u64) -> MstResult {
+        let mut eng = Engine::new(NetConfig::new(wg.n(), seed));
+        let shared = SharedRandomness::new(seed ^ 0x357);
+        mst(&mut eng, &shared, wg).unwrap()
+    }
+
+    fn assert_valid(wg: &WeightedGraph, r: &MstResult) {
+        check::check_mst(wg, &r.edges).unwrap_or_else(|e| panic!("invalid MST: {e}"));
+    }
+
+    #[test]
+    fn tiny_known_graph() {
+        let wg = WeightedGraph::from_weighted_edges(
+            4,
+            [(0, 1, 1), (1, 2, 2), (2, 3, 3), (0, 3, 10), (0, 2, 9)],
+        );
+        let r = run(&wg, 1);
+        assert_valid(&wg, &r);
+        assert_eq!(r.edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn path_takes_all_edges() {
+        let g = gen::path(20);
+        let wg = gen::with_random_weights(&g, 100, 3);
+        let r = run(&wg, 2);
+        assert_valid(&wg, &r);
+        assert_eq!(r.edges.len(), 19);
+    }
+
+    #[test]
+    fn cycle_drops_heaviest() {
+        let wg = WeightedGraph::from_weighted_edges(
+            6,
+            (0..6u32).map(|i| (i, (i + 1) % 6, if i == 3 { 50 } else { i as u64 + 1 })),
+        );
+        let r = run(&wg, 3);
+        assert_valid(&wg, &r);
+        assert!(
+            !r.edges.contains(&(3, 4)),
+            "heaviest edge kept: {:?}",
+            r.edges
+        );
+    }
+
+    #[test]
+    fn random_graph_weight_matches_kruskal() {
+        for seed in 0..3u64 {
+            let g = gen::gnp(32, 0.2, seed);
+            let wg = gen::with_random_weights(&g, 1000, seed + 10);
+            let r = run(&wg, 20 + seed);
+            assert_valid(&wg, &r);
+        }
+    }
+
+    #[test]
+    fn duplicate_weights_still_minimal() {
+        // many equal weights: tie-break by arc id must stay consistent
+        let g = gen::gnp(24, 0.3, 7);
+        let wg = gen::with_random_weights(&g, 3, 8);
+        let r = run(&wg, 9);
+        assert_valid(&wg, &r);
+    }
+
+    #[test]
+    fn disconnected_graph_yields_forest() {
+        let wg = WeightedGraph::from_weighted_edges(
+            10,
+            [(0, 1, 1), (1, 2, 5), (4, 5, 2), (5, 6, 1), (8, 9, 9)],
+        );
+        let r = run(&wg, 4);
+        assert_valid(&wg, &r);
+        assert_eq!(r.edges.len(), 5);
+    }
+
+    #[test]
+    fn star_with_distinct_weights() {
+        let g = gen::star(30);
+        let wg = gen::with_distinct_weights(&g, 5);
+        let r = run(&wg, 6);
+        assert_valid(&wg, &r);
+        assert_eq!(r.edges.len(), 29);
+    }
+
+    #[test]
+    fn phases_logarithmic() {
+        let g = gen::gnp(64, 0.15, 11);
+        let wg = gen::with_random_weights(&g, 10_000, 12);
+        let r = run(&wg, 13);
+        assert_valid(&wg, &r);
+        assert!(r.phases <= 4 * 6 + 4, "phases {}", r.phases);
+    }
+}

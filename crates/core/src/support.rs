@@ -1,0 +1,568 @@
+//! Small supporting protocols used inside the §4/§5 algorithms.
+//!
+//! * [`gather_and_broadcast`] — the "high-degree identifiers" pattern of §4
+//!   Stage 2: a sparse set of nodes sends their identifiers to node 0 over
+//!   the butterfly's binomial tree (queued, smallest-first) and node 0
+//!   broadcasts them back pipelined. `O(k + log n)` rounds for `k` values.
+//! * [`scheduled_exchange`] — point-to-point sends at node-chosen rounds
+//!   (the "pick a uniform round in {1..T}" load-smoothing idiom used by §4
+//!   Stage 2's `R_u` responses and several §5 steps).
+//! * [`rendezvous`] — §4 Stage 3: both endpoints of an edge hash to a
+//!   common `(node, round)`; the rendezvous node answers both senders when
+//!   two identical edge identifiers collide.
+
+use std::collections::BTreeSet;
+
+use ncc_butterfly::Butterfly;
+use ncc_hashing::FxHashMap;
+use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeId, NodeProgram};
+
+// ---------------------------------------------------------------------------
+// Gather-and-broadcast of a sparse identifier set
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum GatherMsg {
+    /// Value moving toward node 0 (or injected from a proxy node).
+    Gather(u64),
+    /// Value broadcast back down the binomial tree.
+    Bcast(u64),
+}
+
+impl ncc_model::Payload for GatherMsg {
+    fn bit_size(&self) -> u32 {
+        match self {
+            GatherMsg::Gather(v) | GatherMsg::Bcast(v) => 1 + ncc_model::payload::min_bits(*v),
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct GatherState {
+    /// Pending values to forward toward the root (sorted, min first).
+    queue: BTreeSet<u64>,
+    /// At node 0: everything collected. Everywhere: everything broadcast.
+    collected: Vec<u64>,
+}
+
+struct GatherProgram {
+    bf: Butterfly,
+    n: usize,
+}
+
+impl GatherProgram {
+    fn parent(&self, alpha: u32) -> u32 {
+        alpha & (alpha - 1) // clear lowest set bit
+    }
+}
+
+impl NodeProgram for GatherProgram {
+    type State = GatherState;
+    type Payload = GatherMsg;
+
+    fn init(&self, st: &mut GatherState, ctx: &mut Ctx<'_, GatherMsg>) {
+        if !self.bf.emulates(ctx.id) {
+            // proxy-inject, one value per round
+            if let Some(&v) = st.queue.iter().next() {
+                st.queue.remove(&v);
+                let proxy = self.bf.emulator(self.bf.proxy_column(ctx.id));
+                ctx.send(proxy, GatherMsg::Gather(v));
+                if !st.queue.is_empty() {
+                    ctx.stay_awake();
+                }
+            }
+            return;
+        }
+        if !st.queue.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+
+    fn round(
+        &self,
+        st: &mut GatherState,
+        inbox: &[Envelope<GatherMsg>],
+        ctx: &mut Ctx<'_, GatherMsg>,
+    ) {
+        if !self.bf.emulates(ctx.id) {
+            // continue proxy injection; also absorb broadcasts
+            for env in inbox {
+                if let GatherMsg::Bcast(v) = env.payload {
+                    st.collected.push(v);
+                }
+            }
+            if let Some(&v) = st.queue.iter().next() {
+                st.queue.remove(&v);
+                let proxy = self.bf.emulator(self.bf.proxy_column(ctx.id));
+                ctx.send(proxy, GatherMsg::Gather(v));
+                if !st.queue.is_empty() {
+                    ctx.stay_awake();
+                }
+            }
+            return;
+        }
+        let alpha = self.bf.column_of(ctx.id);
+        for env in inbox {
+            match env.payload {
+                GatherMsg::Gather(v) => {
+                    if alpha == 0 {
+                        st.collected.push(v);
+                    } else {
+                        st.queue.insert(v);
+                    }
+                }
+                GatherMsg::Bcast(v) => {
+                    st.collected.push(v);
+                    // relay down the binomial tree, pipelined
+                    let limit = if alpha == 0 {
+                        self.bf.d()
+                    } else {
+                        alpha.trailing_zeros()
+                    };
+                    for b in 0..limit {
+                        ctx.send(self.bf.emulator(alpha | (1 << b)), GatherMsg::Bcast(v));
+                    }
+                    if let Some(att) = self.bf.attached_node(alpha) {
+                        if (att as usize) < self.n {
+                            ctx.send(att, GatherMsg::Bcast(v));
+                        }
+                    }
+                }
+            }
+        }
+        if alpha != 0 {
+            if let Some(&v) = st.queue.iter().next() {
+                st.queue.remove(&v);
+                ctx.send(self.bf.emulator(self.parent(alpha)), GatherMsg::Gather(v));
+            }
+            if !st.queue.is_empty() {
+                ctx.stay_awake();
+            }
+        }
+    }
+}
+
+/// Broadcast phase driver state is the same program with node 0 seeding
+/// `Bcast` messages; implemented as a second program for clarity.
+struct BcastProgram {
+    bf: Butterfly,
+    n: usize,
+}
+
+#[derive(Debug, Default, Clone)]
+struct BcastState {
+    to_send: Vec<u64>,
+    received: Vec<u64>,
+}
+
+impl NodeProgram for BcastProgram {
+    type State = BcastState;
+    type Payload = GatherMsg;
+
+    fn init(&self, st: &mut BcastState, ctx: &mut Ctx<'_, GatherMsg>) {
+        if ctx.id == 0 && !st.to_send.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+
+    fn round(
+        &self,
+        st: &mut BcastState,
+        inbox: &[Envelope<GatherMsg>],
+        ctx: &mut Ctx<'_, GatherMsg>,
+    ) {
+        if !self.bf.emulates(ctx.id) {
+            for env in inbox {
+                if let GatherMsg::Bcast(v) = env.payload {
+                    st.received.push(v);
+                }
+            }
+            return;
+        }
+        let alpha = self.bf.column_of(ctx.id);
+        let mut relay: Vec<u64> = Vec::new();
+        if ctx.id == 0 {
+            let idx = (ctx.round - 1) as usize;
+            if idx < st.to_send.len() {
+                let v = st.to_send[idx];
+                st.received.push(v);
+                relay.push(v);
+                if idx + 1 < st.to_send.len() {
+                    ctx.stay_awake();
+                }
+            }
+        }
+        for env in inbox {
+            if let GatherMsg::Bcast(v) = env.payload {
+                st.received.push(v);
+                relay.push(v);
+            }
+        }
+        for v in relay {
+            let limit = if alpha == 0 {
+                self.bf.d()
+            } else {
+                alpha.trailing_zeros()
+            };
+            for b in 0..limit {
+                ctx.send(self.bf.emulator(alpha | (1 << b)), GatherMsg::Bcast(v));
+            }
+            if let Some(att) = self.bf.attached_node(alpha) {
+                if (att as usize) < self.n {
+                    ctx.send(att, GatherMsg::Bcast(v));
+                }
+            }
+        }
+    }
+}
+
+/// Gathers the `Some` values to node 0 (queued, smallest-first, over the
+/// butterfly's binomial tree) and broadcasts the collected sorted list back
+/// to every node. Returns the list (identical at every node, asserted).
+/// Rounds: `O(k + log n)` for `k` values.
+pub fn gather_and_broadcast(
+    engine: &mut Engine,
+    values: Vec<Option<u64>>,
+) -> Result<(Vec<u64>, ExecStats), ModelError> {
+    let n = engine.n();
+    assert_eq!(values.len(), n);
+    if n == 1 {
+        let v: Vec<u64> = values.into_iter().flatten().collect();
+        return Ok((v, ExecStats::default()));
+    }
+    let bf = Butterfly::for_n(n);
+    let mut total = ExecStats::default();
+
+    // gather
+    let gprog = GatherProgram { bf, n };
+    let mut gstates: Vec<GatherState> = values
+        .into_iter()
+        .map(|v| GatherState {
+            queue: v.into_iter().collect(),
+            collected: Vec::new(),
+        })
+        .collect();
+    total.merge(&engine.execute(&gprog, &mut gstates)?);
+    total.merge(&ncc_butterfly::sync_barrier(engine)?);
+
+    let mut collected = std::mem::take(&mut gstates[0].collected);
+    // node 0's own value never left its queue in the gather program
+    collected.extend(gstates[0].queue.iter().copied());
+    collected.sort_unstable();
+    collected.dedup();
+
+    // broadcast
+    let bprog = BcastProgram { bf, n };
+    let mut bstates: Vec<BcastState> = (0..n).map(|_| BcastState::default()).collect();
+    bstates[0].to_send = collected;
+    total.merge(&engine.execute(&bprog, &mut bstates)?);
+    total.merge(&ncc_butterfly::sync_barrier(engine)?);
+
+    let reference = {
+        let mut r = bstates[0].received.clone();
+        r.sort_unstable();
+        r
+    };
+    for (v, st) in bstates.iter().enumerate() {
+        let mut got = st.received.clone();
+        got.sort_unstable();
+        debug_assert_eq!(got, reference, "node {v} missed broadcast values");
+    }
+    Ok((reference, total))
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled point-to-point exchange
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+pub struct ScheduleState {
+    /// `(round ≥ 1, dst, value)` — must be sorted by round.
+    pub to_send: Vec<(u64, NodeId, u64)>,
+    /// `(src, value)` received.
+    pub received: Vec<(NodeId, u64)>,
+}
+
+struct ScheduleProgram;
+
+impl ScheduleProgram {
+    fn flush(&self, st: &mut ScheduleState, ctx: &mut Ctx<'_, u64>) {
+        let now = ctx.round + 1;
+        let due = st.to_send.partition_point(|(r, _, _)| *r <= now);
+        for (_, dst, v) in st.to_send.drain(..due) {
+            ctx.send(dst, v);
+        }
+        if !st.to_send.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+impl NodeProgram for ScheduleProgram {
+    type State = ScheduleState;
+    type Payload = u64;
+
+    fn init(&self, st: &mut ScheduleState, ctx: &mut Ctx<'_, u64>) {
+        st.to_send.sort_by_key(|&(r, d, v)| (r, d, v));
+        self.flush(st, ctx);
+    }
+
+    fn round(&self, st: &mut ScheduleState, inbox: &[Envelope<u64>], ctx: &mut Ctx<'_, u64>) {
+        for env in inbox {
+            st.received.push((env.src, env.payload));
+        }
+        self.flush(st, ctx);
+    }
+}
+
+/// Runs a scheduled point-to-point exchange: node `u` sends `value` to
+/// `dst` in its chosen `round`. Returns per node the `(src, value)` pairs
+/// received. The caller is responsible for schedules that respect the
+/// capacity bound w.h.p. (uniform rounds over a window ≥ load/log n).
+pub fn scheduled_exchange(
+    engine: &mut Engine,
+    schedules: Vec<Vec<(u64, NodeId, u64)>>,
+) -> Result<(ReceivedPerNode, ExecStats), ModelError> {
+    let n = engine.n();
+    assert_eq!(schedules.len(), n);
+    let mut states: Vec<ScheduleState> = schedules
+        .into_iter()
+        .map(|to_send| ScheduleState {
+            to_send,
+            received: Vec::new(),
+        })
+        .collect();
+    let mut total = engine.execute(&ScheduleProgram, &mut states)?;
+    total.merge(&ncc_butterfly::sync_barrier(engine)?);
+    Ok((states.into_iter().map(|s| s.received).collect(), total))
+}
+
+// ---------------------------------------------------------------------------
+// Edge rendezvous (§4 Stage 3)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum RdvMsg {
+    /// Edge-message: canonical edge id, sent by an endpoint.
+    Probe(u64),
+    /// Response: both endpoints sent the same id this round.
+    Match(u64),
+}
+
+impl ncc_model::Payload for RdvMsg {
+    fn bit_size(&self) -> u32 {
+        match self {
+            RdvMsg::Probe(v) | RdvMsg::Match(v) => 1 + ncc_model::payload::min_bits(*v),
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct RdvState {
+    /// `(round, rendezvous node, edge id)`, sorted by round.
+    probes: Vec<(u64, NodeId, u64)>,
+    /// Edge ids confirmed to have both endpoints probing.
+    matched: Vec<u64>,
+}
+
+struct RdvProgram {
+    /// Extracts the two endpoints from a canonical edge id.
+    id_bits: u32,
+}
+
+impl RdvProgram {
+    fn endpoints(&self, edge_id: u64) -> (NodeId, NodeId) {
+        (
+            (edge_id >> self.id_bits) as NodeId,
+            (edge_id & ((1 << self.id_bits) - 1)) as NodeId,
+        )
+    }
+
+    fn flush(&self, st: &mut RdvState, ctx: &mut Ctx<'_, RdvMsg>) {
+        let now = ctx.round + 1;
+        let due = st.probes.partition_point(|(r, _, _)| *r <= now);
+        for (_, dst, id) in st.probes.drain(..due) {
+            ctx.send(dst, RdvMsg::Probe(id));
+        }
+        if !st.probes.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+impl NodeProgram for RdvProgram {
+    type State = RdvState;
+    type Payload = RdvMsg;
+
+    fn init(&self, st: &mut RdvState, ctx: &mut Ctx<'_, RdvMsg>) {
+        st.probes.sort_by_key(|&(r, d, v)| (r, d, v));
+        self.flush(st, ctx);
+    }
+
+    fn round(&self, st: &mut RdvState, inbox: &[Envelope<RdvMsg>], ctx: &mut Ctx<'_, RdvMsg>) {
+        // count same-round probes per edge id
+        let mut seen: FxHashMap<u64, u32> = FxHashMap::default();
+        for env in inbox {
+            match env.payload {
+                RdvMsg::Probe(id) => *seen.entry(id).or_insert(0) += 1,
+                RdvMsg::Match(id) => st.matched.push(id),
+            }
+        }
+        for (id, count) in seen {
+            if count >= 2 {
+                let (a, b) = self.endpoints(id);
+                ctx.send(a, RdvMsg::Match(id));
+                ctx.send(b, RdvMsg::Match(id));
+            }
+        }
+        self.flush(st, ctx);
+    }
+}
+
+/// Runs the §4 Stage 3 rendezvous: each participating node probes
+/// `(round, node)` pairs derived from shared hashes of its candidate edge
+/// ids; when both endpoints of an edge probe the same node in the same
+/// round, both get a `Match`. Returns per node the matched edge ids.
+pub fn rendezvous(
+    engine: &mut Engine,
+    probes: Vec<Vec<(u64, NodeId, u64)>>,
+    id_bits: u32,
+) -> Result<(Vec<Vec<u64>>, ExecStats), ModelError> {
+    let n = engine.n();
+    assert_eq!(probes.len(), n);
+    let mut states: Vec<RdvState> = probes
+        .into_iter()
+        .map(|p| RdvState {
+            probes: p,
+            matched: Vec::new(),
+        })
+        .collect();
+    let prog = RdvProgram { id_bits };
+    let mut total = engine.execute(&prog, &mut states)?;
+    total.merge(&ncc_butterfly::sync_barrier(engine)?);
+    Ok((states.into_iter().map(|s| s.matched).collect(), total))
+}
+
+/// Per-node received `(source, value)` pairs from a scheduled exchange.
+pub type ReceivedPerNode = Vec<Vec<(NodeId, u64)>>;
+
+/// Canonical undirected edge id: `min ∘ max` packed with `id_bits` per node.
+#[inline]
+pub fn edge_id(u: NodeId, v: NodeId, id_bits: u32) -> u64 {
+    let (a, b) = (u.min(v), u.max(v));
+    ((a as u64) << id_bits) | b as u64
+}
+
+/// Directed arc id: `u ∘ v` packed with `id_bits` per endpoint.
+#[inline]
+pub fn arc_id(u: NodeId, v: NodeId, id_bits: u32) -> u64 {
+    ((u as u64) << id_bits) | v as u64
+}
+
+/// Bits needed per node id in arc/edge encodings.
+#[inline]
+pub fn node_id_bits(n: usize) -> u32 {
+    ncc_model::ilog2_ceil(n).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncc_model::NetConfig;
+
+    #[test]
+    fn gather_broadcast_collects_sparse_set() {
+        for n in [8usize, 21, 64] {
+            let mut eng = Engine::new(NetConfig::new(n, 3));
+            let mut values = vec![None; n];
+            values[1] = Some(100);
+            values[n - 1] = Some(7);
+            values[n / 2] = Some(55);
+            let (list, stats) = gather_and_broadcast(&mut eng, values).unwrap();
+            assert_eq!(list, vec![7, 55, 100], "n={n}");
+            assert!(stats.clean());
+        }
+    }
+
+    #[test]
+    fn gather_broadcast_includes_node_zero() {
+        let n = 16;
+        let mut eng = Engine::new(NetConfig::new(n, 3));
+        let mut values = vec![None; n];
+        values[0] = Some(42);
+        let (list, _) = gather_and_broadcast(&mut eng, values).unwrap();
+        assert_eq!(list, vec![42]);
+    }
+
+    #[test]
+    fn gather_broadcast_empty() {
+        let n = 16;
+        let mut eng = Engine::new(NetConfig::new(n, 3));
+        let (list, _) = gather_and_broadcast(&mut eng, vec![None; n]).unwrap();
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn gather_rounds_linear_in_k_plus_log() {
+        let n = 128;
+        let k = 30;
+        let mut eng = Engine::new(NetConfig::new(n, 3));
+        let mut values = vec![None; n];
+        for i in 0..k {
+            values[i * 4] = Some(i as u64);
+        }
+        let (list, stats) = gather_and_broadcast(&mut eng, values).unwrap();
+        assert_eq!(list.len(), k);
+        assert!(stats.rounds <= (k as u64) + 60, "rounds {}", stats.rounds);
+    }
+
+    #[test]
+    fn scheduled_exchange_delivers() {
+        let n = 16;
+        let mut eng = Engine::new(NetConfig::new(n, 9));
+        let mut schedules = vec![Vec::new(); n];
+        schedules[3] = vec![(1, 7, 33), (2, 8, 34)];
+        schedules[5] = vec![(1, 7, 55)];
+        let (recv, stats) = scheduled_exchange(&mut eng, schedules).unwrap();
+        let mut at7 = recv[7].clone();
+        at7.sort_unstable();
+        assert_eq!(at7, vec![(3, 33), (5, 55)]);
+        assert_eq!(recv[8], vec![(3, 34)]);
+        assert!(stats.clean());
+    }
+
+    #[test]
+    fn rendezvous_matches_pairs_only() {
+        let n = 32;
+        let idb = node_id_bits(n);
+        let mut eng = Engine::new(NetConfig::new(n, 13));
+        let mut probes = vec![Vec::new(); n];
+        // edge {2, 9}: both endpoints probe node 20 in round 1 → match
+        let e29 = edge_id(2, 9, idb);
+        probes[2].push((1, 20, e29));
+        probes[9].push((1, 20, e29));
+        // edge {4, 11}: only node 4 probes → no match
+        let e411 = edge_id(4, 11, idb);
+        probes[4].push((1, 21, e411));
+        // edge {5, 6}: endpoints probe the same node in DIFFERENT rounds → no match
+        let e56 = edge_id(5, 6, idb);
+        probes[5].push((1, 22, e56));
+        probes[6].push((2, 22, e56));
+        let (matched, _) = rendezvous(&mut eng, probes, idb).unwrap();
+        assert_eq!(matched[2], vec![e29]);
+        assert_eq!(matched[9], vec![e29]);
+        assert!(matched[4].is_empty());
+        assert!(matched[5].is_empty());
+        assert!(matched[6].is_empty());
+    }
+
+    #[test]
+    fn edge_and_arc_ids() {
+        let idb = node_id_bits(100);
+        assert_eq!(edge_id(9, 2, idb), edge_id(2, 9, idb));
+        assert_ne!(arc_id(9, 2, idb), arc_id(2, 9, idb));
+        let e = edge_id(2, 9, idb);
+        assert_eq!((e >> idb) as u32, 2);
+        assert_eq!((e & ((1 << idb) - 1)) as u32, 9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Adversarial-structure tests for the §3–§5 algorithms: the graph
+//! families that break naive capacity handling (hubs, dense cores, deep
+//! paths) and model corner cases (non-power-of-two n, isolated nodes).
+
+use ncc_core as algo;
+use ncc_graph::{check, gen, Graph};
+use ncc_hashing::SharedRandomness;
+use ncc_model::{Engine, NetConfig};
+
+fn setup(n: usize, seed: u64) -> (Engine, SharedRandomness) {
+    (
+        Engine::new(NetConfig::new(n, seed)),
+        SharedRandomness::new(seed ^ 0xADD),
+    )
+}
+
+#[test]
+fn orientation_on_barabasi_albert_hubs() {
+    let g = gen::barabasi_albert(200, 4, 3);
+    let (mut eng, shared) = setup(200, 1);
+    let r = algo::orient(&mut eng, &shared, &g).unwrap();
+    let (_, hi) = ncc_graph::analysis::arboricity_bounds(&g);
+    check::check_orientation(&g, &r.directed_edges(), 4 * hi).unwrap();
+    // the hub's outdegree must be O(a), far below its degree
+    assert!(r.max_outdegree() < g.max_degree() / 2);
+    assert!(eng.total.clean());
+}
+
+#[test]
+fn orientation_on_dense_core_plus_pendants() {
+    // clique K20 with 44 pendant nodes hanging off node 0: mixes a dense
+    // core (high arboricity) with trivial periphery
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for u in 0..20u32 {
+        for v in (u + 1)..20 {
+            edges.push((u, v));
+        }
+    }
+    for p in 20..64u32 {
+        edges.push((0, p));
+    }
+    let g = Graph::from_edges(64, edges);
+    let (mut eng, shared) = setup(64, 2);
+    let r = algo::orient(&mut eng, &shared, &g).unwrap();
+    let (_, hi) = ncc_graph::analysis::arboricity_bounds(&g);
+    check::check_orientation(&g, &r.directed_edges(), 4 * hi).unwrap();
+}
+
+#[test]
+fn mis_on_bipartite() {
+    let g = gen::bipartite(24, 40, 0.3, 5);
+    let (mut eng, shared) = setup(64, 3);
+    let (bt, _) = algo::build_broadcast_trees(&mut eng, &shared, &g).unwrap();
+    let r = algo::mis(&mut eng, &shared, &bt, &g).unwrap();
+    check::check_mis(&g, &r.in_mis).unwrap();
+}
+
+#[test]
+fn matching_on_deep_path_odd_length() {
+    let g = gen::path(49);
+    let (mut eng, shared) = setup(49, 4);
+    let (bt, _) = algo::build_broadcast_trees(&mut eng, &shared, &g).unwrap();
+    let r = algo::maximal_matching(&mut eng, &shared, &bt, &g).unwrap();
+    check::check_matching(&g, &r.mate).unwrap();
+    // a maximal matching on P_49 has at least ⌈48/3⌉ = 16 edges
+    let size = r.mate.iter().filter(|m| m.is_some()).count() / 2;
+    assert!(size >= 16, "matching size {size}");
+}
+
+#[test]
+fn coloring_on_clique_plus_isolated() {
+    // K12 plus 20 isolated nodes: levels collapse, palette must cover the
+    // clique (a = 6 there)
+    let mut edges = Vec::new();
+    for u in 0..12u32 {
+        for v in (u + 1)..12 {
+            edges.push((u, v));
+        }
+    }
+    let g = Graph::from_edges(32, edges);
+    let (mut eng, shared) = setup(32, 5);
+    let o = algo::orient(&mut eng, &shared, &g).unwrap();
+    let r = algo::coloring(&mut eng, &shared, &o, &g).unwrap();
+    check::check_coloring(&g, &r.colors, r.palette).unwrap();
+    // clique nodes all differ
+    for u in 0..12usize {
+        for v in (u + 1)..12 {
+            assert_ne!(r.colors[u], r.colors[v]);
+        }
+    }
+}
+
+#[test]
+fn bfs_from_every_source_on_asymmetric_graph() {
+    let g = gen::barabasi_albert(48, 2, 9);
+    let (mut eng, shared) = setup(48, 6);
+    let (bt, _) = algo::build_broadcast_trees(&mut eng, &shared, &g).unwrap();
+    for src in [0u32, 7, 23, 47] {
+        let r = algo::bfs(&mut eng, &shared, &bt, &g, src).unwrap();
+        check::check_bfs(&g, src, &r.dist, &r.parent).unwrap();
+    }
+}
+
+#[test]
+fn mst_star_heavy_center_weights() {
+    // the lightest edges all share the center: FindMin must disambiguate
+    // many same-endpoint arcs
+    let _star_shape = gen::star(60); // shape reference; weights built explicitly below
+    let wg = ncc_graph::WeightedGraph::from_weighted_edges(
+        60,
+        (1..60u32).map(|v| (0, v, (v as u64) % 7 + 1)),
+    );
+    let (mut eng, shared) = setup(60, 7);
+    let r = algo::mst(&mut eng, &shared, &wg).unwrap();
+    check::check_mst(&wg, &r.edges).unwrap();
+    assert_eq!(r.edges.len(), 59);
+}
+
+#[test]
+fn mst_two_cliques_one_bridge() {
+    // the bridge is the unique cut edge; it must always be found
+    let mut edges = Vec::new();
+    for u in 0..10u32 {
+        for v in (u + 1)..10 {
+            edges.push((u, v, 5 + (u + v) as u64));
+        }
+    }
+    for u in 10..20u32 {
+        for v in (u + 1)..20 {
+            edges.push((u, v, 5 + (u + v) as u64));
+        }
+    }
+    edges.push((3, 14, 1000)); // expensive bridge, still mandatory
+    let wg = ncc_graph::WeightedGraph::from_weighted_edges(20, edges);
+    let (mut eng, shared) = setup(20, 8);
+    let r = algo::mst(&mut eng, &shared, &wg).unwrap();
+    check::check_mst(&wg, &r.edges).unwrap();
+    assert!(r.edges.contains(&(3, 14)), "bridge missing: {:?}", r.edges);
+}
+
+#[test]
+fn full_suite_on_non_power_of_two() {
+    for n in [19usize, 37, 67] {
+        let g = gen::gnp(n, 0.15, n as u64);
+        let (mut eng, shared) = setup(n, 9 + n as u64);
+        let (bt, _) = algo::build_broadcast_trees(&mut eng, &shared, &g).unwrap();
+        let r = algo::mis(&mut eng, &shared, &bt, &g).unwrap();
+        check::check_mis(&g, &r.in_mis).unwrap();
+        let m = algo::maximal_matching(&mut eng, &shared, &bt, &g).unwrap();
+        check::check_matching(&g, &m.mate).unwrap();
+        assert!(eng.total.clean(), "n={n}");
+    }
+}
+
+#[test]
+fn parallel_engine_full_pipeline_identical() {
+    let n = 300;
+    let g = gen::gnp(n, 0.08, 5);
+    let run = |threads: usize| {
+        let mut eng = Engine::new(NetConfig::new(n, 44).with_threads(threads));
+        let shared = SharedRandomness::new(45);
+        let (bt, _) = algo::build_broadcast_trees(&mut eng, &shared, &g).unwrap();
+        let r = algo::coloring(&mut eng, &shared, &bt.orientation, &g).unwrap();
+        (r.colors, eng.total)
+    };
+    let (c1, t1) = run(1);
+    let (c4, t4) = run(4);
+    assert_eq!(c1, c4);
+    assert_eq!(t1, t4);
+}

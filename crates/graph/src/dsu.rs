@@ -1,0 +1,94 @@
+//! Union–find (disjoint set union) with path halving and union by size.
+//!
+//! Used by the Kruskal reference MST, the spanning-tree checkers, and the
+//! component analyses. Not part of any simulated protocol.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn size_of(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.component_count(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(!d.union(1, 0));
+        assert!(d.same(0, 1));
+        assert!(!d.same(0, 2));
+        assert_eq!(d.component_count(), 3);
+        assert!(d.union(1, 2));
+        assert!(d.same(0, 3));
+        assert_eq!(d.size_of(3), 4);
+        assert_eq!(d.size_of(4), 1);
+    }
+
+    #[test]
+    fn chain_unions_single_component() {
+        let n = 1000;
+        let mut d = Dsu::new(n);
+        for i in 0..n - 1 {
+            assert!(d.union(i as u32, (i + 1) as u32));
+        }
+        assert_eq!(d.component_count(), 1);
+        assert!(d.same(0, (n - 1) as u32));
+    }
+}

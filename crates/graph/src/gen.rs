@@ -1,0 +1,462 @@
+//! Seeded graph generators.
+//!
+//! The paper's bounds are parameterised by arboricity `a` and diameter `D`;
+//! the generator set is chosen to sweep both independently:
+//!
+//! | generator | arboricity | diameter | notes |
+//! |---|---|---|---|
+//! | `path`, `cycle` | 1 | Θ(n) | worst-case D |
+//! | `star` | 1 | 2 | worst-case Δ at a = 1 — the adversary for naive algorithms |
+//! | `random_tree`, `balanced_tree` | 1 | Θ(log n)…Θ(n) | |
+//! | `grid`, `triangulated_grid` | ≤ 2 / ≤ 3 | Θ(√n) | planar |
+//! | `forest_union(k)` | ≤ k (≈ k) | small | direct arboricity dial |
+//! | `gnp`, `gnm` | ≈ m/n | Θ(log n) | density dial |
+//! | `barabasi_albert(m)` | ≤ m | Θ(log n) | heavy-tailed degrees, "social network" |
+//! | `complete` | ⌈n/2⌉ | 1 | max arboricity |
+//!
+//! All generators take explicit seeds — reruns are reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder, WeightedGraph};
+use crate::{NodeId, Weight};
+
+/// Path 0–1–…–(n−1). Arboricity 1, diameter n−1.
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n as NodeId).map(|v| (v - 1, v)))
+}
+
+/// Cycle on n nodes (n ≥ 3). Arboricity 2 (just barely), diameter ⌊n/2⌋.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3);
+    Graph::from_edges(n, (0..n as NodeId).map(|v| (v, (v + 1) % n as NodeId)))
+}
+
+/// Star with center 0. Arboricity 1, maximum degree n−1 — the motivating
+/// adversary for node-capacitated communication (§2.2, §5).
+pub fn star(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n as NodeId).map(|v| (0, v)))
+}
+
+/// Complete graph. Arboricity ⌈n/2⌉.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Complete `arity`-ary tree with n nodes (node v's parent is (v−1)/arity).
+pub fn balanced_tree(n: usize, arity: usize) -> Graph {
+    assert!(arity >= 1);
+    Graph::from_edges(
+        n,
+        (1..n as NodeId).map(move |v| ((v - 1) / arity as NodeId, v)),
+    )
+}
+
+/// Uniform-attachment random tree: node v picks a parent uniformly from
+/// `0..v`. Arboricity 1, expected diameter Θ(log n).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Graph::from_edges(n, (1..n as NodeId).map(|v| (rng.gen_range(0..v), v)))
+}
+
+/// Union of `k` independent uniform-attachment spanning trees (deduplicated).
+/// Arboricity ≤ k by Nash-Williams (edges partition into k forests) and
+/// ≈ k for k ≪ n — the direct dial for the `a` parameter in experiments.
+pub fn forest_union(n: usize, k: usize, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for t in 0..k {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (0x5eed_0000 + t as u64));
+        // offset the root per tree so the unions overlap less
+        for v in 1..n as NodeId {
+            let p = rng.gen_range(0..v);
+            b.add_edge(p, v);
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` grid. Planar, arboricity ≤ 2, diameter rows+cols−2.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    let at = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Grid plus one diagonal per cell: still planar (a triangulation-like
+/// mesh), arboricity ≤ 3 — the "planar graph" family from §1.3/§2.1.
+pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    let at = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(at(r, c), at(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                b.add_edge(at(r, c), at(r + 1, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi G(n, p).
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if p >= 1.0 {
+        return complete(n);
+    }
+    if p > 0.0 {
+        // geometric skipping for sparse p
+        let log1mp = (1.0 - p).ln();
+        let total = n * (n - 1) / 2;
+        let mut i: i64 = -1;
+        loop {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = (r.ln() / log1mp).floor() as i64 + 1;
+            i += skip;
+            if i >= total as i64 {
+                break;
+            }
+            let (u, v) = unrank_pair(i as usize, n);
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// G(n, m): exactly `m` distinct uniform edges (m ≤ n(n−1)/2).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let total = n * (n - 1) / 2;
+    assert!(m <= total, "too many edges requested");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < m {
+        chosen.insert(rng.gen_range(0..total));
+    }
+    Graph::from_edges(n, chosen.into_iter().map(|i| unrank_pair(i, n)))
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m` existing nodes with probability proportional to degree.
+/// Degeneracy ≤ m, hence arboricity ≤ m; degrees are heavy-tailed —
+/// the "social network" input from the paper's introduction.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // repeated-endpoint list implements preferential attachment
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    // seed clique on the first m+1 nodes
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m as NodeId + 1)..n as NodeId {
+        let mut targets = std::collections::BTreeSet::new();
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Random geometric graph (unit-disk model): `n` points uniform in the
+/// unit square, edges between pairs within distance `radius`. The standard
+/// model for ad-hoc wireless meshes — the "cheap links" of the paper's
+/// hybrid-network motivation (§1). Connectivity threshold is around
+/// `radius ≈ √(ln n / (π n))`.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let r2 = radius * radius;
+    // grid bucketing: only compare points in neighboring cells
+    let cell = radius.max(1e-9);
+    let cells = (1.0 / cell).ceil() as i64;
+    let mut buckets: std::collections::BTreeMap<(i64, i64), Vec<u32>> =
+        std::collections::BTreeMap::new();
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let key = ((x / cell) as i64, (y / cell) as i64);
+        buckets.entry(key).or_default().push(i as u32);
+    }
+    let mut b = GraphBuilder::new(n);
+    for (&(cx, cy), members) in &buckets {
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || ny < 0 || nx > cells || ny > cells {
+                    continue;
+                }
+                if let Some(others) = buckets.get(&(nx, ny)) {
+                    for &u in members {
+                        for &v in others {
+                            if u < v {
+                                let (x1, y1) = pts[u as usize];
+                                let (x2, y2) = pts[v as usize];
+                                let d2 = (x1 - x2).powi(2) + (y1 - y2).powi(2);
+                                if d2 <= r2 {
+                                    b.add_edge(u, v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random bipartite graph between parts `{0..a}` and `{a..a+b}`.
+pub fn bipartite(a: usize, b_count: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = a + b_count;
+    let mut g = GraphBuilder::new(n);
+    for u in 0..a as NodeId {
+        for v in a as NodeId..n as NodeId {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g.build()
+}
+
+/// Maps a linear index in `[0, n(n−1)/2)` to the corresponding unordered
+/// pair, row-major over u < v.
+fn unrank_pair(mut i: usize, n: usize) -> (NodeId, NodeId) {
+    for u in 0..n - 1 {
+        let row = n - 1 - u;
+        if i < row {
+            return (u as NodeId, (u + 1 + i) as NodeId);
+        }
+        i -= row;
+    }
+    unreachable!("index out of range");
+}
+
+/// Assigns uniform random integer weights in `{1..=w_max}` to a graph's
+/// edges (the §3 MST input regime, `W = poly(n)`).
+pub fn with_random_weights(g: &Graph, w_max: Weight, seed: u64) -> WeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    WeightedGraph::from_weighted_edges(
+        g.n(),
+        g.edges().map(|(u, v)| (u, v, rng.gen_range(1..=w_max))),
+    )
+}
+
+/// Assigns *distinct* weights (a random permutation of `1..=m`), which makes
+/// the MST unique — convenient for exact edge-set comparisons in tests.
+pub fn with_distinct_weights(g: &Graph, seed: u64) -> WeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = g.m();
+    let mut perm: Vec<Weight> = (1..=m as Weight).collect();
+    // Fisher-Yates
+    for i in (1..m).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    WeightedGraph::from_weighted_edges(g.n(), g.edges().zip(perm).map(|((u, v), w)| (u, v, w)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn path_cycle_star_shapes() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        let s = star(6);
+        assert_eq!(s.m(), 5);
+        assert_eq!(s.degree(0), 5);
+        assert_eq!(s.degree(3), 1);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(7);
+        assert_eq!(g.m(), 21);
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn trees_are_trees() {
+        for (name, g) in [
+            ("balanced", balanced_tree(30, 3)),
+            ("random", random_tree(30, 5)),
+        ] {
+            assert_eq!(g.m(), 29, "{name} edge count");
+            assert_eq!(
+                analysis::connected_components(&g).count,
+                1,
+                "{name} connectivity"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 4 * 4 + 3 * 5); // horizontal + vertical
+        let tg = triangulated_grid(4, 5);
+        assert_eq!(tg.m(), g.m() + 3 * 4);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+    }
+
+    #[test]
+    fn gnp_density_close_to_expectation() {
+        let n = 200;
+        let p = 0.1;
+        let g = gnp(n, p, 42);
+        let expect = (n * (n - 1) / 2) as f64 * p;
+        let got = g.m() as f64;
+        assert!(
+            (got - expect).abs() < 0.2 * expect,
+            "m = {got}, expect ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let g = gnm(50, 100, 9);
+        assert_eq!(g.m(), 100);
+    }
+
+    #[test]
+    fn unrank_pair_covers_all() {
+        let n = 7;
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..n * (n - 1) / 2 {
+            let (u, v) = unrank_pair(i, n);
+            assert!(u < v && (v as usize) < n);
+            assert!(seen.insert((u, v)));
+        }
+    }
+
+    #[test]
+    fn ba_graph_degeneracy_bounded() {
+        let g = barabasi_albert(200, 3, 7);
+        let (degeneracy, _) = analysis::degeneracy(&g);
+        assert!(degeneracy <= 3 + 3, "BA(m=3) degeneracy was {degeneracy}");
+        assert!(g.max_degree() > 8, "should be heavy-tailed");
+    }
+
+    #[test]
+    fn forest_union_arboricity_bounded() {
+        let g = forest_union(100, 4, 11);
+        let (lo, hi) = analysis::arboricity_bounds(&g);
+        assert!(hi <= 8, "upper bound {hi}");
+        assert!(lo >= 2, "lower bound {lo}");
+    }
+
+    #[test]
+    fn bipartite_has_no_intra_part_edges() {
+        let g = bipartite(10, 15, 0.5, 3);
+        for (u, v) in g.edges() {
+            assert!((u < 10) != (v < 10), "edge inside one part: {u}-{v}");
+        }
+    }
+
+    #[test]
+    fn distinct_weights_are_distinct() {
+        let g = gnm(40, 80, 5);
+        let wg = with_distinct_weights(&g, 6);
+        let mut ws: Vec<_> = wg.weighted_edges().map(|(_, _, w)| w).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        assert_eq!(ws.len(), 80);
+    }
+
+    #[test]
+    fn random_weights_in_range() {
+        let g = gnm(30, 60, 5);
+        let wg = with_random_weights(&g, 100, 6);
+        for (_, _, w) in wg.weighted_edges() {
+            assert!((1..=100).contains(&w));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gnp(50, 0.2, 7), gnp(50, 0.2, 7));
+        assert_ne!(gnp(50, 0.2, 7), gnp(50, 0.2, 8));
+        assert_eq!(barabasi_albert(60, 2, 1), barabasi_albert(60, 2, 1));
+        assert_eq!(random_tree(60, 2), random_tree(60, 2));
+        assert_eq!(random_geometric(60, 0.2, 3), random_geometric(60, 0.2, 3));
+    }
+
+    #[test]
+    fn geometric_graph_matches_brute_force() {
+        // the grid-bucketed implementation must find exactly the pairs
+        // within the radius
+        let n = 80;
+        let r = 0.18;
+        let g = random_geometric(n, r, 9);
+        // rebuild points with the same stream to brute-force distances
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let mut expect = 0;
+        for u in 0..n {
+            for v in u + 1..n {
+                let d2 = (pts[u].0 - pts[v].0).powi(2) + (pts[u].1 - pts[v].1).powi(2);
+                if d2 <= r * r {
+                    expect += 1;
+                    assert!(g.has_edge(u as NodeId, v as NodeId), "missing edge {u}-{v}");
+                }
+            }
+        }
+        assert_eq!(g.m(), expect);
+    }
+
+    #[test]
+    fn geometric_density_scales_with_radius() {
+        let sparse = random_geometric(200, 0.05, 4);
+        let dense = random_geometric(200, 0.2, 4);
+        assert!(dense.m() > 4 * sparse.m());
+    }
+}

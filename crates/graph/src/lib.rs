@@ -1,0 +1,44 @@
+//! # ncc-graph — input graphs for Node-Capacitated Clique algorithms
+//!
+//! In the paper's setting the *communication* topology is the capacity-
+//! limited clique, while the *problem input* is an arbitrary undirected
+//! graph `G` on the same node set; every node initially knows exactly its
+//! own neighborhood in `G` (§1.1). This crate owns everything about `G`:
+//!
+//! * [`graph`] — compact CSR storage for unweighted and weighted graphs;
+//! * [`gen`] — seeded generators covering every arboricity regime the
+//!   paper's bounds distinguish (trees and forests, planar grids, stars,
+//!   G(n,p), Barabási–Albert, unions of k forests, …);
+//! * [`analysis`] — components, BFS, diameter, degeneracy, and arboricity
+//!   bounds (Nash-Williams density lower bound, degeneracy upper bound);
+//! * [`dsu`] — union–find, used by the Kruskal reference and checkers;
+//! * [`check`] — validators for every problem the paper solves (spanning
+//!   trees, BFS trees, MIS, maximal matching, coloring, orientations), used
+//!   by tests and by the experiment harness to certify outputs.
+//!
+//! # Example
+//!
+//! ```
+//! use ncc_graph::{analysis, gen};
+//!
+//! let g = gen::forest_union(64, 3, 42);       // union of 3 forests
+//! let (lo, hi) = analysis::arboricity_bounds(&g);
+//! assert!(lo <= 3 && hi <= 6);                 // arboricity ≈ 3 by construction
+//! let dist = analysis::bfs_distances(&g, 0);
+//! assert_eq!(dist[0], 0);
+//! ```
+
+pub mod analysis;
+pub mod check;
+pub mod dsu;
+pub mod gen;
+pub mod graph;
+pub mod io;
+
+pub use dsu::Dsu;
+pub use graph::{Graph, GraphBuilder, WeightedGraph};
+
+/// Node identifier within an input graph (same id space as the NCC nodes).
+pub type NodeId = u32;
+/// Edge weight (the paper assumes integral weights in `{1..W}`, `W = poly(n)`).
+pub type Weight = u64;

@@ -1,0 +1,125 @@
+//! Fast non-cryptographic hasher for the **simulator's internal** maps.
+//!
+//! The engine and primitive implementations keep bookkeeping maps keyed by
+//! small integers (node ids, group ids, butterfly coordinates). SipHash is
+//! needlessly slow for that (see the Rust Performance Book, "Hashing"); the
+//! usual fix is `rustc-hash`, which is outside this project's approved
+//! dependency set, so we reimplement the same multiply-rotate scheme here.
+//!
+//! These maps are *not* part of the simulated protocols — protocol-visible
+//! hashing always goes through the k-wise independent [`crate::PolyHash`]
+//! family, as the paper requires.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style word-at-a-time hasher.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+        m.remove(&1);
+        assert!(!m.contains_key(&1));
+    }
+
+    #[test]
+    fn hasher_deterministic() {
+        let h = |x: u64| {
+            let mut hh = FxHasher::default();
+            hh.write_u64(x);
+            hh.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_stream_and_word_paths_cover_remainders() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]); // remainder path
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0, 0, 0, 0, 0]); // exact word path, zero-padded
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distribution_smoke() {
+        // sequential keys should not collide in the low bits catastrophically
+        let mut buckets = [0u32; 16];
+        for x in 0..16_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            buckets[(h.finish() & 15) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket {b}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # ncc-hashing — limited-independence hashing for NCC algorithms
+//!
+//! The paper's primitives assume (pseudo-)random hash functions agreed upon
+//! by all nodes through shared randomness, and note (§2.2) that
+//! `Θ(log n)`-wise independent families suffice for every concentration
+//! argument via Lemma 2.1 (Chernoff bounds under limited independence).
+//!
+//! This crate provides:
+//!
+//! * [`field`] — arithmetic in GF(p) for the Mersenne prime `p = 2⁶¹ − 1`;
+//! * [`poly`] — the classic degree-(k−1) polynomial family, which is k-wise
+//!   independent by construction;
+//! * [`shared`] — [`shared::SharedRandomness`], the deterministic expansion
+//!   of a broadcast seed into labelled hash functions (the in-model seed
+//!   *broadcast* is implemented and charged rounds in `ncc-butterfly`);
+//! * [`sketch`] — the XOR set-equality sketches used by the MST FindMin
+//!   procedure (§3) and the Identification Algorithm (§4.1);
+//! * [`fast`] — a tiny Fx-style hasher for *internal simulator data
+//!   structures only* (never part of the simulated protocols), written here
+//!   to stay within the approved dependency set.
+
+pub mod fast;
+pub mod field;
+pub mod poly;
+pub mod shared;
+pub mod sketch;
+
+pub use fast::{FxHashMap, FxHashSet, FxHasher};
+pub use field::M61;
+pub use poly::PolyHash;
+pub use shared::SharedRandomness;
+pub use sketch::XorSketch;

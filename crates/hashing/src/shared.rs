@@ -1,0 +1,144 @@
+//! Shared randomness: labelled, deterministic hash-function derivation.
+//!
+//! §2.2 of the paper: *"To agree on such hash functions, all nodes have to
+//! learn Θ(log² n) random bits. This can be done by letting the node with
+//! identifier 0 broadcast Θ(log n) messages … using the butterfly."*
+//!
+//! [`SharedRandomness`] is the post-agreement state: a master seed that
+//! every node expands **identically and locally** into any number of
+//! labelled hash functions. The act of *agreeing* on the seed is a
+//! protocol, implemented in `ncc-butterfly::seed_broadcast`, which charges
+//! the `O(log n)` rounds the paper charges; algorithms hold a
+//! `SharedRandomness` only after running it (or after assuming it as given,
+//! which tests may do).
+//!
+//! Labels keep the uses independent: the function for "FindMin sketches,
+//! Boruvka phase 3" and the function for "aggregation-group targets" are
+//! derived from disjoint label streams.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::poly::PolyHash;
+
+/// Splits a master seed into labelled deterministic streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedRandomness {
+    master: u64,
+}
+
+/// Stream labels used across the repository. Centralised so independent
+/// subsystems never collide on a label.
+pub mod labels {
+    /// Aggregation: group → intermediate target `h(i)` on the bottom level.
+    pub const AGG_TARGET: u64 = 0x01;
+    /// Aggregation: group → rank `ρ(i)` for random-rank routing.
+    pub const AGG_RANK: u64 = 0x02;
+    /// FindMin XOR sketches (§3).
+    pub const MST_SKETCH: u64 = 0x03;
+    /// Identification Algorithm trial maps `h₁…h_s : E → [q]` (§4.1).
+    pub const IDENT_TRIALS: u64 = 0x04;
+    /// Stage 3 rendezvous: edge → node (§4.2).
+    pub const STAGE3_NODE: u64 = 0x05;
+    /// Stage 3 rendezvous: edge → round (§4.2).
+    pub const STAGE3_ROUND: u64 = 0x06;
+    /// Multicast leaf placement.
+    pub const MC_LEAF: u64 = 0x07;
+    /// k-machine random vertex partition (Appendix A).
+    pub const KMACHINE_PARTITION: u64 = 0x08;
+}
+
+impl SharedRandomness {
+    /// Wraps an agreed-upon master seed.
+    pub fn new(master: u64) -> Self {
+        SharedRandomness { master }
+    }
+
+    /// The number of bits the paper's agreement protocol must broadcast to
+    /// establish `count` functions of independence `k` on an `n`-node
+    /// network: `count · k` coefficients of `Θ(log n)` bits each.
+    pub fn bits_required(n: usize, count: usize, k: usize) -> usize {
+        let logn = (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1) as usize;
+        count * k * logn
+    }
+
+    /// Deterministic RNG for `(label, index)`.
+    fn stream(&self, label: u64, index: u64) -> SmallRng {
+        // SplitMix-style mixing of (master, label, index).
+        let mut z = self.master ^ label.rotate_left(17) ^ index.rotate_left(43);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SmallRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// Derives the `index`-th k-wise independent function under `label`.
+    pub fn poly(&self, label: u64, index: u64, k: usize) -> PolyHash {
+        PolyHash::random(k, &mut self.stream(label, index))
+    }
+
+    /// Derives a family of `count` functions under `label`.
+    pub fn family(&self, label: u64, count: usize, k: usize) -> Vec<PolyHash> {
+        (0..count as u64).map(|i| self.poly(label, i, k)).collect()
+    }
+
+    /// The independence degree used throughout: `Θ(log n)`, per §2.2.
+    pub fn k_for(n: usize) -> usize {
+        let logn = (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1) as usize;
+        (2 * logn).max(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_function() {
+        let a = SharedRandomness::new(42);
+        let b = SharedRandomness::new(42);
+        assert_eq!(
+            a.poly(labels::AGG_RANK, 0, 8),
+            b.poly(labels::AGG_RANK, 0, 8)
+        );
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let s = SharedRandomness::new(42);
+        let h1 = s.poly(labels::AGG_RANK, 0, 8);
+        let h2 = s.poly(labels::AGG_TARGET, 0, 8);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let s = SharedRandomness::new(42);
+        assert_ne!(s.poly(1, 0, 8), s.poly(1, 1, 8));
+    }
+
+    #[test]
+    fn family_is_indexed_polys() {
+        let s = SharedRandomness::new(7);
+        let fam = s.family(labels::MST_SKETCH, 5, 6);
+        assert_eq!(fam.len(), 5);
+        for (i, f) in fam.iter().enumerate() {
+            assert_eq!(*f, s.poly(labels::MST_SKETCH, i as u64, 6));
+        }
+    }
+
+    #[test]
+    fn bits_required_scales_like_log_squared() {
+        // one function of independence Θ(log n): Θ(log² n) bits
+        let n = 1024;
+        let k = SharedRandomness::k_for(n);
+        let bits = SharedRandomness::bits_required(n, 1, k);
+        assert_eq!(bits, k * 10);
+        assert!((100..=800).contains(&bits));
+    }
+
+    #[test]
+    fn k_for_grows_with_n() {
+        assert!(SharedRandomness::k_for(16) < SharedRandomness::k_for(1 << 20));
+        assert!(SharedRandomness::k_for(2) >= 4);
+    }
+}

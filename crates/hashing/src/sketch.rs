@@ -1,0 +1,146 @@
+//! XOR set-equality sketches (the FindMin tool of §3).
+//!
+//! The MST algorithm needs to decide, per component `C` and weight range,
+//! whether two multisets of edge identifiers are equal — they are equal iff
+//! `C` has no outgoing edge in the range. The paper hashes every identifier
+//! to one bit and compares mod-2 sums, repeated over `O(log n)` independent
+//! functions so that unequal sets collide with probability `2^{−Θ(log n)}`.
+//!
+//! [`XorSketch`] evaluates `t ≤ 64` independent trials at once and packs
+//! them into a single `u64` **mask**; the sketch of a set is the XOR of its
+//! element masks, which is exactly what a distributive XOR aggregation
+//! computes. One mask is `t = Θ(log n)` bits — within the model's message
+//! budget — so an entire equality test costs a single aggregation instead of
+//! `Θ(log n)` sequential ones. This preserves both the failure probability
+//! (`2^{−t}` per test) and Lemma 3.1's iteration bound; see DESIGN.md
+//! ("substitutions") for the accounting argument.
+
+use crate::poly::PolyHash;
+use crate::shared::SharedRandomness;
+
+/// A bank of `t ≤ 64` independent one-bit hash functions, evaluated
+/// together into a packed trial mask.
+#[derive(Debug, Clone)]
+pub struct XorSketch {
+    fns: Vec<PolyHash>,
+}
+
+impl XorSketch {
+    /// Derives `t` trial functions (each k-wise independent) from shared
+    /// randomness under `label`.
+    pub fn derive(shared: &SharedRandomness, label: u64, t: usize, k: usize) -> Self {
+        assert!((1..=64).contains(&t), "1..=64 packed trials supported");
+        XorSketch {
+            fns: shared.family(label, t, k),
+        }
+    }
+
+    /// Number of trials (mask width in bits).
+    pub fn trials(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// The packed mask of one element: bit `i` is `h_i(x) mod 2`.
+    #[inline]
+    pub fn element_mask(&self, x: u64) -> u64 {
+        let mut m = 0u64;
+        for (i, f) in self.fns.iter().enumerate() {
+            m |= f.to_bit(x) << i;
+        }
+        m
+    }
+
+    /// Sketch of a whole set: XOR of element masks.
+    pub fn set_mask<I: IntoIterator<Item = u64>>(&self, xs: I) -> u64 {
+        xs.into_iter().fold(0, |acc, x| acc ^ self.element_mask(x))
+    }
+
+    /// Probability that two *unequal* sets produce equal masks: `2^{−t}`.
+    pub fn collision_probability(&self) -> f64 {
+        2f64.powi(-(self.fns.len() as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sketch(t: usize) -> XorSketch {
+        XorSketch::derive(&SharedRandomness::new(1234), 99, t, 8)
+    }
+
+    #[test]
+    fn equal_sets_equal_masks_any_order() {
+        let s = sketch(32);
+        let a = s.set_mask([5u64, 9, 200, 7]);
+        let b = s.set_mask([7u64, 200, 9, 5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_pairs_cancel() {
+        // XOR semantics: an element appearing twice vanishes — exactly the
+        // property FindMin uses (internal edges appear in both directions).
+        let s = sketch(32);
+        assert_eq!(s.set_mask([3u64, 3]), 0);
+        assert_eq!(s.set_mask([3u64, 4, 3]), s.element_mask(4));
+    }
+
+    #[test]
+    fn unequal_sets_differ_whp() {
+        let s = sketch(64);
+        let base: Vec<u64> = (0..50).collect();
+        for extra in 1000..1100u64 {
+            let mut other = base.clone();
+            other.push(extra);
+            assert_ne!(
+                s.set_mask(base.iter().copied()),
+                s.set_mask(other),
+                "collision at {extra}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_trial_differs_about_half_the_time() {
+        // per-trial distinguishing probability should be ≈ 1/2
+        let shared = SharedRandomness::new(777);
+        let mut distinguished = 0;
+        let total = 400;
+        for i in 0..total {
+            let s = XorSketch::derive(&shared, 1000 + i, 1, 8);
+            if s.element_mask(11) != s.element_mask(12) {
+                distinguished += 1;
+            }
+        }
+        assert!(
+            (120..=280).contains(&distinguished),
+            "got {distinguished}/{total}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_trials_rejected() {
+        let _ = sketch(65);
+    }
+
+    proptest! {
+        #[test]
+        fn mask_is_linear(xs in proptest::collection::vec(any::<u64>(), 0..20),
+                          ys in proptest::collection::vec(any::<u64>(), 0..20)) {
+            let s = sketch(16);
+            let lhs = s.set_mask(xs.iter().copied()) ^ s.set_mask(ys.iter().copied());
+            let both = s.set_mask(xs.iter().chain(ys.iter()).copied());
+            prop_assert_eq!(lhs, both);
+        }
+
+        #[test]
+        fn symmetric_difference_decides_equality(shift in 1u64..1000) {
+            // sets {x} and {x + shift} must differ in at least one of 64 trials
+            let s = sketch(64);
+            prop_assert_ne!(s.element_mask(42), s.element_mask(42 + shift));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Execution statistics.
+//!
+//! The paper's results are *round complexity* bounds plus the standing claim
+//! (Lemma 4.11) that no node ever sends or receives more than `O(log n)`
+//! messages per round. These counters are the measured side of both: the
+//! experiment harness prints them next to the theoretical bound for every
+//! table and theorem.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics for a single round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Messages handed to the network this round (after send-cap check).
+    pub sent: u64,
+    /// Messages delivered to inboxes next round.
+    pub delivered: u64,
+    /// Messages dropped because a destination exceeded its receive cap.
+    pub dropped: u64,
+    /// Total payload bits sent.
+    pub bits: u64,
+    /// Maximum messages sent by any single node this round.
+    pub max_out: u64,
+    /// Maximum messages addressed to any single node this round
+    /// (before the receive cap is applied).
+    pub max_in: u64,
+    /// Number of nodes that executed their step function this round.
+    pub active_nodes: u64,
+    /// Send-cap violations observed (permissive mode only; strict mode errors).
+    pub send_cap_violations: u64,
+}
+
+/// Accumulated statistics for a full execution (or a phase of one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Number of communication rounds consumed.
+    pub rounds: u64,
+    pub sent: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+    pub bits: u64,
+    /// Max over rounds of the per-round max out-degree.
+    pub max_out: u64,
+    /// Max over rounds of the per-round max in-degree (pre-drop).
+    pub max_in: u64,
+    pub send_cap_violations: u64,
+    /// Sum over rounds of active node counts (total "node-rounds" of work).
+    pub node_rounds: u64,
+}
+
+impl ExecStats {
+    /// Folds one round's numbers into the running totals.
+    pub fn absorb_round(&mut self, r: &RoundStats) {
+        self.rounds += 1;
+        self.sent += r.sent;
+        self.delivered += r.delivered;
+        self.dropped += r.dropped;
+        self.bits += r.bits;
+        self.max_out = self.max_out.max(r.max_out);
+        self.max_in = self.max_in.max(r.max_in);
+        self.send_cap_violations += r.send_cap_violations;
+        self.node_rounds += r.active_nodes;
+    }
+
+    /// Merges the totals of another execution (phase) into this one.
+    /// Rounds add; maxima take the max.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rounds += other.rounds;
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.bits += other.bits;
+        self.max_out = self.max_out.max(other.max_out);
+        self.max_in = self.max_in.max(other.max_in);
+        self.send_cap_violations += other.send_cap_violations;
+        self.node_rounds += other.node_rounds;
+    }
+
+    /// `true` when no message was lost and no cap was violated — the
+    /// "w.h.p. clean execution" the paper's analyses assume.
+    pub fn clean(&self) -> bool {
+        self.dropped == 0 && self.send_cap_violations == 0
+    }
+
+    /// Peak per-node per-round load (max of send-side and receive-side),
+    /// the quantity Lemma 4.11 bounds by `O(log n)`.
+    pub fn peak_load(&self) -> u64 {
+        self.max_out.max(self.max_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(sent: u64, max_out: u64, max_in: u64) -> RoundStats {
+        RoundStats {
+            sent,
+            delivered: sent,
+            dropped: 0,
+            bits: sent * 10,
+            max_out,
+            max_in,
+            active_nodes: 4,
+            send_cap_violations: 0,
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut e = ExecStats::default();
+        e.absorb_round(&round(10, 3, 5));
+        e.absorb_round(&round(20, 7, 2));
+        assert_eq!(e.rounds, 2);
+        assert_eq!(e.sent, 30);
+        assert_eq!(e.max_out, 7);
+        assert_eq!(e.max_in, 5);
+        assert_eq!(e.node_rounds, 8);
+        assert!(e.clean());
+        assert_eq!(e.peak_load(), 7);
+    }
+
+    #[test]
+    fn merge_adds_rounds_and_maxes() {
+        let mut a = ExecStats::default();
+        a.absorb_round(&round(1, 1, 9));
+        let mut b = ExecStats::default();
+        b.absorb_round(&round(2, 8, 1));
+        b.absorb_round(&round(2, 2, 1));
+        a.merge(&b);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.sent, 5);
+        assert_eq!(a.max_out, 8);
+        assert_eq!(a.max_in, 9);
+    }
+
+    #[test]
+    fn dirty_when_drops() {
+        let mut e = ExecStats::default();
+        let mut r = round(5, 1, 1);
+        r.dropped = 1;
+        e.absorb_round(&r);
+        assert!(!e.clean());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the engine itself: conservation laws, determinism,
+//! and sequential ≡ parallel equivalence under randomized programs.
+
+use ncc_model::{Capacity, Ctx, Engine, Envelope, NetConfig, NodeProgram};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A randomized scatter program: for `waves` rounds, every node sends
+/// `fanout` messages to destinations drawn from its private stream.
+struct Scatter {
+    waves: u64,
+    fanout: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ScatterState {
+    received: u64,
+    checksum: u64,
+}
+
+impl NodeProgram for Scatter {
+    type State = ScatterState;
+    type Payload = u64;
+
+    fn init(&self, _st: &mut ScatterState, ctx: &mut Ctx<'_, u64>) {
+        for _ in 0..self.fanout {
+            let dst = ctx.rng.gen_range(0..ctx.n as u32);
+            ctx.send(dst, ctx.id as u64);
+        }
+        if self.waves > 1 {
+            ctx.stay_awake();
+        }
+    }
+
+    fn round(&self, st: &mut ScatterState, inbox: &[Envelope<u64>], ctx: &mut Ctx<'_, u64>) {
+        for env in inbox {
+            st.received += 1;
+            st.checksum = st.checksum.wrapping_mul(31).wrapping_add(env.payload);
+        }
+        if ctx.round < self.waves {
+            for _ in 0..self.fanout {
+                let dst = ctx.rng.gen_range(0..ctx.n as u32);
+                ctx.send(dst, ctx.id as u64);
+            }
+            if ctx.round + 1 < self.waves {
+                ctx.stay_awake();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    /// Conservation: every sent message is delivered or dropped, never both
+    /// or neither — under arbitrary capacity squeezes.
+    #[test]
+    fn message_conservation(
+        n in 4usize..200,
+        fanout in 1usize..12,
+        waves in 1u64..6,
+        recv_cap in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let cfg = NetConfig::new(n, seed)
+            .with_capacity(Capacity::squeezed(64, recv_cap))
+            .permissive();
+        let mut eng = Engine::new(cfg);
+        let mut states = vec![ScatterState::default(); n];
+        let stats = eng.execute(&Scatter { waves, fanout: fanout.min(63) }, &mut states).unwrap();
+        prop_assert_eq!(stats.delivered + stats.dropped, stats.sent);
+        let received_total: u64 = states.iter().map(|s| s.received).sum();
+        prop_assert_eq!(received_total, stats.delivered);
+        // per-node receive cap held every round
+        prop_assert!(states.iter().all(|s| s.received <= recv_cap as u64 * (waves + 1)));
+    }
+
+    /// With unbounded capacity nothing is ever dropped.
+    #[test]
+    fn unbounded_never_drops(
+        n in 4usize..150,
+        fanout in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let cfg = NetConfig::new(n, seed).with_capacity(Capacity::unbounded());
+        let mut eng = Engine::new(cfg);
+        let mut states = vec![ScatterState::default(); n];
+        let stats = eng.execute(&Scatter { waves: 3, fanout }, &mut states).unwrap();
+        prop_assert_eq!(stats.dropped, 0);
+        prop_assert_eq!(stats.delivered, stats.sent);
+    }
+
+    /// Bit-identical execution across thread counts, including under drops.
+    #[test]
+    fn parallel_equivalence(
+        n in 150usize..400,
+        fanout in 1usize..6,
+        recv_cap in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let run = |threads: usize| {
+            let cfg = NetConfig::new(n, seed)
+                .with_capacity(Capacity::squeezed(32, recv_cap))
+                .permissive()
+                .with_threads(threads);
+            let mut eng = Engine::new(cfg);
+            let mut states = vec![ScatterState::default(); n];
+            let stats = eng.execute(&Scatter { waves: 3, fanout }, &mut states).unwrap();
+            let sums: Vec<(u64, u64)> = states.iter().map(|s| (s.received, s.checksum)).collect();
+            (stats, sums)
+        };
+        let (s1, r1) = run(1);
+        let (s3, r3) = run(3);
+        prop_assert_eq!(s1, s3);
+        prop_assert_eq!(r1, r3);
+    }
+
+    /// Determinism: the same seed reproduces stats and states exactly;
+    /// max_in/max_out are consistent with the caps.
+    #[test]
+    fn deterministic_and_bounded(
+        n in 4usize..120,
+        fanout in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let mut eng = Engine::new(NetConfig::new(n, seed).permissive());
+            let mut states = vec![ScatterState::default(); n];
+            let stats = eng.execute(&Scatter { waves: 2, fanout }, &mut states).unwrap();
+            (stats, states.iter().map(|s| s.checksum).collect::<Vec<_>>())
+        };
+        let (s1, c1) = run();
+        let (s2, c2) = run();
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(c1, c2);
+        prop_assert!(s1.max_out <= fanout as u64);
+    }
+}

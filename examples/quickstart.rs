@@ -1,0 +1,77 @@
+//! Quickstart: the five-minute tour of the Node-Capacitated Clique stack.
+//!
+//! Builds a weighted random graph, spins up the capacity-limited network,
+//! agrees on shared randomness **in-model**, computes an MST with the §3
+//! algorithm, and verifies it against Kruskal.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ncc::butterfly::broadcast_seed;
+use ncc::core::mst;
+use ncc::graph::{check, gen};
+use ncc::hashing::SharedRandomness;
+use ncc::model::{Engine, NetConfig};
+
+fn main() {
+    let n = 128;
+    let seed = 7;
+
+    // 1. An input graph G on the same node set as the network: every node
+    //    initially knows only its own neighborhood (§1.1).
+    let g = gen::gnp(n, 0.08, seed);
+    let wg = gen::with_random_weights(&g, (n * n) as u64, seed + 1);
+    println!(
+        "input graph: n = {}, m = {}, max degree = {}",
+        wg.n(),
+        wg.m(),
+        g.max_degree()
+    );
+
+    // 2. The Node-Capacitated Clique: every node may send/receive at most
+    //    O(log n) messages of O(log n) bits per round. The engine enforces
+    //    the caps and meters every round.
+    let mut engine = Engine::new(NetConfig::new(n, seed + 2));
+    let cap = engine.config().capacity;
+    println!(
+        "capacity: {} msgs/round/node, {} bits/msg",
+        cap.send, cap.payload_bits
+    );
+
+    // 3. Agree on shared randomness by broadcasting Θ(log² n) bits from
+    //    node 0 over the emulated butterfly (§2.2) — a real protocol run,
+    //    charged rounds like everything else.
+    let k = SharedRandomness::k_for(n);
+    let bits = SharedRandomness::bits_required(n, 16, k);
+    let (shared, seed_stats) = broadcast_seed(&mut engine, 0xC0FFEE, bits).unwrap();
+    println!("seed agreement: {} rounds", seed_stats.rounds);
+
+    // 4. Run the §3 MST algorithm: Boruvka + sketch-based FindMin, all
+    //    communication through the capacity-limited clique.
+    let result = mst(&mut engine, &shared, &wg).expect("mst failed");
+    println!(
+        "MST: {} edges in {} Boruvka phases, {} rounds total",
+        result.edges.len(),
+        result.phases,
+        result.report.total.rounds
+    );
+
+    // 5. Verify against the centralised reference.
+    check::check_mst(&wg, &result.edges).expect("MST invalid");
+    let weight = wg.total_weight(&result.edges);
+    println!(
+        "verified ✓  (weight {weight} == Kruskal weight {})",
+        check::kruskal_mst_weight(&wg)
+    );
+
+    // 6. Model compliance: nothing was dropped, nobody exceeded the cap.
+    let total = engine.total;
+    println!(
+        "model compliance: peak load {} msgs/node/round (cap {}), drops {}",
+        total.peak_load(),
+        cap.send,
+        total.dropped
+    );
+    assert!(total.clean());
+}

@@ -1,0 +1,291 @@
+//! `ncc-cli` — command-line driver for the Node-Capacitated Clique stack.
+//!
+//! ```text
+//! ncc-cli gen <family> --n <N> [--param <x>] [--seed <s>] [--out <file>]
+//! ncc-cli run <algo> (--graph <file> | --family <f> --n <N> [--param <x>])
+//!               [--seed <s>] [--weights <W>] [--src <v>] [--threads <t>]
+//! ncc-cli info --n <N>
+//! ```
+//!
+//! Families: path cycle star complete grid tgrid tree forests gnp gnm ba
+//! geometric. Algorithms: mst orientation bfs mis matching coloring
+//! gossip broadcast.
+
+use std::collections::HashMap;
+
+use ncc::graph::{analysis, check, gen, io, Graph};
+use ncc::hashing::SharedRandomness;
+use ncc::model::{Engine, NetConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit(None);
+    }
+    let cmd = args[0].as_str();
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+
+    match cmd {
+        "gen" => cmd_gen(&positional, &flags),
+        "run" => cmd_run(&positional, &flags),
+        "info" => cmd_info(&flags),
+        "help" | "-h" | "--help" => usage_and_exit(None),
+        other => usage_and_exit(Some(&format!("unknown command '{other}'"))),
+    }
+}
+
+fn usage_and_exit(err: Option<&str>) -> ! {
+    if let Some(e) = err {
+        eprintln!("error: {e}\n");
+    }
+    eprintln!(
+        "ncc-cli — Node-Capacitated Clique driver
+
+USAGE:
+  ncc-cli gen <family> --n <N> [--param <x>] [--seed <s>] [--out <file>]
+  ncc-cli run <algo> (--graph <file> | --family <f> --n <N> [--param <x>])
+                [--seed <s>] [--weights <W>] [--src <v>] [--threads <t>]
+  ncc-cli info --n <N>
+
+FAMILIES   path cycle star complete grid tgrid tree forests gnp gnm ba geometric
+ALGORITHMS mst orientation bfs mis matching coloring gossip broadcast
+
+EXAMPLES
+  ncc-cli gen gnp --n 256 --param 0.05 --seed 7 --out g.txt
+  ncc-cli run mst --graph g.txt --weights 1000
+  ncc-cli run mis --family ba --n 256 --param 3
+  ncc-cli run bfs --family grid --n 256 --src 0"
+    );
+    std::process::exit(if err.is_some() { 2 } else { 0 });
+}
+
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    flags
+        .get(key)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --{key}")))
+        .unwrap_or(default)
+}
+
+fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
+    flags
+        .get(key)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --{key}")))
+        .unwrap_or(default)
+}
+
+fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> f64 {
+    flags
+        .get(key)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad --{key}")))
+        .unwrap_or(default)
+}
+
+fn build_family(family: &str, flags: &HashMap<String, String>) -> Graph {
+    let n = get_usize(flags, "n", 64);
+    let seed = get_u64(flags, "seed", 1);
+    let p = get_f64(flags, "param", f64::NAN);
+    let param_usize = if p.is_nan() { 0 } else { p as usize };
+    match family {
+        "path" => gen::path(n),
+        "cycle" => gen::cycle(n),
+        "star" => gen::star(n),
+        "complete" => gen::complete(n),
+        "grid" => {
+            let side = (n as f64).sqrt().round() as usize;
+            gen::grid(side, side.max(1))
+        }
+        "tgrid" => {
+            let side = (n as f64).sqrt().round() as usize;
+            gen::triangulated_grid(side, side.max(1))
+        }
+        "tree" => gen::random_tree(n, seed),
+        "forests" => gen::forest_union(n, param_usize.max(1), seed),
+        "gnp" => gen::gnp(n, if p.is_nan() { 0.05 } else { p }, seed),
+        "gnm" => gen::gnm(n, param_usize.max(n), seed),
+        "ba" => gen::barabasi_albert(n, param_usize.max(1), seed),
+        "geometric" => gen::random_geometric(n, if p.is_nan() { 0.15 } else { p }, seed),
+        other => {
+            usage_and_exit(Some(&format!("unknown family '{other}'")));
+        }
+    }
+}
+
+fn cmd_gen(positional: &[String], flags: &HashMap<String, String>) {
+    let family = positional.first().map(String::as_str).unwrap_or_else(|| {
+        usage_and_exit(Some("gen needs a family"));
+    });
+    let g = build_family(family, flags);
+    let text = io::write_graph(&g);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, text).expect("write graph file");
+            eprintln!("wrote {} ({} nodes, {} edges)", path, g.n(), g.m());
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn load_graph(flags: &HashMap<String, String>) -> Graph {
+    if let Some(path) = flags.get("graph") {
+        let text = std::fs::read_to_string(path).expect("read graph file");
+        io::read_graph(&text).expect("parse graph file")
+    } else if let Some(f) = flags.get("family") {
+        build_family(f.clone().as_str(), flags)
+    } else {
+        usage_and_exit(Some("run needs --graph <file> or --family <name>"));
+    }
+}
+
+fn cmd_run(positional: &[String], flags: &HashMap<String, String>) {
+    let algo = positional.first().map(String::as_str).unwrap_or_else(|| {
+        usage_and_exit(Some("run needs an algorithm"));
+    });
+    let g = load_graph(flags);
+    let n = g.n();
+    let seed = get_u64(flags, "seed", 1);
+    let threads = get_usize(flags, "threads", 1);
+    let (alo, ahi) = analysis::arboricity_bounds(&g);
+    eprintln!(
+        "graph: n = {n}, m = {}, Δ = {}, arboricity ∈ [{alo},{ahi}]",
+        g.m(),
+        g.max_degree()
+    );
+
+    let mut eng = Engine::new(NetConfig::new(n, seed).with_threads(threads));
+    let shared = SharedRandomness::new(seed ^ 0xC11);
+
+    match algo {
+        "mst" => {
+            let w = get_u64(flags, "weights", (n * n) as u64);
+            let wg = gen::with_random_weights(&g, w.max(1), seed ^ 1);
+            let r = ncc::core::mst(&mut eng, &shared, &wg).expect("mst");
+            check::check_mst(&wg, &r.edges).expect("verification");
+            println!(
+                "MST: {} edges, weight {}, {} phases, {} rounds — verified ✓",
+                r.edges.len(),
+                wg.total_weight(&r.edges),
+                r.phases,
+                r.report.total.rounds
+            );
+        }
+        "orientation" => {
+            let r = ncc::core::orient(&mut eng, &shared, &g).expect("orientation");
+            check::check_orientation(&g, &r.directed_edges(), 4 * ahi.max(1))
+                .expect("verification");
+            println!(
+                "orientation: max outdegree {} (d* = {}), {} phases, {} rounds — verified ✓",
+                r.max_outdegree(),
+                r.d_star,
+                r.phases,
+                r.report.total.rounds
+            );
+        }
+        "bfs" | "mis" | "matching" | "coloring" => {
+            let (bt, setup) =
+                ncc::core::build_broadcast_trees(&mut eng, &shared, &g).expect("setup");
+            eprintln!("setup (orientation + trees): {} rounds", setup.total.rounds);
+            match algo {
+                "bfs" => {
+                    let src = get_usize(flags, "src", 0) as u32;
+                    let r = ncc::core::bfs(&mut eng, &shared, &bt, &g, src).expect("bfs");
+                    check::check_bfs(&g, src, &r.dist, &r.parent).expect("verification");
+                    let reached = r.dist.iter().filter(|&&d| d != u32::MAX).count();
+                    println!(
+                        "BFS from {src}: {reached}/{n} reached, {} phases, {} rounds — verified ✓",
+                        r.phases, r.report.total.rounds
+                    );
+                }
+                "mis" => {
+                    let r = ncc::core::mis(&mut eng, &shared, &bt, &g).expect("mis");
+                    check::check_mis(&g, &r.in_mis).expect("verification");
+                    println!(
+                        "MIS: {} nodes, {} phases, {} rounds — verified ✓",
+                        r.in_mis.iter().filter(|&&b| b).count(),
+                        r.phases,
+                        r.report.total.rounds
+                    );
+                }
+                "matching" => {
+                    let r =
+                        ncc::core::maximal_matching(&mut eng, &shared, &bt, &g).expect("matching");
+                    check::check_matching(&g, &r.mate).expect("verification");
+                    println!(
+                        "matching: {} pairs, {} phases, {} rounds — verified ✓",
+                        r.mate.iter().filter(|m| m.is_some()).count() / 2,
+                        r.phases,
+                        r.report.total.rounds
+                    );
+                }
+                _ => {
+                    let r = ncc::core::coloring(&mut eng, &shared, &bt.orientation, &g)
+                        .expect("coloring");
+                    check::check_coloring(&g, &r.colors, r.palette).expect("verification");
+                    println!(
+                        "coloring: {} colors (palette {}), {} rounds — verified ✓",
+                        r.colors.iter().max().map_or(0, |c| c + 1),
+                        r.palette,
+                        r.report.total.rounds
+                    );
+                }
+            }
+        }
+        "gossip" => {
+            let stats = ncc::baselines::gossip_all(&mut eng).expect("gossip");
+            println!("gossip: {} rounds, {} messages", stats.rounds, stats.sent);
+        }
+        "broadcast" => {
+            let stats = ncc::baselines::broadcast_all(&mut eng, 42).expect("broadcast");
+            println!(
+                "broadcast: {} rounds, {} messages",
+                stats.rounds, stats.sent
+            );
+        }
+        other => usage_and_exit(Some(&format!("unknown algorithm '{other}'"))),
+    }
+
+    let t = eng.total;
+    eprintln!(
+        "totals: {} rounds, {} msgs, peak load {}/{} per node-round, {} drops",
+        t.rounds,
+        t.sent,
+        t.peak_load(),
+        eng.config().capacity.send,
+        t.dropped
+    );
+}
+
+fn cmd_info(flags: &HashMap<String, String>) {
+    let n = get_usize(flags, "n", 64);
+    let cfg = NetConfig::new(n, 0);
+    let c = cfg.capacity;
+    println!("Node-Capacitated Clique, n = {n}:");
+    println!(
+        "  send/recv cap : {} messages per node per round (κ=8 · ⌈log₂ n⌉)",
+        c.send
+    );
+    println!(
+        "  payload budget: {} bits per message (β=24 · ⌈log₂ n⌉, floor 128)",
+        c.payload_bits
+    );
+    println!(
+        "  butterfly     : d = {} ({} columns)",
+        ncc::model::ilog2_floor(n.max(2)),
+        1usize << ncc::model::ilog2_floor(n.max(2))
+    );
+    println!(
+        "  network budget: ≈ {} messages per round network-wide",
+        n * c.send
+    );
+}

@@ -1,0 +1,22 @@
+//! # ncc — Distributed Computation in Node-Capacitated Networks
+//!
+//! Facade crate re-exporting the full reproduction of Augustine et al.,
+//! *Distributed Computation in Node-Capacitated Networks* (SPAA 2019):
+//!
+//! * [`model`] — the Node-Capacitated Clique round engine (the substrate)
+//! * [`hashing`] — k-wise independent hashing, sketches, shared randomness
+//! * [`graph`] — input graphs, generators, arboricity, checkers
+//! * [`butterfly`] — butterfly emulation + communication primitives (§2.2)
+//! * [`core`] — MST, O(a)-orientation, BFS, MIS, matching, coloring (§3–§5)
+//! * [`baselines`] — sequential references and naive-NCC baselines
+//! * [`kmachine`] — Appendix A conversion to the k-machine model
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use ncc_baselines as baselines;
+pub use ncc_butterfly as butterfly;
+pub use ncc_core as core;
+pub use ncc_graph as graph;
+pub use ncc_hashing as hashing;
+pub use ncc_kmachine as kmachine;
+pub use ncc_model as model;

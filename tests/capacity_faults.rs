@@ -1,0 +1,83 @@
+//! Failure injection: the model's drop semantics under squeezed capacity,
+//! and strict-mode enforcement.
+
+use ncc::baselines::gossip_all;
+use ncc::model::{Capacity, Ctx, Engine, Envelope, NetConfig, NodeProgram};
+
+/// A protocol that ignores the receive cap: everyone floods node 0.
+struct HotSpot;
+impl NodeProgram for HotSpot {
+    type State = u64;
+    type Payload = u64;
+    fn init(&self, _st: &mut u64, ctx: &mut Ctx<'_, u64>) {
+        if ctx.id != 0 {
+            ctx.send(0, ctx.id as u64);
+        }
+    }
+    fn round(&self, st: &mut u64, inbox: &[Envelope<u64>], _ctx: &mut Ctx<'_, u64>) {
+        *st += inbox.len() as u64;
+    }
+}
+
+#[test]
+fn squeezed_receive_cap_drops_and_counts() {
+    // a hot-spot flood against a tiny receive cap: the network must drop
+    // the excess, deliver an arbitrary subset, and count every loss
+    let n = 256;
+    let cfg = NetConfig::new(n, 1)
+        .with_capacity(Capacity::squeezed(64, 4))
+        .permissive();
+    let mut eng = Engine::new(cfg);
+    let mut states = vec![0u64; n];
+    let stats = eng.execute(&HotSpot, &mut states).unwrap();
+    assert_eq!(stats.dropped, (n - 1 - 4) as u64, "squeezed cap must drop");
+    assert_eq!(states[0], 4, "exactly recv-cap messages delivered");
+    assert_eq!(
+        stats.delivered + stats.dropped,
+        stats.sent,
+        "every sent message is either delivered or dropped"
+    );
+}
+
+#[test]
+fn strict_mode_flags_oversend_in_algorithms() {
+    // under an absurdly small send cap, the dissemination protocol
+    // (which sizes its batches from the configured cap) still works —
+    // capacity awareness is part of protocol design
+    let n = 128;
+    let cfg = NetConfig::new(n, 2).with_capacity(Capacity::squeezed(2, 2));
+    let mut eng = Engine::new(cfg);
+    let stats = gossip_all(&mut eng).unwrap();
+    // with cap 2 the rotation takes ⌈(n−1)/2⌉ ≈ 64 rounds
+    assert!(stats.rounds >= 60, "rounds {}", stats.rounds);
+    assert!(stats.clean());
+}
+
+#[test]
+fn deterministic_drop_selection() {
+    let run = |seed: u64| {
+        let cfg = NetConfig::new(64, seed)
+            .with_capacity(Capacity::squeezed(64, 3))
+            .permissive();
+        let mut eng = Engine::new(cfg);
+        gossip_all(&mut eng).unwrap()
+    };
+    assert_eq!(run(5), run(5));
+    let a = run(5);
+    let b = run(6);
+    assert_eq!(a.sent, b.sent);
+    // drop *choices* differ by seed but totals are schedule-determined here
+    assert_eq!(a.dropped, b.dropped);
+}
+
+#[test]
+fn unbounded_capacity_never_drops() {
+    let cfg = NetConfig::new(128, 3).with_capacity(Capacity::unbounded());
+    let mut eng = Engine::new(cfg);
+    let stats = gossip_all(&mut eng).unwrap();
+    assert_eq!(stats.dropped, 0);
+    // with no cap the gossip batch is sized by `usize::MAX`… the protocol
+    // still derives its schedule from the configured cap, so it simply
+    // finishes in very few rounds
+    assert!(stats.rounds <= 3, "rounds {}", stats.rounds);
+}

@@ -1,0 +1,58 @@
+//! Reproducibility: identical seeds ⇒ identical executions, regardless of
+//! thread count; different seeds ⇒ (almost surely) different randomized
+//! outputs with identical *validity*.
+
+use ncc::core as algo;
+use ncc::graph::{check, gen};
+use ncc::hashing::SharedRandomness;
+use ncc::model::{Engine, NetConfig};
+
+fn run_mis(n: usize, engine_seed: u64, shared_seed: u64, threads: usize) -> (Vec<bool>, u64) {
+    let g = gen::gnp(n, 0.1, 7);
+    let mut eng = Engine::new(NetConfig::new(n, engine_seed).with_threads(threads));
+    let shared = SharedRandomness::new(shared_seed);
+    let (bt, _) = algo::build_broadcast_trees(&mut eng, &shared, &g).unwrap();
+    let r = algo::mis(&mut eng, &shared, &bt, &g).unwrap();
+    check::check_mis(&g, &r.in_mis).unwrap();
+    (r.in_mis, eng.total.rounds)
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let (a_out, a_rounds) = run_mis(64, 1, 2, 1);
+    let (b_out, b_rounds) = run_mis(64, 1, 2, 1);
+    assert_eq!(a_out, b_out);
+    assert_eq!(a_rounds, b_rounds);
+}
+
+#[test]
+fn parallel_engine_is_bit_identical() {
+    let (seq_out, seq_rounds) = run_mis(200, 3, 4, 1);
+    let (par_out, par_rounds) = run_mis(200, 3, 4, 4);
+    assert_eq!(seq_out, par_out);
+    assert_eq!(seq_rounds, par_rounds);
+}
+
+#[test]
+fn different_seeds_still_valid() {
+    let (a, _) = run_mis(64, 1, 2, 1);
+    let (b, _) = run_mis(64, 9, 10, 1);
+    // both valid (asserted inside); typically different sets
+    if a == b {
+        // astronomically unlikely but not impossible on tiny graphs; the
+        // meaningful assertion is validity, already checked.
+        eprintln!("note: different seeds produced identical MIS");
+    }
+}
+
+#[test]
+fn mst_deterministic_across_runs() {
+    let g = gen::gnp(48, 0.15, 5);
+    let wg = gen::with_random_weights(&g, 500, 6);
+    let run = || {
+        let mut eng = Engine::new(NetConfig::new(48, 7));
+        let shared = SharedRandomness::new(8);
+        algo::mst(&mut eng, &shared, &wg).unwrap().edges
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,96 @@
+//! Cross-crate integration: the full paper pipeline on one engine.
+//!
+//! seed broadcast → orientation → broadcast trees → MST + BFS + MIS +
+//! matching + coloring, every output certified, every round metered, zero
+//! drops — the way a downstream user would drive the library.
+
+use ncc::butterfly::broadcast_seed;
+use ncc::core as algo;
+use ncc::graph::{analysis, check, gen};
+use ncc::hashing::SharedRandomness;
+use ncc::model::{Engine, NetConfig};
+
+fn pipeline(n: usize, a: usize, seed: u64) {
+    let g = gen::forest_union(n, a, seed);
+    let wg = gen::with_random_weights(&g, (n * n) as u64, seed + 1);
+
+    let mut eng = Engine::new(NetConfig::new(n, seed + 2));
+
+    // in-model shared-randomness agreement
+    let k = SharedRandomness::k_for(n);
+    let bits = SharedRandomness::bits_required(n, 16, k);
+    let (shared, seed_stats) = broadcast_seed(&mut eng, seed ^ 0xE2E, bits).unwrap();
+    assert!(seed_stats.rounds > 0);
+
+    // MST (§3)
+    let mst = algo::mst(&mut eng, &shared, &wg).unwrap();
+    check::check_mst(&wg, &mst.edges).unwrap();
+
+    // orientation + broadcast trees (§4, §5 preamble)
+    let (bt, _) = algo::build_broadcast_trees(&mut eng, &shared, &g).unwrap();
+    let (alo, ahi) = analysis::arboricity_bounds(&g);
+    check::check_orientation(&g, &bt.orientation.directed_edges(), 4 * ahi.max(1)).unwrap();
+    assert!(
+        bt.orientation.max_outdegree() <= 4 * alo.max(1),
+        "outdegree {} vs 4a = {}",
+        bt.orientation.max_outdegree(),
+        4 * alo.max(1)
+    );
+
+    // BFS (§5.1)
+    let bfs = algo::bfs(&mut eng, &shared, &bt, &g, 0).unwrap();
+    check::check_bfs(&g, 0, &bfs.dist, &bfs.parent).unwrap();
+
+    // MIS (§5.2)
+    let mis = algo::mis(&mut eng, &shared, &bt, &g).unwrap();
+    check::check_mis(&g, &mis.in_mis).unwrap();
+
+    // maximal matching (§5.3)
+    let mm = algo::maximal_matching(&mut eng, &shared, &bt, &g).unwrap();
+    check::check_matching(&g, &mm.mate).unwrap();
+
+    // O(a)-coloring (§5.4)
+    let col = algo::coloring(&mut eng, &shared, &bt.orientation, &g).unwrap();
+    check::check_coloring(&g, &col.colors, col.palette).unwrap();
+
+    // model compliance across the whole engine lifetime (Lemma 4.11)
+    assert!(eng.total.clean(), "drops or cap violations in the pipeline");
+    let logn = (n as f64).log2();
+    assert!(
+        (eng.total.peak_load() as f64) <= 8.0 * logn,
+        "peak load {} exceeds 8·log n",
+        eng.total.peak_load()
+    );
+}
+
+#[test]
+fn full_pipeline_small() {
+    pipeline(48, 2, 11);
+}
+
+#[test]
+fn full_pipeline_medium() {
+    pipeline(96, 3, 22);
+}
+
+#[test]
+fn full_pipeline_nonpow2() {
+    // n straddling a power of two exercises the proxy-column paths
+    pipeline(70, 2, 33);
+}
+
+#[test]
+fn pipeline_on_star() {
+    // the capacity adversary end to end
+    let n = 64;
+    let g = gen::star(n);
+    let mut eng = Engine::new(NetConfig::new(n, 5));
+    let shared = SharedRandomness::new(6);
+    let (bt, _) = algo::build_broadcast_trees(&mut eng, &shared, &g).unwrap();
+    let r = algo::mis(&mut eng, &shared, &bt, &g).unwrap();
+    check::check_mis(&g, &r.in_mis).unwrap();
+    let c = algo::coloring(&mut eng, &shared, &bt.orientation, &g).unwrap();
+    check::check_coloring(&g, &c.colors, c.palette).unwrap();
+    assert!(c.palette <= 10, "star must color with O(a) = O(1) palette");
+    assert!(eng.total.clean());
+}

@@ -1,0 +1,151 @@
+//! Property-based integration tests: the distributed algorithms against
+//! centralised oracles on randomly generated inputs.
+//!
+//! Case counts are kept small (each case runs a full simulated network)
+//! but every case covers a fresh graph, seed, and capacity configuration.
+
+use ncc::butterfly::{
+    aggregate, multicast, multicast_setup, self_joins, AggregationSpec, GroupId, SumU64,
+};
+use ncc::core as algo;
+use ncc::graph::{check, gen, Graph};
+use ncc::hashing::SharedRandomness;
+use ncc::model::{Engine, NetConfig};
+use proptest::prelude::*;
+
+fn small_graph() -> impl Strategy<Value = (Graph, u64)> {
+    (8usize..48, 0.05f64..0.4, any::<u64>()).prop_map(|(n, p, seed)| (gen::gnp(n, p, seed), seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn mst_always_matches_kruskal((g, seed) in small_graph()) {
+        let wg = gen::with_random_weights(&g, 200, seed ^ 1);
+        let mut eng = Engine::new(NetConfig::new(g.n(), seed ^ 2));
+        let shared = SharedRandomness::new(seed ^ 3);
+        let r = algo::mst(&mut eng, &shared, &wg).unwrap();
+        prop_assert!(check::check_mst(&wg, &r.edges).is_ok());
+        prop_assert!(eng.total.clean());
+    }
+
+    #[test]
+    fn orientation_always_valid((g, seed) in small_graph()) {
+        let mut eng = Engine::new(NetConfig::new(g.n(), seed ^ 4));
+        let shared = SharedRandomness::new(seed ^ 5);
+        let r = algo::orient(&mut eng, &shared, &g).unwrap();
+        let (_, hi) = ncc::graph::analysis::arboricity_bounds(&g);
+        prop_assert!(check::check_orientation(&g, &r.directed_edges(), 4 * hi.max(1)).is_ok());
+        prop_assert!(eng.total.clean());
+    }
+
+    #[test]
+    fn symmetry_breaking_suite_valid((g, seed) in small_graph()) {
+        let mut eng = Engine::new(NetConfig::new(g.n(), seed ^ 6));
+        let shared = SharedRandomness::new(seed ^ 7);
+        let (bt, _) = algo::build_broadcast_trees(&mut eng, &shared, &g).unwrap();
+        let m = algo::mis(&mut eng, &shared, &bt, &g).unwrap();
+        prop_assert!(check::check_mis(&g, &m.in_mis).is_ok());
+        let mm = algo::maximal_matching(&mut eng, &shared, &bt, &g).unwrap();
+        prop_assert!(check::check_matching(&g, &mm.mate).is_ok());
+        let c = algo::coloring(&mut eng, &shared, &bt.orientation, &g).unwrap();
+        prop_assert!(check::check_coloring(&g, &c.colors, c.palette).is_ok());
+        prop_assert!(eng.total.clean());
+    }
+
+    #[test]
+    fn bfs_matches_reference((g, seed) in small_graph()) {
+        let src = (seed % g.n() as u64) as u32;
+        let mut eng = Engine::new(NetConfig::new(g.n(), seed ^ 8));
+        let shared = SharedRandomness::new(seed ^ 9);
+        let (bt, _) = algo::build_broadcast_trees(&mut eng, &shared, &g).unwrap();
+        let r = algo::bfs(&mut eng, &shared, &bt, &g, src).unwrap();
+        prop_assert!(check::check_bfs(&g, src, &r.dist, &r.parent).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    /// Aggregation against a local oracle: random memberships, SUM per group.
+    #[test]
+    fn aggregation_matches_oracle(
+        n in 8usize..80,
+        memb in proptest::collection::vec((0u32..64, 0u32..4, 1u64..100), 0..100),
+        seed in any::<u64>(),
+    ) {
+        let shared = SharedRandomness::new(seed);
+        let mut memberships: Vec<Vec<(GroupId, u64)>> = vec![Vec::new(); n];
+        let mut oracle: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for (i, (t, sub, v)) in memb.iter().enumerate() {
+            let target = t % n as u32;
+            let member = i % n;
+            let gid = GroupId::new(target, *sub);
+            memberships[member].push((gid, *v));
+            *oracle.entry(gid.raw()).or_insert(0) += v;
+        }
+        let mut eng = Engine::new(NetConfig::new(n, seed ^ 0xA6));
+        let (out, stats) = aggregate(
+            &mut eng,
+            &shared,
+            AggregationSpec { memberships, ell2_hat: 8 },
+            &SumU64,
+        ).unwrap();
+        let mut got: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for (node, results) in out.iter().enumerate() {
+            for &(gid, v) in results {
+                // delivered to the encoded target only
+                prop_assert_eq!(gid.target() as usize, node);
+                got.insert(gid.raw(), v);
+            }
+        }
+        prop_assert_eq!(got, oracle);
+        prop_assert!(stats.clean());
+    }
+
+    /// Multicast delivers exactly the membership lists.
+    #[test]
+    fn multicast_matches_memberships(
+        n in 8usize..64,
+        joins_raw in proptest::collection::vec((0u32..32, 0u32..64), 0..80),
+        seed in any::<u64>(),
+    ) {
+        let shared = SharedRandomness::new(seed);
+        let mut joins: Vec<Vec<GroupId>> = vec![Vec::new(); n];
+        let mut expect: std::collections::BTreeSet<(usize, u64)> = Default::default();
+        for (src_raw, member_raw) in joins_raw {
+            let src = (src_raw % n as u32) as usize;
+            let member = (member_raw % n as u32) as usize;
+            let gid = GroupId::new(src as u32, 33);
+            if !joins[member].contains(&gid) {
+                joins[member].push(gid);
+                expect.insert((member, gid.raw()));
+            }
+        }
+        let mut eng = Engine::new(NetConfig::new(n, seed ^ 0xB7));
+        let ell = joins.iter().map(Vec::len).max().unwrap_or(1).max(1);
+        let (trees, _) = multicast_setup(&mut eng, &shared, self_joins(joins)).unwrap();
+        let messages: Vec<Option<(GroupId, u64)>> = (0..n)
+            .map(|u| Some((GroupId::new(u as u32, 33), 900 + u as u64)))
+            .collect();
+        let (out, stats) = multicast(&mut eng, &shared, &trees, messages, ell).unwrap();
+        let mut got: std::collections::BTreeSet<(usize, u64)> = Default::default();
+        for (node, results) in out.iter().enumerate() {
+            for &(gid, v) in results {
+                prop_assert_eq!(v, 900 + gid.target() as u64);
+                got.insert((node, gid.raw()));
+            }
+        }
+        prop_assert_eq!(got, expect);
+        prop_assert!(stats.clean());
+    }
+}
