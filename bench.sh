@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the Table-1 experiment and snapshots its measurements to
+# BENCH_exp01.json at the repo root — the first file of the
+# perf-trajectory history the ROADMAP asks every perf PR to extend.
+#
+# Usage: ./bench.sh [extra cargo run args...]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo run --release -p ncc-bench --bin exp01_table1 -- --json BENCH_exp01.json "$@"
+
+echo
+echo "snapshot written to BENCH_exp01.json:"
+head -n 20 BENCH_exp01.json

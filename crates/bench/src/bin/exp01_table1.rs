@@ -6,14 +6,65 @@
 //! checkers, and prints measured rounds next to the paper's bound with the
 //! ratio `rounds / bound`. A flat ratio column across `n` reproduces the
 //! table's asymptotic claims.
+//!
+//! With `--json <path>` the same records are also written as a JSON
+//! document (see `bench.sh`, which snapshots them to `BENCH_exp01.json`
+//! for the perf-trajectory history).
 
 use ncc_bench::{arboricity_workload, describe, engine, f2, lg, prepare, Table, SEED};
 use ncc_core::AlgoReport;
 use ncc_graph::{analysis, check, gen};
 
+#[derive(serde::Serialize)]
+struct Record {
+    problem: String,
+    n: usize,
+    a: usize,
+    rounds: u64,
+    bound: f64,
+    ratio: f64,
+    verified: bool,
+}
+
+#[derive(serde::Serialize)]
+struct Output {
+    experiment: String,
+    seed: u64,
+    records: Vec<Record>,
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+
     println!("# E1 — Table 1: problem / measured rounds / paper bound / ratio");
     let mut table = Table::new(&["problem", "n", "a", "rounds", "bound", "ratio", "verified"]);
+    let mut records: Vec<Record> = Vec::new();
+
+    let mut emit = |problem: &str, n: usize, a: usize, rounds: u64, bound: f64, ok: bool| {
+        let ratio = rounds as f64 / bound;
+        table.row(vec![
+            problem.into(),
+            n.to_string(),
+            a.to_string(),
+            rounds.to_string(),
+            f2(bound),
+            f2(ratio),
+            ok.to_string(),
+        ]);
+        records.push(Record {
+            problem: problem.into(),
+            n,
+            a,
+            rounds,
+            bound,
+            ratio,
+            verified: ok,
+        });
+    };
 
     for &n in &[64usize, 128, 256] {
         let a = 3usize;
@@ -33,15 +84,7 @@ fn main() {
             report.push("mst", r.report.total);
             let ok = check::check_mst(&wg, &r.edges).is_ok();
             let bound = lg(n).powi(4);
-            table.row(vec![
-                "MST".into(),
-                n.to_string(),
-                a.to_string(),
-                report.total.rounds.to_string(),
-                f2(bound),
-                f2(report.total.rounds as f64 / bound),
-                ok.to_string(),
-            ]);
+            emit("MST", n, a, report.total.rounds, bound, ok);
         }
 
         // ---- shared §5 pipeline --------------------------------------------
@@ -54,15 +97,7 @@ fn main() {
             let ok = check::check_bfs(&g, 0, &r.dist, &r.parent).is_ok();
             let rounds = prep.total.rounds + r.report.total.rounds;
             let bound = (a_real + d + lg(n)) * lg(n);
-            table.row(vec![
-                "BFS Tree".into(),
-                n.to_string(),
-                a.to_string(),
-                rounds.to_string(),
-                f2(bound),
-                f2(rounds as f64 / bound),
-                ok.to_string(),
-            ]);
+            emit("BFS Tree", n, a, rounds, bound, ok);
         }
 
         // ---- MIS (Thm 5.3: O((a + log n) log n)) ---------------------------
@@ -71,15 +106,7 @@ fn main() {
             let ok = check::check_mis(&g, &r.in_mis).is_ok();
             let rounds = prep.total.rounds + r.report.total.rounds;
             let bound = (a_real + lg(n)) * lg(n);
-            table.row(vec![
-                "MIS".into(),
-                n.to_string(),
-                a.to_string(),
-                rounds.to_string(),
-                f2(bound),
-                f2(rounds as f64 / bound),
-                ok.to_string(),
-            ]);
+            emit("MIS", n, a, rounds, bound, ok);
         }
 
         // ---- Maximal Matching (Thm 5.4: O((a + log n) log n)) ---------------
@@ -88,15 +115,7 @@ fn main() {
             let ok = check::check_matching(&g, &r.mate).is_ok();
             let rounds = prep.total.rounds + r.report.total.rounds;
             let bound = (a_real + lg(n)) * lg(n);
-            table.row(vec![
-                "Matching".into(),
-                n.to_string(),
-                a.to_string(),
-                rounds.to_string(),
-                f2(bound),
-                f2(rounds as f64 / bound),
-                ok.to_string(),
-            ]);
+            emit("Matching", n, a, rounds, bound, ok);
         }
 
         // ---- O(a)-Coloring (Thm 5.5: O((a + log n) log^{3/2} n)) ------------
@@ -105,19 +124,22 @@ fn main() {
             let ok = check::check_coloring(&g, &r.colors, r.palette).is_ok();
             let rounds = prep.total.rounds + r.report.total.rounds;
             let bound = (a_real + lg(n)) * lg(n).powf(1.5);
-            table.row(vec![
-                "Coloring".into(),
-                n.to_string(),
-                a.to_string(),
-                rounds.to_string(),
-                f2(bound),
-                f2(rounds as f64 / bound),
-                ok.to_string(),
-            ]);
+            emit("Coloring", n, a, rounds, bound, ok);
         }
     }
 
     println!();
     table.print();
     println!("\nratio columns should stay roughly flat across n (same hidden constant).");
+
+    if let Some(path) = json_path {
+        let out = Output {
+            experiment: "exp01_table1".into(),
+            seed: SEED,
+            records,
+        };
+        let json = serde_json::to_string_pretty(&out).expect("serialize records");
+        std::fs::write(&path, json + "\n").expect("write JSON output");
+        println!("wrote {path}");
+    }
 }

@@ -20,9 +20,7 @@ fn main() {
         // gossip: the protocol adapts its batch size to the configured cap
         let mut ncc = engine(n, SEED);
         let r_ncc = gossip_all(&mut ncc).expect("gossip ncc").rounds;
-        let mut cc = Engine::new(
-            NetConfig::new(n, SEED).with_capacity(Capacity::unbounded()),
-        );
+        let mut cc = Engine::new(NetConfig::new(n, SEED).with_capacity(Capacity::unbounded()));
         let r_cc = gossip_all(&mut cc).expect("gossip cc").rounds;
         t.row(vec![
             "gossip".into(),
@@ -37,9 +35,7 @@ fn main() {
         let mut ncc = engine(n, SEED + 1);
         let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
         let (_, s_ncc) = aggregate_and_broadcast(&mut ncc, inputs.clone(), &SumU64).unwrap();
-        let mut cc = Engine::new(
-            NetConfig::new(n, SEED + 1).with_capacity(Capacity::unbounded()),
-        );
+        let mut cc = Engine::new(NetConfig::new(n, SEED + 1).with_capacity(Capacity::unbounded()));
         let (_, s_cc) = aggregate_and_broadcast(&mut cc, inputs, &SumU64).unwrap();
         t.row(vec![
             "agg-&-bcast".into(),

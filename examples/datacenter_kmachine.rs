@@ -16,7 +16,7 @@ use ncc::hashing::SharedRandomness;
 use ncc::kmachine::{KMachineCost, SharedSink};
 use ncc::model::{Engine, NetConfig};
 
-fn main() {
+pub fn main() {
     let n = 256;
     let g = gen::gnp(n, 0.04, 77);
     println!("graph: n = {n}, m = {}", g.m());

@@ -18,7 +18,7 @@ use ncc::graph::{analysis, check, gen};
 use ncc::hashing::SharedRandomness;
 use ncc::model::{Engine, NetConfig};
 
-fn main() {
+pub fn main() {
     let (rows, cols) = (16, 16);
     let n = rows * cols;
     let g = gen::triangulated_grid(rows, cols);

@@ -14,7 +14,7 @@ use ncc::graph::{check, gen};
 use ncc::hashing::SharedRandomness;
 use ncc::model::{Engine, NetConfig};
 
-fn main() {
+pub fn main() {
     let n = 128;
     let seed = 7;
 

@@ -16,7 +16,7 @@ use ncc::graph::{analysis, check, gen};
 use ncc::hashing::SharedRandomness;
 use ncc::model::{Engine, NetConfig};
 
-fn main() {
+pub fn main() {
     let n = 256;
     let g = gen::barabasi_albert(n, 3, 42);
     let (alo, ahi) = analysis::arboricity_bounds(&g);

@@ -1,0 +1,39 @@
+//! Compiles and runs every example against the `ncc` facade.
+//!
+//! The examples exercise the re-export surface (`ncc::model`, `ncc::graph`,
+//! `ncc::butterfly`, `ncc::core`, …) end to end; including them here means
+//! `cargo test` fails the moment a facade path or a cross-crate signature
+//! drifts, instead of the breakage hiding until someone runs
+//! `cargo build --examples`.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../examples/social_network.rs"]
+mod social_network;
+
+#[path = "../examples/datacenter_kmachine.rs"]
+mod datacenter_kmachine;
+
+#[path = "../examples/hybrid_network.rs"]
+mod hybrid_network;
+
+#[test]
+fn quickstart_runs() {
+    quickstart::main();
+}
+
+#[test]
+fn social_network_runs() {
+    social_network::main();
+}
+
+#[test]
+fn datacenter_kmachine_runs() {
+    datacenter_kmachine::main();
+}
+
+#[test]
+fn hybrid_network_runs() {
+    hybrid_network::main();
+}

@@ -1,0 +1,314 @@
+//! `Serialize`/`Deserialize` impls for std types, plus the `Value`
+//! conversion plumbing the derive macros lean on.
+
+use crate::{de, ser, Deserialize, Deserializer, Serialize, Serializer, Value, ValueDeserializer};
+
+// ---------------------------------------------------------------------------
+// helpers
+
+/// Serializes any `Serialize` into a `Value`, mapping the concrete error
+/// into the caller's serializer error type.
+pub fn subvalue<T: Serialize + ?Sized, E: ser::Error>(t: &T) -> Result<Value, E> {
+    crate::to_value(t).map_err(|e| E::custom(e))
+}
+
+/// Deserializes a sub-`Value`, mapping errors into the caller's type.
+pub fn from_subvalue<'de, T: Deserialize<'de>, E: de::Error>(v: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer(v)).map_err(|e| E::custom(e))
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "u64",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    fn as_u64<E: de::Error>(&self) -> Result<u64, E> {
+        match *self {
+            Value::U64(v) => Ok(v),
+            Value::I64(v) if v >= 0 => Ok(v as u64),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Ok(v as u64),
+            _ => Err(E::custom(format!(
+                "expected unsigned integer, got {}",
+                self.type_name()
+            ))),
+        }
+    }
+
+    fn as_i64<E: de::Error>(&self) -> Result<i64, E> {
+        match *self {
+            Value::I64(v) => Ok(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Ok(v as i64),
+            Value::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Ok(v as i64),
+            _ => Err(E::custom(format!(
+                "expected signed integer, got {}",
+                self.type_name()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// primitives
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let raw = v.as_u64::<D::Error>()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| de::Error::custom(format!("{} out of range for {}", raw, stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_value(Value::U64(v as u64))
+                } else {
+                    s.serialize_value(Value::I64(v))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.deserialize_value()?;
+                let raw = v.as_i64::<D::Error>()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| de::Error::custom(format!("{} out of range for {}", raw, stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::F64(v) => Ok(v),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format!(
+                "expected float, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!(
+                "expected bool, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Null)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(()),
+            other => Err(de::Error::custom(format!(
+                "expected null, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// compound std types
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => s.serialize_value(subvalue::<_, S::Error>(v)?),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Null => Ok(None),
+            v => Ok(Some(from_subvalue::<T, D::Error>(v)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(subvalue::<_, S::Error>(item)?);
+        }
+        s.serialize_value(Value::Seq(out))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_subvalue::<T, D::Error>(v))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected sequence, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = match subvalue::<_, S::Error>(k)? {
+                Value::Str(text) => text,
+                Value::U64(n) => n.to_string(),
+                Value::I64(n) => n.to_string(),
+                other => {
+                    return Err(ser::Error::custom(format!(
+                        "map key must be string-like, got {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            out.push((key, subvalue::<_, S::Error>(v)?));
+        }
+        s.serialize_value(Value::Map(out))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(subvalue::<_, S::Error>(&self.$idx)?),+];
+                s.serialize_value(Value::Seq(items))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match d.deserialize_value()? {
+                    Value::Seq(items) if items.len() == LEN => {
+                        let mut it = items.into_iter();
+                        Ok(($(from_subvalue::<$name, D::Error>(it.next().expect("length checked"))?,)+))
+                    }
+                    Value::Seq(items) => Err(de::Error::custom(format!(
+                        "expected tuple of length {LEN}, got sequence of {}",
+                        items.len()
+                    ))),
+                    other => Err(de::Error::custom(format!(
+                        "expected sequence, got {}", other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (0 T0)
+    (0 T0, 1 T1)
+    (0 T0, 1 T1, 2 T2)
+    (0 T0, 1 T1, 2 T2, 3 T3)
+    (0 T0, 1 T1, 2 T2, 3 T3, 4 T4)
+    (0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5)
+}

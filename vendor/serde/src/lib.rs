@@ -1,0 +1,134 @@
+//! Offline, API-compatible subset of [`serde`](https://serde.rs), vendored so
+//! the workspace builds without network access.
+//!
+//! The public trait shapes match real serde — `Serialize`/`Serializer` with
+//! `Ok`/`Error` associated types, `Deserialize<'de>`/`Deserializer<'de>`, and
+//! re-exported derive macros — so user code (manual impls, derives, bounds)
+//! is source-compatible. Internally the data model is simplified: a
+//! serializer consumes a self-describing [`Value`] tree rather than a
+//! streaming visitor API. `serde_json` (also vendored) is the only data
+//! format in the workspace and works directly on `Value`.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+
+/// The self-describing intermediate data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+/// The one concrete error type used across the vendored serde stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors producible by a serializer (mirror of `serde::ser::Error`).
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            super::Error(msg.to_string())
+        }
+    }
+}
+
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors producible by a deserializer (mirror of `serde::de::Error`).
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            super::Error(msg.to_string())
+        }
+    }
+
+    /// `Deserialize` with no borrowed data — what owned formats require.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// A data format that can accept one [`Value`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Serializer that materialises the [`Value`] tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// Deserializer over an owned [`Value`] tree. Implements `Deserializer<'de>`
+/// for every lifetime, so it can feed impls with any borrow expectation.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn deserialize_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes `value` into the intermediate tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes a `T` out of an intermediate tree.
+pub fn from_value<T: de::DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(value))
+}

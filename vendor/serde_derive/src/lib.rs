@@ -1,0 +1,566 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no `syn`/`quote`, which
+//! are unavailable offline). Supports the shapes this repository uses and a
+//! little headroom:
+//!
+//! * structs with named fields (including generic type parameters, which get
+//!   `serde::Serialize` / `serde::Deserialize` bounds added);
+//! * tuple structs and unit structs;
+//! * enums with unit and tuple variants.
+//!
+//! Named structs map to `Value::Map`, tuple structs to `Value::Seq`, unit
+//! variants to `Value::Str(name)`, and tuple variants to a one-entry map
+//! `{name: [args...]}` (externally tagged, like real serde).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct GenericParam {
+    /// `'a` for lifetimes, `T` for type params.
+    name: String,
+    /// Declared bounds (text after `:`), possibly empty.
+    bounds: String,
+    is_lifetime: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<GenericParam>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind_kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    // Skip a `where` clause if present (none in this repo, but harmless).
+    while i < tokens.len() {
+        if let TokenTree::Group(_) = &tokens[i] {
+            break;
+        }
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == ';' {
+                break;
+            }
+        }
+        i += 1;
+    }
+
+    let kind = match kind_kw.as_str() {
+        "struct" => {
+            if i >= tokens.len() {
+                Kind::Struct(Shape::Unit)
+            } else if let TokenTree::Group(g) = &tokens[i] {
+                match g.delimiter() {
+                    Delimiter::Brace => Kind::Struct(Shape::Named(parse_named_fields(g.stream()))),
+                    Delimiter::Parenthesis => {
+                        Kind::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+                    }
+                    _ => panic!("derive: unexpected struct body"),
+                }
+            } else {
+                Kind::Struct(Shape::Unit)
+            }
+        }
+        "enum" => {
+            let body = match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("derive: expected enum body, found {other}"),
+            };
+            Kind::Enum(parse_variants(body))
+        }
+        other => panic!("derive: cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Advances past leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // '[...]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<...>` if present. `i` points just past the type name on entry.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<GenericParam> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *i += 1,
+        _ => return params,
+    }
+    let mut depth = 0usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    loop {
+        let tok = tokens
+            .get(*i)
+            .unwrap_or_else(|| panic!("derive: unterminated generics"));
+        *i += 1;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if depth == 0 => {
+                    if !current.is_empty() {
+                        params.push(parse_generic_param(&current));
+                    }
+                    return params;
+                }
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    params.push(parse_generic_param(&current));
+                    current.clear();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+}
+
+fn parse_generic_param(tokens: &[TokenTree]) -> GenericParam {
+    let mut is_lifetime = false;
+    let mut name = String::new();
+    let mut bounds = String::new();
+    let mut seen_colon = false;
+    for tok in tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '\'' && name.is_empty() => {
+                is_lifetime = true;
+                name.push('\'');
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !seen_colon => seen_colon = true,
+            TokenTree::Ident(id) if name.is_empty() || (name == "'" && is_lifetime) => {
+                name.push_str(&id.to_string());
+            }
+            other if seen_colon => {
+                bounds.push_str(&other.to_string());
+                bounds.push(' ');
+            }
+            _ => {}
+        }
+    }
+    GenericParam {
+        name,
+        bounds: bounds.trim().to_string(),
+        is_lifetime,
+    }
+}
+
+/// Field names of a `{ ... }` struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("derive: expected field name, found {other}"),
+        };
+        fields.push(name);
+        // Skip `: Type` up to the next top-level comma.
+        let mut depth = 0usize;
+        i += 1;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' | '(' | '[' => depth += 1,
+                    '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `( ... )` tuple struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0usize;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Shape)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fs = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(fs)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip a `= discriminant` and the separating comma.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' | '(' | '[' => depth += 1,
+                    '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// code generation
+
+/// `impl<...>` header pieces: (impl generics, type generics, where bounds).
+fn generics_pieces(
+    input: &Input,
+    bound: &str,
+    extra_lifetime: Option<&str>,
+) -> (String, String, String) {
+    let mut impl_params: Vec<String> = Vec::new();
+    let mut ty_params: Vec<String> = Vec::new();
+    let mut where_bounds: Vec<String> = Vec::new();
+
+    if let Some(lt) = extra_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    for p in &input.generics {
+        ty_params.push(p.name.clone());
+        if p.is_lifetime {
+            impl_params.push(p.name.clone());
+        } else {
+            let decl = if p.bounds.is_empty() {
+                p.name.clone()
+            } else {
+                format!("{}: {}", p.name, p.bounds)
+            };
+            impl_params.push(decl);
+            where_bounds.push(format!("{}: {}", p.name, bound));
+        }
+    }
+
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if ty_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", ty_params.join(", "))
+    };
+    let where_clause = if where_bounds.is_empty() {
+        String::new()
+    } else {
+        format!("where {}", where_bounds.join(", "))
+    };
+    (impl_generics, ty_generics, where_clause)
+}
+
+fn ser_shape_expr(shape: &Shape, accessor: impl Fn(usize, &str) -> String) -> String {
+    match shape {
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Named(fields) => {
+            let mut entries = Vec::new();
+            for (idx, f) in fields.iter().enumerate() {
+                entries.push(format!(
+                    "({:?}.to_string(), serde::to_value(&{}).map_err(<__S::Error as serde::ser::Error>::custom)?)",
+                    f,
+                    accessor(idx, f)
+                ));
+            }
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(n) => {
+            let mut entries = Vec::new();
+            for idx in 0..*n {
+                entries.push(format!(
+                    "serde::to_value(&{}).map_err(<__S::Error as serde::ser::Error>::custom)?",
+                    accessor(idx, "")
+                ));
+            }
+            format!("serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (impl_g, ty_g, where_c) = generics_pieces(&input, "serde::Serialize", None);
+    let name = &input.name;
+
+    let body = match &input.kind {
+        Kind::Struct(shape) => {
+            let expr = ser_shape_expr(shape, |idx, f| {
+                if f.is_empty() {
+                    format!("self.{idx}")
+                } else {
+                    format!("self.{f}")
+                }
+            });
+            format!("serde::Serializer::serialize_value(__s, {expr})")
+        }
+        Kind::Enum(variants) => {
+            let mut arms = Vec::new();
+            for (vname, shape) in variants {
+                match shape {
+                    Shape::Unit => arms.push(format!(
+                        "{name}::{vname} => serde::Serializer::serialize_value(__s, serde::Value::Str({vname:?}.to_string())),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let expr = ser_shape_expr(shape, |idx, _| format!("__f{idx}"));
+                        arms.push(format!(
+                            "{name}::{vname}({}) => serde::Serializer::serialize_value(__s, serde::Value::Map(vec![({vname:?}.to_string(), {expr})])),",
+                            binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let expr = ser_shape_expr(shape, |_, f| format!("(*{f})"));
+                        arms.push(format!(
+                            "{name}::{vname} {{ {binders} }} => serde::Serializer::serialize_value(__s, serde::Value::Map(vec![({vname:?}.to_string(), {expr})])),"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+
+    let out = format!(
+        "impl{impl_g} serde::Serialize for {name}{ty_g} {where_c} {{
+            fn serialize<__S: serde::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{
+                {body}
+            }}
+        }}"
+    );
+    out.parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+fn de_named_expr(type_path: &str, fields: &[String]) -> String {
+    let mut inits = Vec::new();
+    for f in fields {
+        inits.push(format!(
+            "{f}: match __take(&mut __m, {f:?}) {{
+                Some(v) => serde::Deserialize::deserialize(serde::ValueDeserializer(v))
+                    .map_err(<__D::Error as serde::de::Error>::custom)?,
+                None => return Err(<__D::Error as serde::de::Error>::custom(concat!(\"missing field `\", {f:?}, \"`\"))),
+            }}"
+        ));
+    }
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn de_tuple_expr(type_path: &str, n: usize) -> String {
+    let mut inits = Vec::new();
+    for _ in 0..n {
+        inits.push(
+            "serde::Deserialize::deserialize(serde::ValueDeserializer(__it.next().ok_or_else(|| <__D::Error as serde::de::Error>::custom(\"tuple too short\"))?)).map_err(<__D::Error as serde::de::Error>::custom)?".to_string(),
+        );
+    }
+    format!("{type_path}({})", inits.join(", "))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (impl_g, ty_g, where_c) = generics_pieces(&input, "serde::Deserialize<'de>", Some("'de"));
+    let name = &input.name;
+
+    let take_helper =
+        "fn __take(m: &mut Vec<(String, serde::Value)>, k: &str) -> Option<serde::Value> {
+        m.iter().position(|(n, _)| n == k).map(|i| m.remove(i).1)
+    }";
+
+    let body = match &input.kind {
+        Kind::Struct(Shape::Unit) => format!("let _ = __v; Ok({name})"),
+        Kind::Struct(Shape::Named(fields)) => format!(
+            "{take_helper}
+             let mut __m = match __v {{
+                 serde::Value::Map(m) => m,
+                 _ => return Err(<__D::Error as serde::de::Error>::custom(\"expected map\")),
+             }};
+             Ok({})",
+            de_named_expr(name, fields)
+        ),
+        Kind::Struct(Shape::Tuple(n)) => format!(
+            "let __items = match __v {{
+                 serde::Value::Seq(s) => s,
+                 _ => return Err(<__D::Error as serde::de::Error>::custom(\"expected sequence\")),
+             }};
+             let mut __it = __items.into_iter();
+             Ok({})",
+            de_tuple_expr(name, *n)
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for (vname, shape) in variants {
+                match shape {
+                    Shape::Unit => unit_arms.push(format!(
+                        "{vname:?} => return Ok({name}::{vname}),"
+                    )),
+                    Shape::Tuple(n) => data_arms.push(format!(
+                        "{vname:?} => {{
+                            let __items = match __payload {{
+                                serde::Value::Seq(s) => s,
+                                _ => return Err(<__D::Error as serde::de::Error>::custom(\"expected sequence payload\")),
+                            }};
+                            let mut __it = __items.into_iter();
+                            return Ok({});
+                        }}",
+                        de_tuple_expr(&format!("{name}::{vname}"), *n)
+                    )),
+                    Shape::Named(fields) => data_arms.push(format!(
+                        "{vname:?} => {{
+                            {take_helper}
+                            let mut __m = match __payload {{
+                                serde::Value::Map(m) => m,
+                                _ => return Err(<__D::Error as serde::de::Error>::custom(\"expected map payload\")),
+                            }};
+                            return Ok({});
+                        }}",
+                        de_named_expr(&format!("{name}::{vname}"), fields)
+                    )),
+                }
+            }
+            format!(
+                "match __v {{
+                     serde::Value::Str(ref s) => {{
+                         match s.as_str() {{
+                             {}
+                             _ => {{}}
+                         }}
+                         Err(<__D::Error as serde::de::Error>::custom(format!(\"unknown variant `{{s}}`\")))
+                     }}
+                     serde::Value::Map(m) if m.len() == 1 => {{
+                         let (__tag, __payload) = m.into_iter().next().expect(\"length checked\");
+                         match __tag.as_str() {{
+                             {}
+                             _ => {{}}
+                         }}
+                         Err(<__D::Error as serde::de::Error>::custom(format!(\"unknown variant `{{__tag}}`\")))
+                     }}
+                     _ => Err(<__D::Error as serde::de::Error>::custom(\"expected enum representation\")),
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+
+    let out = format!(
+        "impl{impl_g} serde::Deserialize<'de> for {name}{ty_g} {where_c} {{
+            fn deserialize<__D: serde::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{
+                #[allow(unused_variables)]
+                let __v = serde::Deserializer::deserialize_value(__d)?;
+                {body}
+            }}
+        }}"
+    );
+    out.parse()
+        .expect("derive(Deserialize): generated code must parse")
+}

@@ -1,0 +1,451 @@
+//! Offline JSON serialization for the vendored serde stub: `to_string`,
+//! `to_string_pretty`, and `from_str` over [`serde::Value`].
+
+use serde::de::DeserializeOwned;
+use serde::{Serialize, Value};
+
+pub use serde::Error;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = serde::to_value(value)?;
+    let mut out = String::new();
+    write_value(&mut out, &v, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = serde::to_value(value)?;
+    let mut out = String::new();
+    write_value(&mut out, &v, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.i)));
+    }
+    serde::from_value(v)
+}
+
+// ---------------------------------------------------------------------------
+// writer
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Make sure floats survive a round-trip as floats.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                out.push_str("null"); // like serde_json's default behaviour
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_seq(out, items.iter(), items.len(), indent, level, write_value),
+        Value::Map(entries) => write_map(out, entries, indent, level),
+    }
+}
+
+fn write_seq<'a, T: 'a>(
+    out: &mut String,
+    items: impl Iterator<Item = &'a T>,
+    len: usize,
+    indent: Option<usize>,
+    level: usize,
+    write_item: impl Fn(&mut String, &'a T, Option<usize>, usize),
+) {
+    out.push('[');
+    if len == 0 {
+        out.push(']');
+        return;
+    }
+    for (k, item) in items.enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, level + 1);
+        write_item(out, item, indent, level + 1);
+    }
+    newline_indent(out, indent, level);
+    out.push(']');
+}
+
+fn write_map(out: &mut String, entries: &[(String, Value)], indent: Option<usize>, level: usize) {
+    out.push('{');
+    if entries.is_empty() {
+        out.push('}');
+        return;
+    }
+    for (k, (key, val)) in entries.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, level + 1);
+        write_string(out, key);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(out, val, indent, level + 1);
+    }
+    newline_indent(out, indent, level);
+    out.push('}');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// parser
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && matches!(self.s[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|c| c as char),
+                self.i
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.s[self.i..].starts_with(kw.as_bytes()) {
+            self.i += kw.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.i)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = self
+                .peek()
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            let scalar = match code {
+                                // High surrogate: must pair with a trailing
+                                // `\uDC00..=\uDFFF` (JSON encodes non-BMP
+                                // characters as UTF-16 surrogate pairs).
+                                0xD800..=0xDBFF => {
+                                    if self.s.get(self.i) != Some(&b'\\')
+                                        || self.s.get(self.i + 1) != Some(&b'u')
+                                    {
+                                        return Err(Error("unpaired high surrogate".into()));
+                                    }
+                                    self.i += 2;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(Error("invalid low surrogate".into()));
+                                    }
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(Error("unpaired low surrogate".into()))
+                                }
+                                c => c,
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Multi-byte UTF-8: find the full char in the source.
+                    let width = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.i - 1;
+                    if start + width > self.s.len() {
+                        return Err(Error("truncated UTF-8".into()));
+                    }
+                    let chunk = std::str::from_utf8(&self.s[start..start + width])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    out.push_str(chunk);
+                    self.i = start + width;
+                }
+            }
+        }
+    }
+
+    /// Four hex digits of a `\u` escape (the `\u` itself already consumed).
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.i + 4 > self.s.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let hex = std::str::from_utf8(&self.s[self.i..self.i + 4])
+            .map_err(|_| Error("bad \\u escape".into()))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error("bad \\u escape".into()))?;
+        self.i += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|_| Error("invalid number".into()))?;
+        // Integer tokens that overflow u64/i64 fall back to f64, matching
+        // real serde_json (and our own writer, which prints large integral
+        // floats without a decimal point or exponent).
+        let parsed = if float {
+            text.parse::<f64>().ok().map(Value::F64)
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .ok()
+                .map(Value::I64)
+                .or_else(|| text.parse::<f64>().ok().map(Value::F64))
+        } else {
+            text.parse::<u64>()
+                .ok()
+                .map(Value::U64)
+                .or_else(|| text.parse::<f64>().ok().map(Value::F64))
+        };
+        parsed.ok_or_else(|| Error(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.i))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at offset {}", self.i))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+    }
+
+    #[test]
+    fn roundtrip_compound() {
+        let v: (u64, Vec<(u32, u32)>) = (3, vec![(0, 1), (1, 2)]);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[3,[[0,1],[1,2]]]");
+        let back: (u64, Vec<(u32, u32)>) = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = to_string(&"a\"b\\c\nd".to_string()).unwrap();
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+        let back: String = from_str(&s).unwrap();
+        assert_eq!(back, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn unicode_roundtrip() {
+        let text = "héllo ∀x∈S".to_string();
+        let back: String = from_str(&to_string(&text).unwrap()).unwrap();
+        assert_eq!(back, text);
+    }
+
+    #[test]
+    fn huge_integral_float_roundtrips() {
+        let s = to_string(&1e20f64).unwrap();
+        assert_eq!(s, "100000000000000000000");
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(back, 1e20);
+        let neg: f64 = from_str("-100000000000000000000").unwrap();
+        assert_eq!(neg, -1e20);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let back: String = from_str(r#""😀""#).unwrap();
+        assert_eq!(back, "😀");
+        assert!(from_str::<String>(r#""\ud83d""#).is_err()); // unpaired high
+        assert!(from_str::<String>(r#""\ude00""#).is_err()); // unpaired low
+        assert!(from_str::<String>(r#""\ud83dx""#).is_err()); // high + garbage
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u32>("42 junk").is_err());
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v: Vec<u32> = vec![1, 2];
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn option_null() {
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("5").unwrap(), Some(5));
+    }
+}
