@@ -3,12 +3,27 @@
 # BENCH_exp01.json at the repo root — the first file of the
 # perf-trajectory history the ROADMAP asks every perf PR to extend.
 #
-# Usage: ./bench.sh [extra cargo run args...]
+# Usage:
+#   ./bench.sh [extra cargo run args...]
+#       refresh BENCH_exp01.json in place
+#   ./bench.sh --compare <baseline.json> [extra cargo run args...]
+#       run fresh into BENCH_exp01.fresh.json, print a per-metric delta
+#       table against the baseline, and exit non-zero on drift of any
+#       deterministic field (rounds, drops, max_load, verified — not
+#       wall-clock). Used by the `bench-gate` CI job.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo run --release -p ncc-bench --bin exp01_table1 -- --json BENCH_exp01.json "$@"
-
-echo
-echo "snapshot written to BENCH_exp01.json:"
-head -n 20 BENCH_exp01.json
+if [[ "${1:-}" == "--compare" ]]; then
+    baseline="${2:?--compare needs a baseline json path}"
+    shift 2
+    fresh="BENCH_exp01.fresh.json"
+    cargo run --release -p ncc-bench --bin exp01_table1 -- --json "$fresh" "$@"
+    echo
+    cargo run --release -p ncc-bench --bin bench_compare -- "$baseline" "$fresh"
+else
+    cargo run --release -p ncc-bench --bin exp01_table1 -- --json BENCH_exp01.json "$@"
+    echo
+    echo "snapshot written to BENCH_exp01.json:"
+    head -n 20 BENCH_exp01.json
+fi

@@ -1,0 +1,83 @@
+//! bench_router — delivery-phase throughput of the batched counting-sort
+//! router versus the seed engine's per-envelope grouping, at
+//! n ∈ {1e3, 1e4, 1e5}.
+//!
+//! Both variants route the same seeded, skewed send batch (8 messages per
+//! node, one in four aimed at a hot 1% of destinations so the receive-cap
+//! sampling path is exercised). `legacy` reproduces the pre-refactor
+//! delivery loop with its per-round allocations; `batched` reuses one
+//! [`Router`] across iterations, i.e. the steady state of an execution.
+//! The acceptance bar for the refactor is ≥ 2× at n = 1e5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncc_bench::SEED;
+use ncc_model::rng::network_rng;
+use ncc_model::router::reference_route;
+use ncc_model::{Capacity, Envelope, Router};
+use rand::Rng;
+
+const PER_NODE: usize = 8;
+
+/// Seeded skewed send batch: `8n` messages, 25% aimed at the hottest 1% of
+/// destinations so several buckets exceed the receive cap every round.
+fn make_sends(n: usize) -> Vec<Envelope<u64>> {
+    let mut rng = network_rng(SEED, 0, 0);
+    let hot = (n / 100).max(1) as u32;
+    (0..n * PER_NODE)
+        .map(|i| {
+            let src = (i / PER_NODE) as u32;
+            let dst = if i % 4 == 0 {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(0..n as u32)
+            };
+            Envelope::new(src, dst, i as u64)
+        })
+        .collect()
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_delivery");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let template = make_sends(n);
+        let recv = Capacity::default_for(n).recv;
+
+        // `reference_route` is the seed engine's delivery loop verbatim
+        // (exported by ncc-model as the shared semantic oracle), allocation
+        // behaviour included: fresh grouping state every call, per-envelope
+        // pushes into per-destination `Vec`s that start empty each round,
+        // exactly like the `mem::take`n inboxes of the old engine.
+        group.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, &n| {
+            b.iter(|| reference_route(&template, n, recv, SEED, 1));
+        });
+
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            let mut router: Router<u64> = Router::new(n, SEED, 1);
+            let mut batch: Vec<Envelope<u64>> = Vec::with_capacity(template.len());
+            b.iter(|| {
+                batch.clear();
+                batch.extend_from_slice(&template);
+                router.route(&mut batch, 1, recv)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("batched_t4", n), &n, |b, _| {
+            let mut router: Router<u64> = Router::new(n, SEED, 4);
+            let mut batch: Vec<Envelope<u64>> = Vec::with_capacity(template.len());
+            b.iter(|| {
+                batch.clear();
+                batch.extend_from_slice(&template);
+                router.route(&mut batch, 1, recv)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_router
+}
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! bench_compare — diff two `BENCH_exp01.json` snapshots on their
+//! *deterministic* fields and fail on drift.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json>
+//! ```
+//!
+//! The simulation is seeded end to end, so `rounds`, `drops`, `max_load`
+//! and `verified` must be bit-identical between a committed snapshot and a
+//! fresh run of the same tree — any difference means the engine's
+//! semantics changed (or determinism broke) and the perf-trajectory
+//! history would silently fork. Wall-clock is intentionally *not*
+//! compared; this is a semantic regression gate, not a timing gate
+//! (see the `bench-gate` CI job, which runs `bench.sh --compare`).
+//!
+//! Prints a per-metric delta table and exits non-zero on any drift,
+//! missing record, or record-set mismatch.
+
+use std::process::ExitCode;
+
+#[derive(serde::Deserialize)]
+struct Record {
+    problem: String,
+    n: usize,
+    a: usize,
+    rounds: u64,
+    drops: u64,
+    max_load: u64,
+    bound: f64,
+    ratio: f64,
+    verified: bool,
+}
+
+#[derive(serde::Deserialize)]
+struct Snapshot {
+    experiment: String,
+    seed: u64,
+    records: Vec<Record>,
+}
+
+fn load(path: &str) -> Snapshot {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_compare: cannot read {path}: {e}"));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("bench_compare: cannot parse {path}: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+
+    fn check(drift: &mut usize, label: String, base: String, new: String) {
+        let ok = base == new;
+        if !ok {
+            *drift += 1;
+        }
+        println!(
+            "| {label:<24} | {base:>12} | {new:>12} | {} |",
+            if ok { "  =  " } else { "DRIFT" }
+        );
+    }
+    let mut drift = 0usize;
+
+    println!("# bench_compare: {baseline_path} vs {fresh_path}");
+    println!("| metric                   |     baseline |        fresh |  Δ?   |");
+    println!("|--------------------------|--------------|--------------|-------|");
+    check(
+        &mut drift,
+        "experiment".into(),
+        baseline.experiment.clone(),
+        fresh.experiment.clone(),
+    );
+    check(
+        &mut drift,
+        "seed".into(),
+        baseline.seed.to_string(),
+        fresh.seed.to_string(),
+    );
+    check(
+        &mut drift,
+        "record count".into(),
+        baseline.records.len().to_string(),
+        fresh.records.len().to_string(),
+    );
+
+    for base in &baseline.records {
+        let key = format!("{}/n={}", base.problem, base.n);
+        let Some(new) = fresh
+            .records
+            .iter()
+            .find(|r| r.problem == base.problem && r.n == base.n && r.a == base.a)
+        else {
+            println!(
+                "| {key:<24} | {:>12} | {:>12} | DRIFT |",
+                "present", "MISSING"
+            );
+            drift += 1;
+            continue;
+        };
+        check(
+            &mut drift,
+            format!("{key} rounds"),
+            base.rounds.to_string(),
+            new.rounds.to_string(),
+        );
+        check(
+            &mut drift,
+            format!("{key} drops"),
+            base.drops.to_string(),
+            new.drops.to_string(),
+        );
+        check(
+            &mut drift,
+            format!("{key} max_load"),
+            base.max_load.to_string(),
+            new.max_load.to_string(),
+        );
+        check(
+            &mut drift,
+            format!("{key} verified"),
+            base.verified.to_string(),
+            new.verified.to_string(),
+        );
+        // bound/ratio are derived from rounds and a fixed formula; a drift
+        // there without a rounds drift would mean the formula changed —
+        // worth flagging, but compared coarsely to dodge float formatting.
+        check(
+            &mut drift,
+            format!("{key} bound"),
+            format!("{:.3}", base.bound),
+            format!("{:.3}", new.bound),
+        );
+        let _ = base.ratio;
+    }
+
+    if drift == 0 {
+        println!("\nOK: all deterministic metrics identical.");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nFAIL: {drift} metric(s) drifted from the committed snapshot.");
+        println!("If the change is intentional, regenerate with ./bench.sh and commit the new BENCH_exp01.json.");
+        ExitCode::FAILURE
+    }
+}

@@ -9,11 +9,18 @@
 //!
 //! With `--json <path>` the same records are also written as a JSON
 //! document (see `bench.sh`, which snapshots them to `BENCH_exp01.json`
-//! for the perf-trajectory history).
+//! for the perf-trajectory history, and `bench_compare`, which gates CI on
+//! the deterministic fields: rounds, drops, max_load, verified).
+//! `--threads <t>` runs the deterministic parallel executor; every number
+//! in the table is identical for any thread count.
 
-use ncc_bench::{arboricity_workload, describe, engine, f2, lg, prepare, Table, SEED};
+use ncc_bench::{
+    arboricity_workload, cli_json, cli_threads, describe, engine_threaded, f2, lg, prepare, Table,
+    SEED,
+};
 use ncc_core::AlgoReport;
 use ncc_graph::{analysis, check, gen};
+use ncc_model::ExecStats;
 
 #[derive(serde::Serialize)]
 struct Record {
@@ -21,6 +28,8 @@ struct Record {
     n: usize,
     a: usize,
     rounds: u64,
+    drops: u64,
+    max_load: u64,
     bound: f64,
     ratio: f64,
     verified: bool,
@@ -35,22 +44,25 @@ struct Output {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    let json_path = cli_json(&args);
+    let threads = cli_threads(&args);
 
     println!("# E1 — Table 1: problem / measured rounds / paper bound / ratio");
-    let mut table = Table::new(&["problem", "n", "a", "rounds", "bound", "ratio", "verified"]);
+    let mut table = Table::new(&[
+        "problem", "n", "a", "rounds", "drops", "load", "bound", "ratio", "verified",
+    ]);
     let mut records: Vec<Record> = Vec::new();
 
-    let mut emit = |problem: &str, n: usize, a: usize, rounds: u64, bound: f64, ok: bool| {
+    let mut emit = |problem: &str, n: usize, a: usize, total: &ExecStats, bound: f64, ok: bool| {
+        let rounds = total.rounds;
         let ratio = rounds as f64 / bound;
         table.row(vec![
             problem.into(),
             n.to_string(),
             a.to_string(),
             rounds.to_string(),
+            total.dropped.to_string(),
+            total.peak_load().to_string(),
             f2(bound),
             f2(ratio),
             ok.to_string(),
@@ -60,6 +72,8 @@ fn main() {
             n,
             a,
             rounds,
+            drops: total.dropped,
+            max_load: total.peak_load(),
             bound,
             ratio,
             verified: ok,
@@ -77,54 +91,58 @@ fn main() {
         // ---- MST (Thm 3.2: O(log⁴ n)) -------------------------------------
         {
             let wg = gen::with_random_weights(&g, (n * n) as u64, SEED + 1);
-            let mut eng = engine(n, SEED + 2);
+            let mut eng = engine_threaded(n, SEED + 2, threads);
             let mut report = AlgoReport::default();
             let shared = ncc_bench::agree_randomness(&mut eng, &mut report, SEED + 3);
             let r = ncc_core::mst(&mut eng, &shared, &wg).expect("mst");
             report.push("mst", r.report.total);
             let ok = check::check_mst(&wg, &r.edges).is_ok();
             let bound = lg(n).powi(4);
-            emit("MST", n, a, report.total.rounds, bound, ok);
+            emit("MST", n, a, &report.total, bound, ok);
         }
 
         // ---- shared §5 pipeline --------------------------------------------
-        let mut eng = engine(n, SEED + 4);
+        let mut eng = engine_threaded(n, SEED + 4, threads);
         let (shared, bt, prep) = prepare(&mut eng, &g, SEED + 5);
 
         // ---- BFS (Thm 5.2: O((a + D + log n) log n)) -----------------------
         {
             let r = ncc_core::bfs(&mut eng, &shared, &bt, &g, 0).expect("bfs");
             let ok = check::check_bfs(&g, 0, &r.dist, &r.parent).is_ok();
-            let rounds = prep.total.rounds + r.report.total.rounds;
+            let mut total = prep.total;
+            total.merge(&r.report.total);
             let bound = (a_real + d + lg(n)) * lg(n);
-            emit("BFS Tree", n, a, rounds, bound, ok);
+            emit("BFS Tree", n, a, &total, bound, ok);
         }
 
         // ---- MIS (Thm 5.3: O((a + log n) log n)) ---------------------------
         {
             let r = ncc_core::mis(&mut eng, &shared, &bt, &g).expect("mis");
             let ok = check::check_mis(&g, &r.in_mis).is_ok();
-            let rounds = prep.total.rounds + r.report.total.rounds;
+            let mut total = prep.total;
+            total.merge(&r.report.total);
             let bound = (a_real + lg(n)) * lg(n);
-            emit("MIS", n, a, rounds, bound, ok);
+            emit("MIS", n, a, &total, bound, ok);
         }
 
         // ---- Maximal Matching (Thm 5.4: O((a + log n) log n)) ---------------
         {
             let r = ncc_core::maximal_matching(&mut eng, &shared, &bt, &g).expect("mm");
             let ok = check::check_matching(&g, &r.mate).is_ok();
-            let rounds = prep.total.rounds + r.report.total.rounds;
+            let mut total = prep.total;
+            total.merge(&r.report.total);
             let bound = (a_real + lg(n)) * lg(n);
-            emit("Matching", n, a, rounds, bound, ok);
+            emit("Matching", n, a, &total, bound, ok);
         }
 
         // ---- O(a)-Coloring (Thm 5.5: O((a + log n) log^{3/2} n)) ------------
         {
             let r = ncc_core::coloring(&mut eng, &shared, &bt.orientation, &g).expect("coloring");
             let ok = check::check_coloring(&g, &r.colors, r.palette).is_ok();
-            let rounds = prep.total.rounds + r.report.total.rounds;
+            let mut total = prep.total;
+            total.merge(&r.report.total);
             let bound = (a_real + lg(n)) * lg(n).powf(1.5);
-            emit("Coloring", n, a, rounds, bound, ok);
+            emit("Coloring", n, a, &total, bound, ok);
         }
     }
 

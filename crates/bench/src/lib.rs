@@ -74,6 +74,35 @@ pub fn engine(n: usize, seed: u64) -> Engine {
     Engine::new(NetConfig::new(n, seed))
 }
 
+/// Builds an engine with the repository-default capacity and `threads`
+/// worker threads for the step and route phases. Results are bit-identical
+/// to `threads = 1`.
+pub fn engine_threaded(n: usize, seed: u64, threads: usize) -> Engine {
+    Engine::new(NetConfig::new(n, seed).with_threads(threads))
+}
+
+/// Parses `--threads <t>` from a raw argument list (default 1), so every
+/// experiment binary plumbs the deterministic parallel executor the same
+/// way.
+pub fn cli_threads(args: &[String]) -> usize {
+    cli_value(args, "--threads")
+        .map(|v| v.parse().expect("--threads needs an integer"))
+        .unwrap_or(1)
+}
+
+/// Parses `--json <path>` from a raw argument list.
+pub fn cli_json(args: &[String]) -> Option<String> {
+    cli_value(args, "--json").map(str::to_string)
+}
+
+fn cli_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .as_str()
+    })
+}
+
 /// Agrees on shared randomness in-model (charged) and returns it with the
 /// setup statistics folded into the report.
 pub fn agree_randomness(eng: &mut Engine, report: &mut AlgoReport, seed: u64) -> SharedRandomness {
@@ -144,5 +173,28 @@ mod tests {
     fn lg_monotone() {
         assert!(lg(1024) > lg(256));
         assert!((lg(1024) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cli_flags_parse() {
+        let args: Vec<String> = ["--json", "out.json", "--threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(cli_threads(&args), 4);
+        assert_eq!(cli_json(&args).as_deref(), Some("out.json"));
+        assert_eq!(cli_threads(&[]), 1);
+        assert_eq!(cli_json(&[]), None);
+    }
+
+    #[test]
+    fn threaded_engine_matches_sequential() {
+        let g = arboricity_workload(32, 2, 1);
+        let run = |threads| {
+            let mut eng = engine_threaded(32, 2, threads);
+            let (_, _, report) = prepare(&mut eng, &g, 3);
+            report.total
+        };
+        assert_eq!(run(1), run(4));
     }
 }

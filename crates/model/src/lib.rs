@@ -22,6 +22,19 @@
 //! multi-threaded executor (results are bit-identical — see
 //! [`engine::Engine::execute`]).
 //!
+//! ## Delivery as batched routing
+//!
+//! The per-round delivery phase is the [`router::Router`]: one counting
+//! sort of the round's flat send buffer into a reusable per-destination
+//! inbox arena — count, prefix-sum, scatter, then per-bucket receive-cap
+//! sampling keyed by `(seed, round, destination)`. All routing state (the
+//! arena, offset tables, sampling scratch, per-thread histograms) is owned
+//! by the router and recycled, so in the steady state of an execution the
+//! delivery phase performs **no heap allocation** and envelopes are moved,
+//! never cloned. Both the step phase and the route phase run on the
+//! deterministic parallel executor; results are bit-identical for any
+//! thread count.
+//!
 //! Every execution produces [`stats::ExecStats`]: rounds, message and bit
 //! counters, maximum per-node in/out load, and drop counts. The benchmark
 //! harness uses these to validate the paper's round-complexity theorems and
@@ -65,6 +78,7 @@ pub mod error;
 pub mod payload;
 pub mod program;
 pub mod rng;
+pub mod router;
 pub mod stats;
 pub mod trace;
 
@@ -73,6 +87,7 @@ pub use engine::{Engine, NetConfig};
 pub use error::ModelError;
 pub use payload::{Envelope, Payload};
 pub use program::{Ctx, NodeProgram};
+pub use router::{RouteReport, Router};
 pub use stats::{ExecStats, RoundStats};
 pub use trace::{TraceEvent, TraceSink};
 

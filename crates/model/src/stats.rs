@@ -16,7 +16,14 @@ pub struct RoundStats {
     /// Messages delivered to inboxes next round.
     pub delivered: u64,
     /// Messages dropped because a destination exceeded its receive cap.
+    /// Disjoint from `truncated`: a dropped message was `sent` first.
     pub dropped: u64,
+    /// Messages cut by permissive-mode send-cap truncation. Disjoint from
+    /// `dropped`: a truncated message never reached the network and is not
+    /// part of `sent`.
+    pub truncated: u64,
+    /// Destinations whose pre-drop in-degree exceeded the receive cap.
+    pub over_cap_dsts: u64,
     /// Total payload bits sent.
     pub bits: u64,
     /// Maximum messages sent by any single node this round.
@@ -38,6 +45,11 @@ pub struct ExecStats {
     pub sent: u64,
     pub delivered: u64,
     pub dropped: u64,
+    /// Send-side permissive truncations; disjoint from `dropped` (see
+    /// [`RoundStats::truncated`]), so `lost() == dropped + truncated`.
+    pub truncated: u64,
+    /// Sum over rounds of destinations that exceeded the receive cap.
+    pub over_cap_dsts: u64,
     pub bits: u64,
     /// Max over rounds of the per-round max out-degree.
     pub max_out: u64,
@@ -50,11 +62,22 @@ pub struct ExecStats {
 
 impl ExecStats {
     /// Folds one round's numbers into the running totals.
+    ///
+    /// Asserts (in debug builds) the conservation law that keeps `dropped`
+    /// and `truncated` disjoint: every message handed to the network is
+    /// delivered or dropped — truncated messages were never handed over.
     pub fn absorb_round(&mut self, r: &RoundStats) {
+        debug_assert_eq!(
+            r.delivered + r.dropped,
+            r.sent,
+            "sent messages must be exactly delivered + dropped (truncated are not sent)"
+        );
         self.rounds += 1;
         self.sent += r.sent;
         self.delivered += r.delivered;
         self.dropped += r.dropped;
+        self.truncated += r.truncated;
+        self.over_cap_dsts += r.over_cap_dsts;
         self.bits += r.bits;
         self.max_out = self.max_out.max(r.max_out);
         self.max_in = self.max_in.max(r.max_in);
@@ -69,6 +92,8 @@ impl ExecStats {
         self.sent += other.sent;
         self.delivered += other.delivered;
         self.dropped += other.dropped;
+        self.truncated += other.truncated;
+        self.over_cap_dsts += other.over_cap_dsts;
         self.bits += other.bits;
         self.max_out = self.max_out.max(other.max_out);
         self.max_in = self.max_in.max(other.max_in);
@@ -87,6 +112,14 @@ impl ExecStats {
     pub fn peak_load(&self) -> u64 {
         self.max_out.max(self.max_in)
     }
+
+    /// Messages lost for any reason. The two counters are disjoint by
+    /// construction — `dropped` messages were sent and hit the receive cap,
+    /// `truncated` messages were cut at the sender and never sent — so the
+    /// sum never double-counts a message.
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.truncated
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +131,8 @@ mod tests {
             sent,
             delivered: sent,
             dropped: 0,
+            truncated: 0,
+            over_cap_dsts: 0,
             bits: sent * 10,
             max_out,
             max_in,
@@ -138,8 +173,38 @@ mod tests {
     fn dirty_when_drops() {
         let mut e = ExecStats::default();
         let mut r = round(5, 1, 1);
+        r.delivered = 4;
         r.dropped = 1;
+        r.over_cap_dsts = 1;
         e.absorb_round(&r);
         assert!(!e.clean());
+        assert_eq!(e.over_cap_dsts, 1);
+    }
+
+    #[test]
+    fn lost_is_disjoint_sum_of_dropped_and_truncated() {
+        let mut e = ExecStats::default();
+        let mut r = round(10, 2, 6);
+        r.delivered = 7;
+        r.dropped = 3; // receive-cap drops: part of `sent`
+        r.truncated = 4; // send-side truncation: never sent
+        e.absorb_round(&r);
+        assert_eq!(e.sent, 10);
+        assert_eq!(e.dropped, 3);
+        assert_eq!(e.truncated, 4);
+        assert_eq!(e.lost(), 7);
+        // conservation: sent splits exactly into delivered + dropped
+        assert_eq!(e.delivered + e.dropped, e.sent);
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered + dropped")]
+    #[cfg(debug_assertions)]
+    fn absorb_rejects_double_counted_losses() {
+        let mut e = ExecStats::default();
+        let mut r = round(5, 1, 1);
+        // delivered still 5: a message counted both delivered and dropped
+        r.dropped = 1;
+        e.absorb_round(&r);
     }
 }

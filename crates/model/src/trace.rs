@@ -19,7 +19,17 @@ pub struct TraceEvent {
 pub trait TraceSink {
     /// Called once per round with every message *delivered* that round
     /// (dropped messages are not part of the realized communication).
+    ///
+    /// Events arrive grouped by destination — ascending destination, and
+    /// within a destination in `(sender, send order)` — mirroring the
+    /// batched router's inbox arena layout. Consumers that bin by endpoint
+    /// (the k-machine conversion, contact counting) are order-insensitive.
     fn on_round(&mut self, round: u64, delivered: &[TraceEvent]);
+
+    /// Called after [`TraceSink::on_round`] for rounds in which the network
+    /// dropped messages: one `(destination, dropped count)` pair per
+    /// over-cap destination, ascending by destination. Default: ignore.
+    fn on_drops(&mut self, _round: u64, _drops: &[(NodeId, u32)]) {}
 }
 
 /// A sink that stores the full trace in memory. Useful for tests and for
@@ -27,17 +37,29 @@ pub trait TraceSink {
 #[derive(Debug, Default, Clone)]
 pub struct RecordingSink {
     pub rounds: Vec<Vec<TraceEvent>>,
+    /// `(round, destination, dropped count)` for every over-cap destination.
+    pub drops: Vec<(u64, NodeId, u32)>,
 }
 
 impl TraceSink for RecordingSink {
     fn on_round(&mut self, _round: u64, delivered: &[TraceEvent]) {
         self.rounds.push(delivered.to_vec());
     }
+
+    fn on_drops(&mut self, round: u64, drops: &[(NodeId, u32)]) {
+        self.drops
+            .extend(drops.iter().map(|&(dst, k)| (round, dst, k)));
+    }
 }
 
 impl RecordingSink {
     pub fn total_messages(&self) -> usize {
         self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// Total messages the network dropped across the recorded execution.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().map(|&(_, _, k)| k as u64).sum()
     }
 }
 
@@ -55,5 +77,14 @@ mod tests {
         );
         assert_eq!(s.rounds.len(), 2);
         assert_eq!(s.total_messages(), 3);
+    }
+
+    #[test]
+    fn recording_sink_tracks_drops() {
+        let mut s = RecordingSink::default();
+        s.on_round(0, &[TraceEvent { src: 0, dst: 1 }]);
+        s.on_drops(0, &[(1, 3), (4, 2)]);
+        assert_eq!(s.drops, vec![(0, 1, 3), (0, 4, 2)]);
+        assert_eq!(s.total_drops(), 5);
     }
 }

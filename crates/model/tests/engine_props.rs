@@ -1,7 +1,11 @@
 //! Property tests for the engine itself: conservation laws, determinism,
-//! and sequential ≡ parallel equivalence under randomized programs.
+//! sequential ≡ parallel equivalence under randomized programs, and
+//! equivalence of the batched router with the pre-refactor per-envelope
+//! delivery semantics.
 
-use ncc_model::{Capacity, Ctx, Engine, Envelope, NetConfig, NodeProgram};
+use ncc_model::rng::network_rng;
+use ncc_model::router::reference_route;
+use ncc_model::{Capacity, Ctx, Engine, Envelope, NetConfig, NodeProgram, Router};
 use proptest::prelude::*;
 use rand::Rng;
 
@@ -95,6 +99,8 @@ proptest! {
     }
 
     /// Bit-identical execution across thread counts, including under drops.
+    /// Covers both executor phases: the chunked step and the partitioned
+    /// counting-sort route.
     #[test]
     fn parallel_equivalence(
         n in 150usize..400,
@@ -114,9 +120,62 @@ proptest! {
             (stats, sums)
         };
         let (s1, r1) = run(1);
-        let (s3, r3) = run(3);
-        prop_assert_eq!(s1, s3);
-        prop_assert_eq!(r1, r3);
+        for threads in [2usize, 4, 8] {
+            let (st, rt) = run(threads);
+            prop_assert_eq!(s1, st, "stats diverged at {} threads", threads);
+            prop_assert_eq!(&r1, &rt, "states diverged at {} threads", threads);
+        }
+    }
+
+    /// The batched router reproduces the pre-refactor delivery semantics
+    /// exactly — same survivor sets, same inbox ordering, same drop count —
+    /// on raw random send batches, for every thread count.
+    #[test]
+    fn router_matches_reference_semantics(
+        n in 2usize..300,
+        msgs in 0usize..6000,
+        recv_cap in 1usize..24,
+        seed in any::<u64>(),
+        round in 0u64..1000,
+    ) {
+        // deterministic synthetic send batch with hot spots (dst % 7 == 0
+        // redirects to a small range, forcing over-cap destinations)
+        let mut gen = network_rng(seed ^ 0xba7c4, 0, 0);
+        let sends: Vec<Envelope<u64>> = (0..msgs)
+            .map(|i| {
+                let src = gen.gen_range(0..n as u32);
+                let dst = if i % 7 == 0 {
+                    gen.gen_range(0..n as u32) % (1 + n as u32 / 16)
+                } else {
+                    gen.gen_range(0..n as u32)
+                };
+                Envelope::new(src, dst, i as u64)
+            })
+            .collect();
+
+        let (ref_inboxes, ref_dropped) = reference_route(&sends, n, recv_cap, seed, round);
+
+        for threads in [1usize, 2, 4, 8] {
+            // threshold 1 forces the parallel path whenever threads > 1, so
+            // the partitioned counting sort is exercised on small batches too
+            let mut router: Router<u64> =
+                Router::new(n, seed, threads).with_min_parallel_sends(1);
+            let mut batch = sends.clone();
+            let report = router.route(&mut batch, round, recv_cap);
+            prop_assert_eq!(report.dropped, ref_dropped, "dropped diverged at {} threads", threads);
+            prop_assert_eq!(
+                report.delivered + report.dropped,
+                sends.len() as u64,
+                "conservation failed at {} threads", threads
+            );
+            for d in 0..n as u32 {
+                prop_assert_eq!(
+                    router.inbox(d),
+                    ref_inboxes[d as usize].as_slice(),
+                    "inbox {} diverged at {} threads", d, threads
+                );
+            }
+        }
     }
 
     /// Determinism: the same seed reproduces stats and states exactly;
