@@ -1,29 +1,46 @@
 #!/usr/bin/env bash
-# Runs the Table-1 experiment and snapshots its measurements to
-# BENCH_exp01.json at the repo root — the first file of the
-# perf-trajectory history the ROADMAP asks every perf PR to extend.
+# Snapshots the deterministic experiment measurements the CI bench gate
+# diffs — the perf-trajectory history the ROADMAP asks every perf PR to
+# extend:
+#
+#   BENCH_exp01.json  the Table-1 experiment (exp01_table1 --json)
+#   BENCH_suite.json  the whole runner registry over the standard
+#                     scenario grid (ncc-cli suite)
 #
 # Usage:
 #   ./bench.sh [extra cargo run args...]
-#       refresh BENCH_exp01.json in place
-#   ./bench.sh --compare <baseline.json> [extra cargo run args...]
-#       run fresh into BENCH_exp01.fresh.json, print a per-metric delta
-#       table against the baseline, and exit non-zero on drift of any
-#       deterministic field (rounds, drops, max_load, verified — not
+#       refresh both snapshots in place
+#   ./bench.sh --compare <exp01-baseline.json> [<suite-baseline.json>]
+#       run fresh into BENCH_*.fresh.json, print per-metric delta tables
+#       against the baselines, and exit non-zero on drift of any
+#       deterministic field (rounds, drops, max_load, verdicts — never
 #       wall-clock). Used by the `bench-gate` CI job.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 if [[ "${1:-}" == "--compare" ]]; then
-    baseline="${2:?--compare needs a baseline json path}"
+    exp01_baseline="${2:?--compare needs an exp01 baseline json path}"
     shift 2
-    fresh="BENCH_exp01.fresh.json"
-    cargo run --release -p ncc-bench --bin exp01_table1 -- --json "$fresh" "$@"
+    suite_baseline="BENCH_suite.json"
+    if [[ $# -gt 0 && "$1" != --* ]]; then
+        suite_baseline="$1"
+        shift
+    fi
+    exp01_fresh="BENCH_exp01.fresh.json"
+    suite_fresh="BENCH_suite.fresh.json"
+    cargo run --release -p ncc-bench --bin exp01_table1 -- --json "$exp01_fresh" "$@"
     echo
-    cargo run --release -p ncc-bench --bin bench_compare -- "$baseline" "$fresh"
+    cargo run --release -p ncc --bin ncc-cli -- suite --out "$suite_fresh" "$@"
+    echo
+    cargo run --release -p ncc-bench --bin bench_compare -- "$exp01_baseline" "$exp01_fresh"
+    echo
+    cargo run --release -p ncc-bench --bin bench_compare -- "$suite_baseline" "$suite_fresh"
 else
     cargo run --release -p ncc-bench --bin exp01_table1 -- --json BENCH_exp01.json "$@"
     echo
-    echo "snapshot written to BENCH_exp01.json:"
-    head -n 20 BENCH_exp01.json
+    cargo run --release -p ncc --bin ncc-cli -- suite --out BENCH_suite.json "$@"
+    echo
+    echo "snapshots written to BENCH_exp01.json + BENCH_suite.json:"
+    head -n 12 BENCH_exp01.json
+    head -n 12 BENCH_suite.json
 fi

@@ -1,48 +1,119 @@
-//! bench_compare — diff two `BENCH_exp01.json` snapshots on their
-//! *deterministic* fields and fail on drift.
+//! bench_compare — diff two `BENCH_*.json` snapshots and fail on drift.
 //!
 //! ```text
 //! bench_compare <baseline.json> <fresh.json>
 //! ```
 //!
-//! The simulation is seeded end to end, so `rounds`, `drops`, `max_load`
-//! and `verified` must be bit-identical between a committed snapshot and a
-//! fresh run of the same tree — any difference means the engine's
-//! semantics changed (or determinism broke) and the perf-trajectory
-//! history would silently fork. Wall-clock is intentionally *not*
-//! compared; this is a semantic regression gate, not a timing gate
-//! (see the `bench-gate` CI job, which runs `bench.sh --compare`).
+//! Schema-agnostic: both files are loaded as JSON value trees and compared
+//! structurally, so the same gate covers `BENCH_exp01.json` (per-problem
+//! records) and `BENCH_suite.json` (full `RunRecord`s with scenario echoes
+//! and stage breakdowns) — and any future snapshot, without a
+//! per-experiment mirror struct.
 //!
-//! Prints a per-metric delta table and exits non-zero on any drift,
-//! missing record, or record-set mismatch.
+//! Every field in these snapshots is *deterministic* (the simulation is
+//! seeded end to end and records carry no wall-clock), so any difference
+//! means the engine's semantics changed or determinism broke and the
+//! perf-trajectory history would silently fork. Numeric values compare
+//! across integer/float representation; everything else must be
+//! identical. Prints a per-record summary plus the first drifted leaves,
+//! and exits non-zero on any drift.
 
 use std::process::ExitCode;
 
-#[derive(serde::Deserialize)]
-struct Record {
-    problem: String,
-    n: usize,
-    a: usize,
-    rounds: u64,
-    drops: u64,
-    max_load: u64,
-    bound: f64,
-    ratio: f64,
-    verified: bool,
-}
+use serde::Value;
 
-#[derive(serde::Deserialize)]
-struct Snapshot {
-    experiment: String,
-    seed: u64,
-    records: Vec<Record>,
-}
-
-fn load(path: &str) -> Snapshot {
+fn load(path: &str) -> Value {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("bench_compare: cannot read {path}: {e}"));
     serde_json::from_str(&text)
         .unwrap_or_else(|e| panic!("bench_compare: cannot parse {path}: {e:?}"))
+}
+
+/// Numeric-aware leaf equality: `5`, `5.0` and `-5 as I64` agree.
+fn leaf_eq(a: &Value, b: &Value) -> bool {
+    fn as_f64(v: &Value) -> Option<f64> {
+        match v {
+            Value::U64(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+    match (as_f64(a), as_f64(b)) {
+        (Some(x), Some(y)) => x == y || (x.is_nan() && y.is_nan()),
+        _ => a == b,
+    }
+}
+
+/// Collects `path: baseline != fresh` descriptions for every drifted leaf.
+fn diff(a: &Value, b: &Value, path: &str, out: &mut Vec<String>) {
+    match (a, b) {
+        (Value::Map(ma), Value::Map(mb)) => {
+            for (k, va) in ma {
+                match mb.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => diff(va, vb, &format!("{path}.{k}"), out),
+                    None => out.push(format!("{path}.{k}: missing in fresh")),
+                }
+            }
+            for (k, _) in mb {
+                if !ma.iter().any(|(ka, _)| ka == k) {
+                    out.push(format!("{path}.{k}: missing in baseline"));
+                }
+            }
+        }
+        (Value::Seq(sa), Value::Seq(sb)) => {
+            if sa.len() != sb.len() {
+                out.push(format!("{path}: length {} vs {}", sa.len(), sb.len()));
+            }
+            for (i, (va, vb)) in sa.iter().zip(sb.iter()).enumerate() {
+                diff(va, vb, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {
+            if !leaf_eq(a, b) {
+                out.push(format!("{path}: {} vs {}", render(a), render(b)));
+            }
+        }
+    }
+}
+
+fn render(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "?".into())
+}
+
+/// Short human label for one record: its first few scalar string/number
+/// fields (`problem`/`algorithm`, `n`, ...) or the index alone.
+fn record_label(rec: &Value, idx: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Value::Map(m) = rec {
+        for key in ["problem", "algorithm", "n"] {
+            if let Some((_, v)) = m.iter().find(|(k, _)| k == key) {
+                match v {
+                    Value::Str(s) => parts.push(s.clone()),
+                    Value::U64(x) => parts.push(format!("{key}={x}")),
+                    _ => {}
+                }
+            }
+        }
+        // RunRecords keep n inside the scenario echo
+        if let Some((_, Value::Map(scn))) = m.iter().find(|(k, _)| k == "scenario") {
+            if let Some((_, Value::U64(n))) = scn.iter().find(|(k, _)| k == "n") {
+                parts.push(format!("n={n}"));
+            }
+        }
+    }
+    if parts.is_empty() {
+        format!("record[{idx}]")
+    } else {
+        format!("record[{idx}] {}", parts.join("/"))
+    }
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
 }
 
 fn main() -> ExitCode {
@@ -54,96 +125,71 @@ fn main() -> ExitCode {
     let baseline = load(baseline_path);
     let fresh = load(fresh_path);
 
-    fn check(drift: &mut usize, label: String, base: String, new: String) {
-        let ok = base == new;
-        if !ok {
-            *drift += 1;
-        }
-        println!(
-            "| {label:<24} | {base:>12} | {new:>12} | {} |",
-            if ok { "  =  " } else { "DRIFT" }
-        );
-    }
-    let mut drift = 0usize;
-
     println!("# bench_compare: {baseline_path} vs {fresh_path}");
-    println!("| metric                   |     baseline |        fresh |  Δ?   |");
-    println!("|--------------------------|--------------|--------------|-------|");
-    check(
-        &mut drift,
-        "experiment".into(),
-        baseline.experiment.clone(),
-        fresh.experiment.clone(),
-    );
-    check(
-        &mut drift,
-        "seed".into(),
-        baseline.seed.to_string(),
-        fresh.seed.to_string(),
-    );
-    check(
-        &mut drift,
-        "record count".into(),
-        baseline.records.len().to_string(),
-        fresh.records.len().to_string(),
-    );
-
-    for base in &baseline.records {
-        let key = format!("{}/n={}", base.problem, base.n);
-        let Some(new) = fresh
-            .records
-            .iter()
-            .find(|r| r.problem == base.problem && r.n == base.n && r.a == base.a)
-        else {
-            println!(
-                "| {key:<24} | {:>12} | {:>12} | DRIFT |",
-                "present", "MISSING"
-            );
-            drift += 1;
-            continue;
-        };
-        check(
-            &mut drift,
-            format!("{key} rounds"),
-            base.rounds.to_string(),
-            new.rounds.to_string(),
+    for key in ["experiment", "seed"] {
+        println!(
+            "{key:<12} baseline={} fresh={}",
+            get(&baseline, key).map_or("<none>".into(), render),
+            get(&fresh, key).map_or("<none>".into(), render)
         );
-        check(
-            &mut drift,
-            format!("{key} drops"),
-            base.drops.to_string(),
-            new.drops.to_string(),
-        );
-        check(
-            &mut drift,
-            format!("{key} max_load"),
-            base.max_load.to_string(),
-            new.max_load.to_string(),
-        );
-        check(
-            &mut drift,
-            format!("{key} verified"),
-            base.verified.to_string(),
-            new.verified.to_string(),
-        );
-        // bound/ratio are derived from rounds and a fixed formula; a drift
-        // there without a rounds drift would mean the formula changed —
-        // worth flagging, but compared coarsely to dodge float formatting.
-        check(
-            &mut drift,
-            format!("{key} bound"),
-            format!("{:.3}", base.bound),
-            format!("{:.3}", new.bound),
-        );
-        let _ = base.ratio;
     }
 
-    if drift == 0 {
+    let empty = Vec::new();
+    let base_records = match get(&baseline, "records") {
+        Some(Value::Seq(s)) => s,
+        _ => &empty,
+    };
+    let fresh_records = match get(&fresh, "records") {
+        Some(Value::Seq(s)) => s,
+        _ => &empty,
+    };
+
+    let mut drifted: Vec<String> = Vec::new();
+    // top-level scalar drift (experiment name, seed, record count)
+    for key in ["experiment", "seed"] {
+        match (get(&baseline, key), get(&fresh, key)) {
+            (Some(a), Some(b)) => diff(a, b, key, &mut drifted),
+            (None, None) => {}
+            _ => drifted.push(format!("{key}: present on one side only")),
+        }
+    }
+    if base_records.len() != fresh_records.len() {
+        drifted.push(format!(
+            "records: count {} vs {}",
+            base_records.len(),
+            fresh_records.len()
+        ));
+    }
+
+    println!("\n| record                                   | fields drifted |  Δ?   |");
+    println!("|------------------------------------------|----------------|-------|");
+    for (i, (b, f)) in base_records.iter().zip(fresh_records.iter()).enumerate() {
+        let mut local: Vec<String> = Vec::new();
+        diff(b, f, &record_label(b, i), &mut local);
+        println!(
+            "| {:<40} | {:>14} | {} |",
+            record_label(b, i),
+            local.len(),
+            if local.is_empty() { "  =  " } else { "DRIFT" }
+        );
+        drifted.extend(local);
+    }
+
+    if drifted.is_empty() {
         println!("\nOK: all deterministic metrics identical.");
         ExitCode::SUCCESS
     } else {
-        println!("\nFAIL: {drift} metric(s) drifted from the committed snapshot.");
-        println!("If the change is intentional, regenerate with ./bench.sh and commit the new BENCH_exp01.json.");
+        println!(
+            "\nFAIL: {} field(s) drifted from the committed snapshot:",
+            drifted.len()
+        );
+        for line in drifted.iter().take(25) {
+            println!("  {line}");
+        }
+        if drifted.len() > 25 {
+            println!("  ... and {} more", drifted.len() - 25);
+        }
+        println!("If the change is intentional, regenerate with ./bench.sh and commit the new snapshots.");
         ExitCode::FAILURE
     }
 }

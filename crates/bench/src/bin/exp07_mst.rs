@@ -1,62 +1,73 @@
 //! E7 — Theorem 3.2: MST in `O(log⁴ n)` rounds.
 //!
-//! Sweeps `n` over several graph families and weight ranges `W = n, n², n³`;
-//! verifies each output against Kruskal and prints `rounds / log⁴ n`.
+//! A declarative sweep over [`ScenarioSpec`]s through the runner registry:
+//! `n` over sparse `G(n,p)`, weight ranges `W = n, n², n³` at fixed `n`,
+//! and a structure sweep. Every output is verified against Kruskal inside
+//! the registry run; `--json <path>` writes the records, `--threads <t>`
+//! runs the deterministic parallel executor.
 
-use ncc_bench::{engine, f2, lg, Table, SEED};
-use ncc_core::AlgoReport;
-use ncc_graph::{check, gen};
-
-fn run(name: &str, g: &ncc_graph::Graph, w_max: u64, t: &mut Table) {
-    let n = g.n();
-    let wg = gen::with_random_weights(g, w_max, SEED + 9);
-    let mut eng = engine(n, SEED + 10);
-    let mut report = AlgoReport::default();
-    let shared = ncc_bench::agree_randomness(&mut eng, &mut report, SEED + 11);
-    let r = ncc_core::mst(&mut eng, &shared, &wg).expect("mst");
-    report.push("mst", r.report.total);
-    let ok = check::check_mst(&wg, &r.edges).is_ok();
-    let bound = lg(n).powi(4);
-    t.row(vec![
-        name.into(),
-        n.to_string(),
-        w_max.to_string(),
-        r.phases.to_string(),
-        report.total.rounds.to_string(),
-        f2(bound),
-        f2(report.total.rounds as f64 / bound),
-        ok.to_string(),
-    ]);
-}
+use ncc_bench::{cli_json, cli_threads, f2, lg, write_records_json, Table, SEED};
+use ncc_runner::{run_named_threads, FamilySpec, ScenarioSpec};
 
 fn main() {
-    println!("# E7 — Theorem 3.2 (MST): rounds vs log⁴ n");
-    let mut t = Table::new(&[
-        "graph", "n", "W", "phases", "rounds", "log^4 n", "ratio", "ok",
-    ]);
+    let args: Vec<String> = std::env::args().collect();
+    let threads = cli_threads(&args);
+    let json = cli_json(&args);
+
+    // The whole experiment is this grid — adding a row is a data change.
+    let mut grid: Vec<(&str, ScenarioSpec)> = Vec::new();
     for &n in &[32usize, 64, 128, 256, 512] {
-        run(
+        grid.push((
             "gnp",
-            &gen::gnp(n, 24.0 / n as f64, SEED + n as u64),
-            (n * n) as u64,
-            &mut t,
-        );
+            ScenarioSpec::new(FamilySpec::Gnp { p: 24.0 / n as f64 }, n, SEED + n as u64),
+        ));
     }
     // weight-range sweep at fixed n (Lemma 3.1's log W factor folds into
     // the key width; with W = poly(n) the bound is unchanged)
     let n = 128usize;
-    run("gnp", &gen::gnp(n, 0.2, SEED + 1), n as u64, &mut t);
-    run("gnp", &gen::gnp(n, 0.2, SEED + 1), (n * n) as u64, &mut t);
-    run(
-        "gnp",
-        &gen::gnp(n, 0.2, SEED + 1),
-        (n * n * n) as u64,
-        &mut t,
-    );
+    for w in [n as u64, (n * n) as u64, (n * n * n) as u64] {
+        grid.push((
+            "gnp",
+            ScenarioSpec::new(FamilySpec::Gnp { p: 0.2 }, n, SEED + 1).with_weight_max(w),
+        ));
+    }
     // structure sweep
-    run("grid", &gen::grid(16, 16), 1000, &mut t);
-    run("star", &gen::star(256), 1000, &mut t);
-    run("forests(8)", &gen::forest_union(256, 8, SEED), 1000, &mut t);
+    grid.push((
+        "grid",
+        ScenarioSpec::grid(16, 16, SEED).with_weight_max(1000),
+    ));
+    grid.push((
+        "star",
+        ScenarioSpec::new(FamilySpec::Star, 256, SEED).with_weight_max(1000),
+    ));
+    grid.push((
+        "forests(8)",
+        ScenarioSpec::new(FamilySpec::Forests { k: 8 }, 256, SEED).with_weight_max(1000),
+    ));
+
+    println!("# E7 — Theorem 3.2 (MST): rounds vs log⁴ n");
+    let mut t = Table::new(&[
+        "graph", "n", "W", "phases", "rounds", "log^4 n", "ratio", "ok",
+    ]);
+    let mut records = Vec::new();
+    for (name, spec) in &grid {
+        let rec = run_named_threads("mst", spec, threads).expect("mst");
+        let bound = lg(spec.n).powi(4);
+        t.row(vec![
+            (*name).into(),
+            spec.n.to_string(),
+            spec.weight_max.to_string(),
+            rec.phases.unwrap_or(0).to_string(),
+            rec.rounds.to_string(),
+            f2(bound),
+            f2(rec.rounds as f64 / bound),
+            rec.verdict.ok().to_string(),
+        ]);
+        records.push(rec);
+    }
     t.print();
     println!("\nexpected: ratio flat in n; weak growth in W (key width), none in structure.");
+    if let Some(path) = json {
+        write_records_json(&path, "exp07_mst", &records);
+    }
 }

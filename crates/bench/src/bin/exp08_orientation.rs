@@ -2,75 +2,86 @@
 //! an `O(a)`-orientation in `O((a + log n) log n)` rounds, `O(log n)`
 //! phases, and `O(log n)` per-node load.
 //!
-//! Sweeps arboricity via unions of `a` random forests at fixed `n`, then
-//! sweeps `n` at fixed `a`.
+//! Declarative [`ScenarioSpec`] sweep through the runner registry:
+//! arboricity via unions of `a` random forests at fixed `n`, then `n` at
+//! fixed `a`. `--json <path>` writes the records.
 
-use ncc_bench::{arboricity_workload, engine, f2, lg, Table, SEED};
-use ncc_graph::check;
-use ncc_hashing::SharedRandomness;
+use ncc_bench::{cli_json, cli_threads, f2, lg, spec_graph, write_records_json, Table, SEED};
+use ncc_graph::analysis;
+use ncc_runner::{run_named_threads, FamilySpec, RunRecord, ScenarioSpec};
 
-fn run(n: usize, a: usize, t: &mut Table) {
-    let g = arboricity_workload(n, a, SEED + a as u64);
-    let (alo, ahi) = ncc_graph::analysis::arboricity_bounds(&g);
-    let mut eng = engine(n, SEED + (n + a) as u64);
-    let shared = SharedRandomness::new(SEED ^ 0x0e1e);
-    let r = ncc_core::orient(&mut eng, &shared, &g).expect("orientation");
-    let ok = check::check_orientation(&g, &r.directed_edges(), 4 * ahi.max(1)).is_ok();
-    let rounds = r.report.total.rounds;
+fn headers() -> Vec<&'static str> {
+    vec![
+        "n",
+        "a",
+        "phases",
+        "ph/logn",
+        "outdeg",
+        "outdeg/a",
+        "rounds",
+        "bound",
+        "ratio",
+        "peak_load",
+        "ok",
+    ]
+}
+
+fn row(t: &mut Table, spec: &ScenarioSpec, rec: &RunRecord) {
+    let n = spec.n;
+    let (alo, ahi) = analysis::arboricity_bounds(&spec_graph(spec));
+    let outdeg = rec.metric("max_outdegree").unwrap_or(0);
+    let phases = rec.phases.unwrap_or(0);
     let bound = (alo as f64 + lg(n)) * lg(n);
     t.row(vec![
         n.to_string(),
         format!("[{alo},{ahi}]"),
-        r.phases.to_string(),
-        f2(r.phases as f64 / lg(n)),
-        r.max_outdegree().to_string(),
-        f2(r.max_outdegree() as f64 / alo.max(1) as f64),
-        rounds.to_string(),
+        phases.to_string(),
+        f2(phases as f64 / lg(n)),
+        outdeg.to_string(),
+        f2(outdeg as f64 / alo.max(1) as f64),
+        rec.rounds.to_string(),
         f2(bound),
-        f2(rounds as f64 / bound),
-        r.report.total.peak_load().to_string(),
-        ok.to_string(),
+        f2(rec.rounds as f64 / bound),
+        rec.max_load.to_string(),
+        rec.verdict.ok().to_string(),
     ]);
 }
 
 fn main() {
-    println!("# E8 — Theorem 4.12 (O(a)-Orientation)");
-    let mut t = Table::new(&[
-        "n",
-        "a",
-        "phases",
-        "ph/logn",
-        "outdeg",
-        "outdeg/a",
-        "rounds",
-        "bound",
-        "ratio",
-        "peak_load",
-        "ok",
-    ]);
-    println!("\n## arboricity sweep at n = 256");
-    for a in [1usize, 2, 4, 8, 16] {
-        run(256, a, &mut t);
-    }
-    t.print();
+    let args: Vec<String> = std::env::args().collect();
+    let threads = cli_threads(&args);
+    let json = cli_json(&args);
+    let mut records = Vec::new();
+    let sweep = |title: &str, grid: Vec<ScenarioSpec>, records: &mut Vec<RunRecord>| {
+        println!("\n## {title}");
+        let mut t = Table::new(&headers());
+        for spec in &grid {
+            let rec = run_named_threads("orientation", spec, threads).expect("orientation");
+            row(&mut t, spec, &rec);
+            records.push(rec);
+        }
+        t.print();
+    };
 
-    let mut t = Table::new(&[
-        "n",
-        "a",
-        "phases",
-        "ph/logn",
-        "outdeg",
-        "outdeg/a",
-        "rounds",
-        "bound",
-        "ratio",
-        "peak_load",
-        "ok",
-    ]);
-    println!("\n## n sweep at a = 4");
-    for n in [64usize, 128, 256, 512] {
-        run(n, 4, &mut t);
-    }
-    t.print();
+    println!("# E8 — Theorem 4.12 (O(a)-Orientation)");
+    sweep(
+        "arboricity sweep at n = 256",
+        [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&a| ScenarioSpec::new(FamilySpec::Forests { k: a }, 256, SEED + a as u64))
+            .collect(),
+        &mut records,
+    );
+    sweep(
+        "n sweep at a = 4",
+        [64usize, 128, 256, 512]
+            .iter()
+            .map(|&n| ScenarioSpec::new(FamilySpec::Forests { k: 4 }, n, SEED + 4))
+            .collect(),
+        &mut records,
+    );
     println!("\nexpected: phases ≲ 2·log n; outdeg/a ≤ 4; round ratio flat; peak_load = O(log n).");
+    if let Some(path) = json {
+        write_records_json(&path, "exp08_orientation", &records);
+    }
 }

@@ -1,52 +1,64 @@
 //! E9 — Theorem 5.2: BFS trees in `O((a + D + log n) log n)` rounds.
 //!
 //! The bound has two regimes: diameter-dominated (grids, paths) and
-//! log-dominated (G(n,p), stars). The workload set covers both; every
-//! output is validated against the centralised BFS.
+//! log-dominated (G(n,p), stars). The declarative scenario grid covers
+//! both; every output is validated against the centralised BFS inside the
+//! registry run. `--json <path>` writes the records.
 
-use ncc_bench::{engine, f2, lg, prepare, Table, SEED};
-use ncc_graph::{analysis, check, gen, Graph};
-
-fn run(name: &str, g: &Graph, t: &mut Table) {
-    let n = g.n();
-    let d = analysis::diameter(g) as f64;
-    let (alo, _) = analysis::arboricity_bounds(g);
-    let mut eng = engine(n, SEED + n as u64);
-    let (shared, bt, prep) = prepare(&mut eng, g, SEED + 3);
-    let r = ncc_core::bfs(&mut eng, &shared, &bt, g, 0).expect("bfs");
-    let ok = check::check_bfs(g, 0, &r.dist, &r.parent).is_ok();
-    let rounds = prep.total.rounds + r.report.total.rounds;
-    let bound = (alo as f64 + d + lg(n)) * lg(n);
-    t.row(vec![
-        name.into(),
-        n.to_string(),
-        (d as u64).to_string(),
-        r.phases.to_string(),
-        rounds.to_string(),
-        f2(bound),
-        f2(rounds as f64 / bound),
-        ok.to_string(),
-    ]);
-}
+use ncc_bench::{cli_json, cli_threads, f2, lg, spec_graph, write_records_json, Table, SEED};
+use ncc_graph::analysis;
+use ncc_runner::{run_named_threads, FamilySpec, ScenarioSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = cli_threads(&args);
+    let json = cli_json(&args);
+
+    let grid: Vec<(&str, ScenarioSpec)> = vec![
+        // diameter-dominated regime
+        ("path", ScenarioSpec::new(FamilySpec::Path, 128, SEED)),
+        ("grid 8x32", ScenarioSpec::grid(8, 32, SEED)),
+        ("grid 16x16", ScenarioSpec::grid(16, 16, SEED)),
+        ("grid 23x23", ScenarioSpec::grid(23, 23, SEED)),
+        // log-dominated regime
+        ("star", ScenarioSpec::new(FamilySpec::Star, 256, SEED)),
+        (
+            "gnp(0.05)",
+            ScenarioSpec::new(FamilySpec::Gnp { p: 0.05 }, 256, SEED),
+        ),
+        ("tree(rand)", ScenarioSpec::new(FamilySpec::Tree, 256, SEED)),
+        // n sweep on grids (D = Θ(√n))
+        ("grid 8x8", ScenarioSpec::grid(8, 8, SEED)),
+        ("grid 12x12", ScenarioSpec::grid(12, 12, SEED)),
+        ("grid 20x20", ScenarioSpec::grid(20, 20, SEED)),
+    ];
+
     println!("# E9 — Theorem 5.2 (BFS Tree): rounds vs (a + D + log n)·log n");
     let mut t = Table::new(&[
         "graph", "n", "D", "phases", "rounds", "bound", "ratio", "ok",
     ]);
-    // diameter-dominated regime
-    run("path", &gen::path(128), &mut t);
-    run("grid 8x32", &gen::grid(8, 32), &mut t);
-    run("grid 16x16", &gen::grid(16, 16), &mut t);
-    run("grid 23x23", &gen::grid(23, 23), &mut t);
-    // log-dominated regime
-    run("star", &gen::star(256), &mut t);
-    run("gnp(0.05)", &gen::gnp(256, 0.05, SEED), &mut t);
-    run("tree(rand)", &gen::random_tree(256, SEED), &mut t);
-    // n sweep on grids (D = Θ(√n))
-    run("grid 8x8", &gen::grid(8, 8), &mut t);
-    run("grid 12x12", &gen::grid(12, 12), &mut t);
-    run("grid 20x20", &gen::grid(20, 20), &mut t);
+    let mut records = Vec::new();
+    for (name, spec) in &grid {
+        let rec = run_named_threads("bfs", spec, threads).expect("bfs");
+        let g = spec_graph(spec);
+        let d = analysis::diameter(&g) as f64;
+        let (alo, _) = analysis::arboricity_bounds(&g);
+        let bound = (alo as f64 + d + lg(spec.n)) * lg(spec.n);
+        t.row(vec![
+            (*name).into(),
+            spec.n.to_string(),
+            (d as u64).to_string(),
+            rec.phases.unwrap_or(0).to_string(),
+            rec.rounds.to_string(),
+            f2(bound),
+            f2(rec.rounds as f64 / bound),
+            rec.verdict.ok().to_string(),
+        ]);
+        records.push(rec);
+    }
     t.print();
     println!("\nexpected: ratio flat across both regimes (D-dominated and log-dominated).");
+    if let Some(path) = json {
+        write_records_json(&path, "exp09_bfs", &records);
+    }
 }

@@ -1,45 +1,60 @@
 //! E10 — Theorem 5.3: MIS in `O((a + log n) log n)` rounds.
 //!
-//! Arboricity sweep at fixed `n`, then `n` sweep at fixed `a`; validity
-//! checked and the MIS size reported next to the greedy baseline's.
+//! Declarative scenario sweep: arboricity at fixed `n`, then `n` at fixed
+//! `a`. Validity is checked inside the registry run; the MIS size is
+//! reported next to the sequential greedy baseline's. `--json <path>`
+//! writes the records.
 
-use ncc_bench::{arboricity_workload, engine, f2, lg, prepare, Table, SEED};
-use ncc_graph::check;
-
-fn run(n: usize, a: usize, t: &mut Table) {
-    let g = arboricity_workload(n, a, SEED + a as u64 * 3);
-    let mut eng = engine(n, SEED + (n * a) as u64);
-    let (shared, bt, prep) = prepare(&mut eng, &g, SEED + 5);
-    let r = ncc_core::mis(&mut eng, &shared, &bt, &g).expect("mis");
-    let ok = check::check_mis(&g, &r.in_mis).is_ok();
-    let size = r.in_mis.iter().filter(|&&b| b).count();
-    let greedy = ncc_baselines::greedy_mis(&g).iter().filter(|&&b| b).count();
-    let rounds = prep.total.rounds + r.report.total.rounds;
-    let bound = (a as f64 + lg(n)) * lg(n);
-    t.row(vec![
-        n.to_string(),
-        a.to_string(),
-        r.phases.to_string(),
-        size.to_string(),
-        greedy.to_string(),
-        rounds.to_string(),
-        f2(bound),
-        f2(rounds as f64 / bound),
-        ok.to_string(),
-    ]);
-}
+use ncc_bench::{cli_json, cli_threads, f2, lg, spec_graph, write_records_json, Table, SEED};
+use ncc_runner::{run_named_threads, FamilySpec, ScenarioSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = cli_threads(&args);
+    let json = cli_json(&args);
+
+    let mut grid: Vec<(usize, ScenarioSpec)> = Vec::new();
+    for &a in &[1usize, 2, 4, 8, 16] {
+        grid.push((
+            a,
+            ScenarioSpec::new(FamilySpec::Forests { k: a }, 256, SEED + a as u64 * 3),
+        ));
+    }
+    for &n in &[64usize, 128, 256, 512] {
+        grid.push((
+            3,
+            ScenarioSpec::new(FamilySpec::Forests { k: 3 }, n, SEED + 5),
+        ));
+    }
+
     println!("# E10 — Theorem 5.3 (MIS): rounds vs (a + log n)·log n");
     let mut t = Table::new(&[
         "n", "a", "phases", "|MIS|", "|greedy|", "rounds", "bound", "ratio", "ok",
     ]);
-    for a in [1usize, 2, 4, 8, 16] {
-        run(256, a, &mut t);
-    }
-    for n in [64usize, 128, 256, 512] {
-        run(n, 3, &mut t);
+    let mut records = Vec::new();
+    for (a, spec) in &grid {
+        let rec = run_named_threads("mis", spec, threads).expect("mis");
+        let greedy = ncc_baselines::greedy_mis(&spec_graph(spec))
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        let bound = (*a as f64 + lg(spec.n)) * lg(spec.n);
+        t.row(vec![
+            spec.n.to_string(),
+            a.to_string(),
+            rec.phases.unwrap_or(0).to_string(),
+            rec.metric("mis_size").unwrap_or(0).to_string(),
+            greedy.to_string(),
+            rec.rounds.to_string(),
+            f2(bound),
+            f2(rec.rounds as f64 / bound),
+            rec.verdict.ok().to_string(),
+        ]);
+        records.push(rec);
     }
     t.print();
     println!("\nexpected: flat ratio; MIS size comparable to the greedy baseline.");
+    if let Some(path) = json {
+        write_records_json(&path, "exp10_mis", &records);
+    }
 }

@@ -1,52 +1,65 @@
 //! E12 — Theorem 5.5: `O(a)`-coloring in `O((a + log n) log^{3/2} n)`
 //! rounds. The palette must scale with `a` (not with Δ — the star row is
 //! the discriminating case) and every coloring must be proper.
+//!
+//! Declarative scenario sweep through the runner registry. `--json <path>`
+//! writes the records.
 
-use ncc_bench::{arboricity_workload, engine, f2, lg, prepare, Table, SEED};
-use ncc_graph::{check, gen, Graph};
-
-fn run(name: &str, g: &Graph, a_nominal: usize, t: &mut Table) {
-    let n = g.n();
-    let mut eng = engine(n, SEED + (n + 7 * a_nominal) as u64);
-    let (shared, bt, prep) = prepare(&mut eng, g, SEED + 7);
-    let r = ncc_core::coloring(&mut eng, &shared, &bt.orientation, g).expect("coloring");
-    let ok = check::check_coloring(g, &r.colors, r.palette).is_ok();
-    let used = r.colors.iter().copied().max().map_or(0, |c| c + 1);
-    let (greedy_colors, greedy_used) = ncc_baselines::greedy_coloring(g);
-    let _ = greedy_colors;
-    let rounds = prep.total.rounds + r.report.total.rounds;
-    let bound = (a_nominal as f64 + lg(n)) * lg(n).powf(1.5);
-    t.row(vec![
-        name.into(),
-        n.to_string(),
-        a_nominal.to_string(),
-        g.max_degree().to_string(),
-        r.palette.to_string(),
-        used.to_string(),
-        greedy_used.to_string(),
-        rounds.to_string(),
-        f2(bound),
-        f2(rounds as f64 / bound),
-        ok.to_string(),
-    ]);
-}
+use ncc_bench::{cli_json, cli_threads, f2, lg, spec_graph, write_records_json, Table, SEED};
+use ncc_runner::{run_named_threads, FamilySpec, ScenarioSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = cli_threads(&args);
+    let json = cli_json(&args);
+
+    let mut grid: Vec<(&str, usize, ScenarioSpec)> = Vec::new();
+    for &a in &[1usize, 2, 4, 8, 16] {
+        grid.push((
+            "forests",
+            a,
+            ScenarioSpec::new(FamilySpec::Forests { k: a }, 256, SEED + a as u64 * 7),
+        ));
+    }
+    // the palette-vs-Δ discriminator: a = 1 but Δ = n−1
+    grid.push(("star", 1, ScenarioSpec::new(FamilySpec::Star, 256, SEED)));
+    grid.push(("grid", 2, ScenarioSpec::grid(16, 16, SEED)));
+    for &n in &[64usize, 128, 256, 512] {
+        grid.push((
+            "forests",
+            3,
+            ScenarioSpec::new(FamilySpec::Forests { k: 3 }, n, SEED + 11),
+        ));
+    }
+
     println!("# E12 — Theorem 5.5 (O(a)-Coloring): palette O(a), rounds vs (a+log n)·log^1.5 n");
     let mut t = Table::new(&[
         "graph", "n", "a", "deg_max", "palette", "used", "greedy", "rounds", "bound", "ratio", "ok",
     ]);
-    for a in [1usize, 2, 4, 8, 16] {
-        let g = arboricity_workload(256, a, SEED + a as u64 * 7);
-        run("forests", &g, a, &mut t);
-    }
-    // the palette-vs-Δ discriminator: a = 1 but Δ = n−1
-    run("star", &gen::star(256), 1, &mut t);
-    run("grid", &gen::grid(16, 16), 2, &mut t);
-    for n in [64usize, 128, 256, 512] {
-        let g = arboricity_workload(n, 3, SEED + 11);
-        run("forests", &g, 3, &mut t);
+    let mut records = Vec::new();
+    for (name, a, spec) in &grid {
+        let rec = run_named_threads("coloring", spec, threads).expect("coloring");
+        let g = spec_graph(spec);
+        let (_, greedy_used) = ncc_baselines::greedy_coloring(&g);
+        let bound = (*a as f64 + lg(spec.n)) * lg(spec.n).powf(1.5);
+        t.row(vec![
+            (*name).into(),
+            spec.n.to_string(),
+            a.to_string(),
+            g.max_degree().to_string(),
+            rec.metric("palette").unwrap_or(0).to_string(),
+            rec.metric("colors_used").unwrap_or(0).to_string(),
+            greedy_used.to_string(),
+            rec.rounds.to_string(),
+            f2(bound),
+            f2(rec.rounds as f64 / bound),
+            rec.verdict.ok().to_string(),
+        ]);
+        records.push(rec);
     }
     t.print();
     println!("\nexpected: palette tracks a (star stays constant!); ratio flat.");
+    if let Some(path) = json {
+        write_records_json(&path, "exp12_coloring", &records);
+    }
 }

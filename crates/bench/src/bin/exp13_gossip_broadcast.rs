@@ -3,12 +3,24 @@
 //!
 //! Both protocols are round-optimal up to constants, so the measured curves
 //! trace the bounds: `gossip·log n / n` and `broadcast·log log n / log n`
-//! must stay flat.
+//! must stay flat. Declarative scenario sweep through the runner registry
+//! (the dissemination baselines run on the clique itself, so the input
+//! graph family is a cheap placeholder). `--json <path>` writes the
+//! records.
 
-use ncc_baselines::{broadcast_all, gossip_all};
-use ncc_bench::{engine, f2, lg, Table, SEED};
+use ncc_bench::{cli_json, cli_threads, f2, lg, write_records_json, Table, SEED};
+use ncc_runner::{run_named_threads, FamilySpec, ScenarioSpec};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = cli_threads(&args);
+    let json = cli_json(&args);
+
+    let grid: Vec<ScenarioSpec> = [6u32, 8, 10, 12]
+        .iter()
+        .map(|&k| ScenarioSpec::new(FamilySpec::Path, 1usize << k, SEED))
+        .collect();
+
     println!("# E13 — gossip Θ(n/log n) and broadcast Θ(log n/log log n)");
     let mut t = Table::new(&[
         "n",
@@ -20,13 +32,13 @@ fn main() {
         "log/loglog",
         "b-ratio",
     ]);
-    for k in [6u32, 8, 10, 12] {
-        let n = 1usize << k;
-        let mut eng = engine(n, SEED);
-        let cap = eng.config().capacity.send;
-        let g = gossip_all(&mut eng).expect("gossip");
-        let mut eng = engine(n, SEED + 1);
-        let b = broadcast_all(&mut eng, 42).expect("broadcast");
+    let mut records = Vec::new();
+    for spec in &grid {
+        let n = spec.n;
+        let cap = spec.capacity.send;
+        let g = run_named_threads("gossip", spec, threads).expect("gossip");
+        let b = run_named_threads("broadcast", &spec.clone().with_seed(SEED + 1), threads)
+            .expect("broadcast");
         let g_bound = n as f64 / cap as f64;
         let b_bound = (lg(n) / lg(n).log2()).max(1.0);
         t.row(vec![
@@ -39,8 +51,13 @@ fn main() {
             f2(b_bound),
             f2(b.rounds as f64 / b_bound),
         ]);
+        records.push(g);
+        records.push(b);
     }
     t.print();
     println!("\nexpected: both ratio columns flat — the intro's bounds are tight for");
     println!("these protocols (gossip saturates Θ̃(n) bits/round; broadcast fans out Θ(log n)).");
+    if let Some(path) = json {
+        write_records_json(&path, "exp13_gossip_broadcast", &records);
+    }
 }

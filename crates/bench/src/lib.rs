@@ -95,12 +95,16 @@ pub fn cli_json(args: &[String]) -> Option<String> {
     cli_value(args, "--json").map(str::to_string)
 }
 
+/// Value of `flag`, if present. A `--`-prefixed next token is another flag,
+/// not a value (`--json --threads 4` must not read `--threads` as the json
+/// path); a flag without a value is an error.
 fn cli_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).map(|i| {
-        args.get(i + 1)
-            .unwrap_or_else(|| panic!("{flag} needs a value"))
-            .as_str()
-    })
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => v.as_str(),
+            _ => panic!("{flag} needs a value"),
+        })
 }
 
 /// Agrees on shared randomness in-model (charged) and returns it with the
@@ -147,6 +151,24 @@ pub fn describe(g: &Graph) -> String {
     )
 }
 
+/// Rebuilds a spec's input graph for post-hoc analysis (diameter,
+/// arboricity, sequential baselines). Deterministic, so the analysed graph
+/// is exactly the one the run saw.
+pub fn spec_graph(spec: &ncc_runner::ScenarioSpec) -> Graph {
+    spec.build_graph()
+        .unwrap_or_else(|e| panic!("unbuildable spec {}: {e}", spec.label()))
+}
+
+/// Writes a migrated experiment's records as JSON (the `BENCH_*.json`
+/// schema shared with `ncc-cli suite`), so every sweep leaves a
+/// machine-readable trail for the perf-trajectory history.
+pub fn write_records_json(path: &str, experiment: &str, records: &[ncc_runner::RunRecord]) {
+    ncc_runner::SuiteOutput::new(experiment, SEED, records.to_vec())
+        .write(path)
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +207,25 @@ mod tests {
         assert_eq!(cli_json(&args).as_deref(), Some("out.json"));
         assert_eq!(cli_threads(&[]), 1);
         assert_eq!(cli_json(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--json needs a value")]
+    fn cli_json_rejects_flag_as_value() {
+        // the old parser silently returned "--threads" as the json path
+        let args: Vec<String> = ["--json", "--threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let _ = cli_json(&args);
+    }
+
+    #[test]
+    fn spec_graph_matches_run_input() {
+        let spec = ncc_runner::ScenarioSpec::new(ncc_runner::FamilySpec::Gnp { p: 0.2 }, 32, 5);
+        let g = spec_graph(&spec);
+        assert_eq!(g.n(), 32);
+        assert_eq!(g.m(), spec.build().unwrap().graph.m());
     }
 
     #[test]

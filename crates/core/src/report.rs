@@ -5,9 +5,13 @@
 //! experiments need, so every algorithm driver labels its stages.
 
 use ncc_model::ExecStats;
+use serde::{Deserialize, Serialize};
 
 /// Accumulated statistics with labelled stages.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializes structurally (stages as `[label, stats]` pairs), so
+/// `RunRecord` JSON needs no hand-rolled mirror structs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AlgoReport {
     pub total: ExecStats,
     /// `(stage label, stats)` in execution order. Repeated labels are fine
@@ -102,6 +106,19 @@ mod tests {
         assert_eq!(r.stage_count("phase"), 2);
         assert_eq!(r.stage_count("setup"), 1);
         assert_eq!(r.stage_count("missing"), 0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_stages_and_total() {
+        let mut r = AlgoReport::default();
+        r.push("setup", stats(5));
+        r.push("phase", stats(7));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AlgoReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total, r.total);
+        assert_eq!(back.stages.len(), 2);
+        assert_eq!(back.stages[0].0, "setup");
+        assert_eq!(back.stages[1].1.rounds, 7);
     }
 
     #[test]

@@ -33,6 +33,21 @@ impl Payload for u64 {
     }
 }
 
+/// Same minimal-width accounting as `u64` (the value is what travels, not
+/// the storage width).
+impl Payload for u32 {
+    fn bit_size(&self) -> u32 {
+        min_bits(*self as u64)
+    }
+}
+
+/// A flag is one bit on the wire.
+impl Payload for bool {
+    fn bit_size(&self) -> u32 {
+        1
+    }
+}
+
 impl Payload for () {
     fn bit_size(&self) -> u32 {
         0
@@ -42,6 +57,23 @@ impl Payload for () {
 impl<A: Payload, B: Payload> Payload for (A, B) {
     fn bit_size(&self) -> u32 {
         self.0.bit_size() + self.1.bit_size()
+    }
+}
+
+/// An optional value costs a presence bit plus the value when present —
+/// the honest encoding of protocol fields like "my proposal, if any",
+/// which message enums otherwise pack into sentinel `u64`s.
+impl<P: Payload> Payload for Option<P> {
+    fn bit_size(&self) -> u32 {
+        1 + self.as_ref().map_or(0, Payload::bit_size)
+    }
+}
+
+/// Fixed-size arrays sum their element widths (no length header: the
+/// length is static protocol knowledge, exactly like a tuple's arity).
+impl<P: Payload, const N: usize> Payload for [P; N] {
+    fn bit_size(&self) -> u32 {
+        self.iter().map(Payload::bit_size).sum()
     }
 }
 
@@ -109,6 +141,33 @@ mod tests {
     fn envelope_accounts_header() {
         let e = Envelope::new(0, 1, 7u64);
         assert_eq!(e.bit_size(10), 3 + 10);
+    }
+
+    #[test]
+    fn u32_and_bool_widths() {
+        assert_eq!(0u32.bit_size(), 1);
+        assert_eq!(255u32.bit_size(), 8);
+        assert_eq!(u32::MAX.bit_size(), 32);
+        assert_eq!(true.bit_size(), 1);
+        assert_eq!(false.bit_size(), 1);
+    }
+
+    #[test]
+    fn option_charges_presence_bit() {
+        assert_eq!(Option::<u64>::None.bit_size(), 1);
+        assert_eq!(Some(255u64).bit_size(), 1 + 8);
+        // nesting stays honest: Option<Option<u64>>
+        assert_eq!(Some(Some(255u64)).bit_size(), 1 + 1 + 8);
+        assert_eq!(Some(Option::<u64>::None).bit_size(), 2);
+    }
+
+    #[test]
+    fn array_sums_elements_without_header() {
+        assert_eq!([0u64; 0].bit_size(), 0);
+        assert_eq!([1u64, 255, 3].bit_size(), 1 + 8 + 2);
+        assert_eq!([true; 7].bit_size(), 7);
+        // composes with tuples and options
+        assert_eq!(([3u64, 4], Some(true)).bit_size(), (2 + 3) + 2);
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! The algorithm registry: one object-safe trait, one implementation per
+//! paper algorithm, one static table to dispatch by name.
+//!
+//! Callers (the CLI, experiment sweeps, the suite) never match on
+//! algorithm names to pick an entrypoint signature; they look the name up
+//! with [`find_algorithm`] and call [`Algorithm::run`], which owns the full
+//! in-model pipeline for that algorithm — seed agreement, any §5 setup
+//! (orientation + broadcast trees), the algorithm itself, and the
+//! centralised correctness check — and returns a typed [`RunRecord`].
+
+use ncc_baselines::{broadcast_all, gossip_all};
+use ncc_butterfly::{aggregate_and_broadcast, broadcast_seed, MinU64};
+use ncc_core::{AlgoReport, BroadcastTrees};
+use ncc_graph::{analysis, check};
+use ncc_hashing::SharedRandomness;
+use ncc_model::{ilog2_ceil, Engine, ModelError};
+
+use crate::{RunRecord, Scenario, Verdict};
+
+/// An algorithm runnable on any [`Scenario`] through the registry.
+///
+/// Implementations are unit structs, so the trait is object-safe and the
+/// registry is a static table of `&'static dyn Algorithm`.
+pub trait Algorithm: Sync {
+    /// Registry name (`ncc-cli run <name>` vocabulary).
+    fn name(&self) -> &'static str;
+
+    /// One-line description, shown in `ncc-cli help` and the README.
+    fn description(&self) -> &'static str;
+
+    /// Runs the full pipeline on `eng` and reports what happened.
+    ///
+    /// The engine is expected to be freshly built from the scenario (see
+    /// [`crate::run_record`]); all randomness beyond the engine's own is
+    /// agreed *in model* from `scn.spec.seed`, so the record is a pure
+    /// function of `(algorithm, spec)`.
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError>;
+}
+
+/// Agrees on shared randomness in model (charged rounds) and records the
+/// cost. Mirrors the §2.2 seed-broadcast budget used across the harness.
+fn agree(
+    eng: &mut Engine,
+    report: &mut AlgoReport,
+    seed: u64,
+) -> Result<SharedRandomness, ModelError> {
+    let n = eng.n();
+    let k = SharedRandomness::k_for(n);
+    let bits = SharedRandomness::bits_required(n, 2 * ilog2_ceil(n).max(1) as usize, k);
+    let (shared, stats) = broadcast_seed(eng, seed ^ 0x5eed, bits)?;
+    report.push("seed-agreement", stats);
+    Ok(shared)
+}
+
+/// The shared §5 preparation pipeline: seed agreement + orientation +
+/// broadcast trees, all charged into the report.
+fn prepare(
+    eng: &mut Engine,
+    scn: &Scenario,
+    report: &mut AlgoReport,
+) -> Result<(SharedRandomness, BroadcastTrees), ModelError> {
+    let shared = agree(eng, report, scn.spec.seed)?;
+    let (bt, rep) = ncc_core::build_broadcast_trees(eng, &shared, &scn.graph)?;
+    report.push("orientation+trees", rep.total);
+    Ok((shared, bt))
+}
+
+// ---------------------------------------------------------------------------
+// §3 — MST
+
+struct Mst;
+
+impl Algorithm for Mst {
+    fn name(&self) -> &'static str {
+        "mst"
+    }
+    fn description(&self) -> &'static str {
+        "minimum spanning forest, Boruvka + sketch FindMin (§3, O(log⁴ n))"
+    }
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
+        let mut report = AlgoReport::default();
+        let shared = agree(eng, &mut report, scn.spec.seed)?;
+        let r = ncc_core::mst(eng, &shared, &scn.weighted)?;
+        report.push("mst", r.report.total);
+        let verdict = Verdict::from_check(check::check_mst(&scn.weighted, &r.edges));
+        let weight = scn.weighted.total_weight(&r.edges);
+        let summary = format!(
+            "{} edges, weight {weight}, {} Boruvka phases",
+            r.edges.len(),
+            r.phases
+        );
+        Ok(RunRecord::new(
+            self.name(),
+            &scn.spec,
+            report,
+            verdict,
+            Some(r.phases),
+            summary,
+        )
+        .with_metric("edges", r.edges.len() as u64)
+        .with_metric("weight", weight))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §4 — O(a)-Orientation
+
+struct Orientation;
+
+impl Algorithm for Orientation {
+    fn name(&self) -> &'static str {
+        "orientation"
+    }
+    fn description(&self) -> &'static str {
+        "O(a)-orientation by iterated peeling (§4, O((a+log n)·log n))"
+    }
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
+        let mut report = AlgoReport::default();
+        let shared = agree(eng, &mut report, scn.spec.seed)?;
+        let r = ncc_core::orient(eng, &shared, &scn.graph)?;
+        report.push("orientation", r.report.total);
+        let (_, ahi) = analysis::arboricity_bounds(&scn.graph);
+        let verdict = Verdict::from_check(check::check_orientation(
+            &scn.graph,
+            &r.directed_edges(),
+            4 * ahi.max(1),
+        ));
+        let summary = format!(
+            "max outdegree {} (d* = {}), {} phases",
+            r.max_outdegree(),
+            r.d_star,
+            r.phases
+        );
+        Ok(RunRecord::new(
+            self.name(),
+            &scn.spec,
+            report,
+            verdict,
+            Some(r.phases),
+            summary,
+        )
+        .with_metric("max_outdegree", r.max_outdegree() as u64)
+        .with_metric("d_star", r.d_star as u64))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §5 — BFS / MIS / Matching / Coloring (share the preparation pipeline)
+
+struct Bfs;
+
+impl Algorithm for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+    fn description(&self) -> &'static str {
+        "BFS tree by layered multicast (§5.1, O((a+D+log n)·log n))"
+    }
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
+        let mut report = AlgoReport::default();
+        let (shared, bt) = prepare(eng, scn, &mut report)?;
+        let src = scn.source();
+        let r = ncc_core::bfs(eng, &shared, &bt, &scn.graph, src)?;
+        report.push("bfs", r.report.total);
+        let verdict = Verdict::from_check(check::check_bfs(&scn.graph, src, &r.dist, &r.parent));
+        let reached = r.dist.iter().filter(|&&d| d != u32::MAX).count();
+        let summary = format!(
+            "source {src}: {reached}/{} reached, {} frontier phases",
+            scn.graph.n(),
+            r.phases
+        );
+        Ok(RunRecord::new(
+            self.name(),
+            &scn.spec,
+            report,
+            verdict,
+            Some(r.phases),
+            summary,
+        )
+        .with_metric("reached", reached as u64))
+    }
+}
+
+struct Mis;
+
+impl Algorithm for Mis {
+    fn name(&self) -> &'static str {
+        "mis"
+    }
+    fn description(&self) -> &'static str {
+        "maximal independent set, Luby over broadcast trees (§5.2)"
+    }
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
+        let mut report = AlgoReport::default();
+        let (shared, bt) = prepare(eng, scn, &mut report)?;
+        let r = ncc_core::mis(eng, &shared, &bt, &scn.graph)?;
+        report.push("mis", r.report.total);
+        let verdict = Verdict::from_check(check::check_mis(&scn.graph, &r.in_mis));
+        let size = r.in_mis.iter().filter(|&&b| b).count();
+        let summary = format!("{size} nodes in the set, {} phases", r.phases);
+        Ok(RunRecord::new(
+            self.name(),
+            &scn.spec,
+            report,
+            verdict,
+            Some(r.phases),
+            summary,
+        )
+        .with_metric("mis_size", size as u64))
+    }
+}
+
+struct Matching;
+
+impl Algorithm for Matching {
+    fn name(&self) -> &'static str {
+        "matching"
+    }
+    fn description(&self) -> &'static str {
+        "maximal matching by random proposals (§5.3)"
+    }
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
+        let mut report = AlgoReport::default();
+        let (shared, bt) = prepare(eng, scn, &mut report)?;
+        let r = ncc_core::maximal_matching(eng, &shared, &bt, &scn.graph)?;
+        report.push("matching", r.report.total);
+        let verdict = Verdict::from_check(check::check_matching(&scn.graph, &r.mate));
+        let pairs = r.mate.iter().filter(|m| m.is_some()).count() / 2;
+        let summary = format!("{pairs} pairs, {} phases", r.phases);
+        Ok(RunRecord::new(
+            self.name(),
+            &scn.spec,
+            report,
+            verdict,
+            Some(r.phases),
+            summary,
+        )
+        .with_metric("pairs", pairs as u64))
+    }
+}
+
+struct Coloring;
+
+impl Algorithm for Coloring {
+    fn name(&self) -> &'static str {
+        "coloring"
+    }
+    fn description(&self) -> &'static str {
+        "O(a)-coloring via orientation classes (§5.4)"
+    }
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
+        let mut report = AlgoReport::default();
+        let (shared, bt) = prepare(eng, scn, &mut report)?;
+        let r = ncc_core::coloring(eng, &shared, &bt.orientation, &scn.graph)?;
+        report.push("coloring", r.report.total);
+        let verdict = Verdict::from_check(check::check_coloring(&scn.graph, &r.colors, r.palette));
+        let used = r.colors.iter().max().map_or(0, |c| c + 1);
+        let summary = format!("{used} colors used (palette {})", r.palette);
+        Ok(
+            RunRecord::new(self.name(), &scn.spec, report, verdict, None, summary)
+                .with_metric("colors_used", used as u64)
+                .with_metric("palette", r.palette as u64),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §1 baselines — gossip and broadcast (capacity-bound demonstrations)
+
+struct Gossip;
+
+impl Algorithm for Gossip {
+    fn name(&self) -> &'static str {
+        "gossip"
+    }
+    fn description(&self) -> &'static str {
+        "all-to-all token gossip baseline (§1, Θ(n/log n) rounds)"
+    }
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
+        let mut report = AlgoReport::default();
+        let stats = gossip_all(eng)?;
+        report.push("gossip", stats);
+        let summary = format!("{} rounds, {} messages", stats.rounds, stats.sent);
+        Ok(RunRecord::new(
+            self.name(),
+            &scn.spec,
+            report,
+            Verdict::Unchecked,
+            None,
+            summary,
+        ))
+    }
+}
+
+struct Broadcast;
+
+impl Algorithm for Broadcast {
+    fn name(&self) -> &'static str {
+        "broadcast"
+    }
+    fn description(&self) -> &'static str {
+        "single-source flooding broadcast baseline (§1, Θ(log n/log log n))"
+    }
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
+        let mut report = AlgoReport::default();
+        let stats = broadcast_all(eng, scn.spec.seed ^ 42)?;
+        report.push("broadcast", stats);
+        let summary = format!("{} rounds, {} messages", stats.rounds, stats.sent);
+        Ok(RunRecord::new(
+            self.name(),
+            &scn.spec,
+            report,
+            Verdict::Unchecked,
+            None,
+            summary,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §2.2 — butterfly Aggregate-and-Broadcast
+
+struct ButterflyAggregation;
+
+impl Algorithm for ButterflyAggregation {
+    fn name(&self) -> &'static str {
+        "butterfly-aggregation"
+    }
+    fn description(&self) -> &'static str {
+        "global min via butterfly aggregate-and-broadcast (Thm 2.2, O(log n))"
+    }
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
+        let mut report = AlgoReport::default();
+        // One seeded value per node; the oracle minimum is computable
+        // locally, which gives this primitive a real correctness check.
+        let inputs: Vec<Option<u64>> = (0..scn.spec.n as u64)
+            .map(|i| Some((i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ scn.spec.seed) >> 16))
+            .collect();
+        let oracle = inputs.iter().flatten().copied().min();
+        let (results, stats) = aggregate_and_broadcast(eng, inputs, &MinU64)?;
+        report.push("aggregate-and-broadcast", stats);
+        let verdict = if results.iter().all(|r| *r == oracle) {
+            Verdict::Verified
+        } else {
+            Verdict::Failed
+        };
+        let summary = format!("global min {:?} agreed by all {} nodes", oracle, scn.spec.n);
+        Ok(RunRecord::new(
+            self.name(),
+            &scn.spec,
+            report,
+            verdict,
+            None,
+            summary,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// registry
+
+static MST: Mst = Mst;
+static ORIENTATION: Orientation = Orientation;
+static BFS: Bfs = Bfs;
+static MIS: Mis = Mis;
+static MATCHING: Matching = Matching;
+static COLORING: Coloring = Coloring;
+static GOSSIP: Gossip = Gossip;
+static BROADCAST: Broadcast = Broadcast;
+static BUTTERFLY_AGG: ButterflyAggregation = ButterflyAggregation;
+
+static REGISTRY: [&dyn Algorithm; 9] = [
+    &MST,
+    &ORIENTATION,
+    &BFS,
+    &MIS,
+    &MATCHING,
+    &COLORING,
+    &GOSSIP,
+    &BROADCAST,
+    &BUTTERFLY_AGG,
+];
+
+/// Every registered algorithm, in canonical (paper) order.
+pub fn algorithms() -> &'static [&'static dyn Algorithm] {
+    &REGISTRY
+}
+
+/// Looks an algorithm up by its registry name.
+pub fn find_algorithm(name: &str) -> Option<&'static dyn Algorithm> {
+    REGISTRY.iter().copied().find(|a| a.name() == name)
+}
+
+/// The registry vocabulary as one space-separated line (for usage text).
+pub fn algorithm_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|a| a.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_complete() {
+        let names = algorithm_names();
+        assert!(names.len() >= 8, "paper matrix needs ≥ 8 algorithms");
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate registry names");
+        for expected in [
+            "mst",
+            "orientation",
+            "bfs",
+            "mis",
+            "matching",
+            "coloring",
+            "gossip",
+            "broadcast",
+            "butterfly-aggregation",
+        ] {
+            assert!(
+                find_algorithm(expected).is_some(),
+                "{expected} missing from registry"
+            );
+        }
+        assert!(find_algorithm("no-such-algo").is_none());
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for a in algorithms() {
+            assert!(
+                !a.description().is_empty(),
+                "{} lacks a description",
+                a.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Scenario specifications: the data that names one cell of the paper's
+//! result matrix.
+//!
+//! Every result in the paper is a point in
+//! `{algorithm} × {graph family} × {n} × {capacity} × {seed}`; a
+//! [`ScenarioSpec`] is exactly that point, minus the algorithm, as a plain
+//! serializable value. The spec alone deterministically reconstructs the
+//! input graph, its edge weights, and a configured [`Engine`] — so a JSON
+//! file (or a literal in an experiment binary) fully describes a run, and
+//! adding a scenario is a data change, not a new hand-rolled entrypoint.
+
+use ncc_graph::{gen, Graph, WeightedGraph};
+use ncc_model::{Capacity, Engine, NetConfig, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::RunnerError;
+
+/// A named graph family plus its parameters (§1.1's "input graph").
+///
+/// The `seed` and `n` of the owning [`ScenarioSpec`] are shared by all
+/// randomized families, so the family value carries only family-specific
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FamilySpec {
+    Path,
+    Cycle,
+    Star,
+    Complete,
+    /// `rows × cols` grid; the spec's `n` must equal `rows * cols`.
+    Grid {
+        rows: usize,
+        cols: usize,
+    },
+    /// Triangulated `rows × cols` grid (planar, arboricity ≤ 3).
+    TGrid {
+        rows: usize,
+        cols: usize,
+    },
+    /// Uniform random spanning tree.
+    Tree,
+    /// Union of `k` random forests (arboricity ≤ `k`) — the Table-1
+    /// bounded-arboricity workload.
+    Forests {
+        k: usize,
+    },
+    /// Erdős–Rényi `G(n, p)`.
+    Gnp {
+        p: f64,
+    },
+    /// Erdős–Rényi `G(n, m)`.
+    Gnm {
+        m: usize,
+    },
+    /// Barabási–Albert preferential attachment, `m` edges per arrival.
+    Ba {
+        m: usize,
+    },
+    /// Random geometric graph on the unit square.
+    Geometric {
+        radius: f64,
+    },
+    /// The graph is supplied out of band (e.g. `ncc-cli run --graph file`);
+    /// such a spec cannot rebuild its graph and exists only as an echo.
+    Provided,
+}
+
+impl FamilySpec {
+    /// Short lowercase family name, matching the `ncc-cli` vocabulary.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FamilySpec::Path => "path",
+            FamilySpec::Cycle => "cycle",
+            FamilySpec::Star => "star",
+            FamilySpec::Complete => "complete",
+            FamilySpec::Grid { .. } => "grid",
+            FamilySpec::TGrid { .. } => "tgrid",
+            FamilySpec::Tree => "tree",
+            FamilySpec::Forests { .. } => "forests",
+            FamilySpec::Gnp { .. } => "gnp",
+            FamilySpec::Gnm { .. } => "gnm",
+            FamilySpec::Ba { .. } => "ba",
+            FamilySpec::Geometric { .. } => "geometric",
+            FamilySpec::Provided => "provided",
+        }
+    }
+}
+
+/// Serializable description of one scenario: graph family + parameters,
+/// node count, weight range, capacity, seed, and execution layout.
+///
+/// `threads` is *execution layout*, not scenario identity: the engine is
+/// deterministic for any thread count, so two specs differing only in
+/// `threads` produce bit-identical results (property-tested in
+/// `tests/runner_api.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    pub family: FamilySpec,
+    /// Number of nodes (and network size — the model puts the input graph
+    /// and the clique on the same node set).
+    pub n: usize,
+    /// Master seed: graph generation, edge weights, and the engine's
+    /// randomness are all derived from it.
+    pub seed: u64,
+    /// Edge weights for weighted algorithms are uniform in `1..=weight_max`.
+    pub weight_max: u64,
+    /// Per-node, per-round communication budget.
+    pub capacity: Capacity,
+    /// Worker threads for the engine (results are identical for any value).
+    pub threads: usize,
+    /// Source node for rooted algorithms (BFS).
+    pub source: NodeId,
+}
+
+impl ScenarioSpec {
+    /// A spec with the repository defaults: `Θ(log n)` capacity, weights up
+    /// to `n²`, sequential execution, source 0.
+    pub fn new(family: FamilySpec, n: usize, seed: u64) -> Self {
+        ScenarioSpec {
+            family,
+            n,
+            seed,
+            weight_max: (n * n).max(1) as u64,
+            capacity: Capacity::default_for(n),
+            threads: 1,
+            source: 0,
+        }
+    }
+
+    /// Convenience constructor for grids (`n` is derived from the sides).
+    pub fn grid(rows: usize, cols: usize, seed: u64) -> Self {
+        Self::new(FamilySpec::Grid { rows, cols }, rows * cols, seed)
+    }
+
+    pub fn with_capacity(mut self, c: Capacity) -> Self {
+        self.capacity = c;
+        self
+    }
+
+    pub fn with_weight_max(mut self, w: u64) -> Self {
+        self.weight_max = w.max(1);
+        self
+    }
+
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.threads = t.max(1);
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_source(mut self, src: NodeId) -> Self {
+        self.source = src;
+        self
+    }
+
+    /// One-line label for tables: `gnp n=256 seed=7`.
+    pub fn label(&self) -> String {
+        format!("{} n={} seed={}", self.family.name(), self.n, self.seed)
+    }
+
+    /// Deterministically regenerates the input graph from the spec.
+    pub fn build_graph(&self) -> Result<Graph, RunnerError> {
+        let n = self.n;
+        let seed = self.seed;
+        let g = match &self.family {
+            FamilySpec::Path => gen::path(n),
+            FamilySpec::Cycle => gen::cycle(n),
+            FamilySpec::Star => gen::star(n),
+            FamilySpec::Complete => gen::complete(n),
+            FamilySpec::Grid { rows, cols } | FamilySpec::TGrid { rows, cols } => {
+                if rows * cols != n {
+                    return Err(RunnerError::Scenario(format!(
+                        "grid {rows}x{cols} has {} nodes but spec says n={n}",
+                        rows * cols
+                    )));
+                }
+                match &self.family {
+                    FamilySpec::Grid { .. } => gen::grid(*rows, *cols),
+                    _ => gen::triangulated_grid(*rows, *cols),
+                }
+            }
+            FamilySpec::Tree => gen::random_tree(n, seed),
+            FamilySpec::Forests { k } => gen::forest_union(n, (*k).max(1), seed),
+            FamilySpec::Gnp { p } => gen::gnp(n, *p, seed),
+            FamilySpec::Gnm { m } => gen::gnm(n, *m, seed),
+            FamilySpec::Ba { m } => gen::barabasi_albert(n, (*m).max(1), seed),
+            FamilySpec::Geometric { radius } => gen::random_geometric(n, *radius, seed),
+            FamilySpec::Provided => {
+                return Err(RunnerError::Scenario(
+                    "family `provided` carries no generator; use Scenario::from_graph".into(),
+                ))
+            }
+        };
+        Ok(g)
+    }
+
+    /// Instantiates the full scenario (graph + weights).
+    pub fn build(&self) -> Result<Scenario, RunnerError> {
+        let graph = self.build_graph()?;
+        Ok(Scenario::from_graph(self.clone(), graph))
+    }
+
+    /// The engine configuration this spec describes.
+    pub fn net_config(&self) -> NetConfig {
+        NetConfig::new(self.n, self.seed)
+            .with_capacity(self.capacity)
+            .with_threads(self.threads.max(1))
+    }
+}
+
+/// A materialised scenario: the spec plus the graph and weighted graph it
+/// deterministically generates. Algorithms read their input from here.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub spec: ScenarioSpec,
+    pub graph: Graph,
+    /// The graph with seeded random weights in `1..=weight_max` (used by
+    /// weighted algorithms; derived from `seed ^ 1` like the CLI always
+    /// did).
+    pub weighted: WeightedGraph,
+}
+
+impl Scenario {
+    /// Wraps an externally supplied graph (graph files, custom topologies).
+    /// The spec's `n` is forced to the graph's node count so the engine and
+    /// the input stay on the same node set.
+    pub fn from_graph(mut spec: ScenarioSpec, graph: Graph) -> Self {
+        spec.n = graph.n();
+        let weighted = gen::with_random_weights(&graph, spec.weight_max.max(1), spec.seed ^ 1);
+        Scenario {
+            spec,
+            graph,
+            weighted,
+        }
+    }
+
+    /// A fresh engine configured per the spec. Each call returns an
+    /// identical engine, so repeated runs reproduce exactly.
+    pub fn engine(&self) -> Engine {
+        Engine::new(self.spec.net_config())
+    }
+
+    /// Like [`Self::engine`] but with the thread count overridden — an
+    /// execution-layout knob that by construction cannot change results
+    /// (and is therefore *not* echoed into [`crate::RunRecord`]s).
+    pub fn engine_with_threads(&self, threads: usize) -> Engine {
+        Engine::new(self.spec.net_config().with_threads(threads.max(1)))
+    }
+
+    /// Clamped BFS source (a spec written for a larger `n` stays usable).
+    pub fn source(&self) -> NodeId {
+        self.spec
+            .source
+            .min(self.graph.n().saturating_sub(1) as NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builds_deterministic_graph() {
+        let spec = ScenarioSpec::new(FamilySpec::Gnp { p: 0.2 }, 64, 7);
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        assert_eq!(a.graph.n(), 64);
+        assert_eq!(a.graph.m(), b.graph.m());
+        assert_eq!(a.weighted.m(), a.graph.m());
+    }
+
+    #[test]
+    fn grid_spec_validates_node_count() {
+        let mut spec = ScenarioSpec::grid(4, 8, 1);
+        assert_eq!(spec.n, 32);
+        assert!(spec.build().is_ok());
+        spec.n = 33;
+        assert!(matches!(spec.build(), Err(RunnerError::Scenario(_))));
+    }
+
+    #[test]
+    fn provided_family_cannot_regenerate() {
+        let spec = ScenarioSpec::new(FamilySpec::Provided, 8, 1);
+        assert!(spec.build_graph().is_err());
+        let scn = Scenario::from_graph(spec, gen::path(8));
+        assert_eq!(scn.graph.n(), 8);
+        assert_eq!(scn.spec.n, 8);
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = ScenarioSpec::new(FamilySpec::Forests { k: 3 }, 128, 42)
+            .with_weight_max(1000)
+            .with_threads(4)
+            .with_source(5);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn engines_from_same_spec_are_identical() {
+        let spec = ScenarioSpec::new(FamilySpec::Star, 32, 9);
+        let scn = spec.build().unwrap();
+        assert_eq!(scn.engine().config().seed, 9);
+        assert_eq!(scn.engine_with_threads(8).config().threads, 8);
+        assert_eq!(scn.engine_with_threads(8).config().seed, 9);
+    }
+}

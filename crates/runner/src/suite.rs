@@ -1,0 +1,148 @@
+//! Whole-registry sweeps and their JSON snapshot format.
+//!
+//! `ncc-cli suite` (and any experiment binary that wants a JSON trail)
+//! funnels through [`run_suite`]: every registered algorithm over a grid of
+//! [`ScenarioSpec`]s, each run on a fresh engine, collected into a
+//! [`SuiteOutput`] whose JSON form is fully deterministic — `bench_compare`
+//! diffs committed snapshots against fresh runs in CI.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{algorithms, Algorithm, RunRecord, RunnerError, ScenarioSpec};
+
+/// The standard experiment seed (shared with `ncc-bench::SEED`).
+pub const SUITE_SEED: u64 = 20190622;
+
+/// A JSON-serializable batch of run records — the schema of
+/// `BENCH_suite.json` and of every migrated experiment's `--json` output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteOutput {
+    /// Which sweep produced this (e.g. `suite`, `exp10_mis`).
+    pub experiment: String,
+    /// Base seed of the sweep (individual specs may derive offsets).
+    pub seed: u64,
+    pub records: Vec<RunRecord>,
+}
+
+impl SuiteOutput {
+    pub fn new(experiment: &str, seed: u64, records: Vec<RunRecord>) -> Self {
+        SuiteOutput {
+            experiment: experiment.to_string(),
+            seed,
+            records,
+        }
+    }
+
+    /// Pretty JSON, trailing newline included (file-diff friendly).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SuiteOutput serializes") + "\n"
+    }
+
+    /// Writes the pretty JSON form to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_pretty())
+    }
+}
+
+/// The default scenario grid for `ncc-cli suite`: the Table-1
+/// bounded-arboricity workload plus a sparse `G(n,p)`, at two sizes — small
+/// enough to gate CI, broad enough that every algorithm sees both a
+/// hub-free and a random topology.
+pub fn standard_grid() -> Vec<ScenarioSpec> {
+    let mut grid = Vec::new();
+    for &n in &[64usize, 128] {
+        grid.push(ScenarioSpec::new(
+            crate::FamilySpec::Gnp { p: 24.0 / n as f64 },
+            n,
+            SUITE_SEED,
+        ));
+        grid.push(ScenarioSpec::new(
+            crate::FamilySpec::Forests { k: 3 },
+            n,
+            SUITE_SEED + 1,
+        ));
+    }
+    grid
+}
+
+/// Runs one algorithm on one spec with a fresh engine. The `threads`
+/// override changes execution layout only; the record is identical for any
+/// value (the engine is deterministic and the spec echo is never mutated).
+pub fn run_record_threads(
+    algo: &dyn Algorithm,
+    spec: &ScenarioSpec,
+    threads: usize,
+) -> Result<RunRecord, RunnerError> {
+    let scn = spec.build()?;
+    let mut eng = scn.engine_with_threads(threads);
+    algo.run(&mut eng, &scn).map_err(RunnerError::Model)
+}
+
+/// Runs one algorithm on one spec with the spec's own thread count.
+pub fn run_record(algo: &dyn Algorithm, spec: &ScenarioSpec) -> Result<RunRecord, RunnerError> {
+    run_record_threads(algo, spec, spec.threads)
+}
+
+/// Registry dispatch by name.
+pub fn run_named(name: &str, spec: &ScenarioSpec) -> Result<RunRecord, RunnerError> {
+    run_named_threads(name, spec, spec.threads)
+}
+
+/// Registry dispatch by name with a thread-count override.
+pub fn run_named_threads(
+    name: &str,
+    spec: &ScenarioSpec,
+    threads: usize,
+) -> Result<RunRecord, RunnerError> {
+    let algo = crate::find_algorithm(name)
+        .ok_or_else(|| RunnerError::UnknownAlgorithm(name.to_string()))?;
+    run_record_threads(algo, spec, threads)
+}
+
+/// Every registered algorithm over every spec in `grid`, each on a fresh
+/// engine. Record order is `grid-major, registry-minor`, so the output is
+/// stable under registry growth per scenario block.
+pub fn run_suite(grid: &[ScenarioSpec], threads: usize) -> Result<SuiteOutput, RunnerError> {
+    let mut records = Vec::with_capacity(grid.len() * algorithms().len());
+    for spec in grid {
+        for algo in algorithms() {
+            records.push(run_record_threads(*algo, spec, threads)?);
+        }
+    }
+    Ok(SuiteOutput::new("suite", SUITE_SEED, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_grid_is_well_formed() {
+        let grid = standard_grid();
+        assert_eq!(grid.len(), 4);
+        for spec in &grid {
+            assert!(spec.build().is_ok(), "unbuildable spec {}", spec.label());
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_is_an_error() {
+        let spec = ScenarioSpec::new(crate::FamilySpec::Path, 8, 1);
+        match run_named("nope", &spec) {
+            Err(RunnerError::UnknownAlgorithm(name)) => assert_eq!(name, "nope"),
+            other => panic!("expected UnknownAlgorithm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suite_output_json_round_trips() {
+        let spec = ScenarioSpec::new(crate::FamilySpec::Star, 16, 2);
+        let rec = run_named("broadcast", &spec).unwrap();
+        let out = SuiteOutput::new("mini", 2, vec![rec]);
+        let text = out.to_json_pretty();
+        let back: SuiteOutput = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.experiment, "mini");
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.to_json_pretty(), text);
+    }
+}

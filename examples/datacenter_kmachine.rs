@@ -11,27 +11,32 @@
 //! ```
 
 use ncc::core::{build_broadcast_trees, mis};
-use ncc::graph::{check, gen};
+use ncc::graph::check;
 use ncc::hashing::SharedRandomness;
 use ncc::kmachine::{KMachineCost, SharedSink};
-use ncc::model::{Engine, NetConfig};
+use ncc::runner::{FamilySpec, ScenarioSpec};
 
 pub fn main() {
-    let n = 256;
-    let g = gen::gnp(n, 0.04, 77);
+    // the workload as data: a sparse G(n,p) scenario; seed 13 drives the
+    // engine, seed-derived weights are unused here
+    let spec = ScenarioSpec::new(FamilySpec::Gnp { p: 0.04 }, 256, 13);
+    let scenario = spec.build().expect("buildable spec");
+    let g = &scenario.graph;
+    let n = g.n();
     println!("graph: n = {n}, m = {}", g.m());
     println!("\n k | ncc rounds | k-machine rounds | cross-machine msgs | bottleneck link");
     println!("---|------------|------------------|--------------------|----------------");
 
     for k in [2usize, 4, 8, 16] {
-        let mut engine = Engine::new(NetConfig::new(n, 13));
+        // one fresh engine per cluster size — identical each time by spec
+        let mut engine = scenario.engine();
         let (sink, handle) = SharedSink::new(KMachineCost::with_random_assignment(n, k, 99, 1));
         engine.set_sink(Box::new(sink));
 
         let shared = SharedRandomness::new(0xDC);
-        let (bt, _) = build_broadcast_trees(&mut engine, &shared, &g).unwrap();
-        let r = mis(&mut engine, &shared, &bt, &g).unwrap();
-        check::check_mis(&g, &r.in_mis).expect("mis invalid");
+        let (bt, _) = build_broadcast_trees(&mut engine, &shared, g).unwrap();
+        let r = mis(&mut engine, &shared, &bt, g).unwrap();
+        check::check_mis(g, &r.in_mis).expect("mis invalid");
 
         let rep = handle.lock().unwrap().report();
         println!(

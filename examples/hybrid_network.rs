@@ -14,26 +14,29 @@
 
 use ncc::baselines::naive_bfs;
 use ncc::core::{bfs, build_broadcast_trees};
-use ncc::graph::{analysis, check, gen};
+use ncc::graph::{analysis, check};
 use ncc::hashing::SharedRandomness;
-use ncc::model::{Engine, NetConfig};
+use ncc::runner::{FamilySpec, Scenario, ScenarioSpec};
 
 pub fn main() {
     let (rows, cols) = (16, 16);
-    let n = rows * cols;
-    let g = gen::triangulated_grid(rows, cols);
+    // the mesh as data: a triangulated-grid scenario spec
+    let spec = ScenarioSpec::new(FamilySpec::TGrid { rows, cols }, rows * cols, 11);
+    let scenario = spec.build().expect("buildable spec");
+    let g = &scenario.graph;
+    let n = g.n();
     let gateway = 0;
     println!(
         "ad-hoc mesh: {rows}×{cols} triangulated grid, D = {}, planar (a ≤ 3)",
-        analysis::diameter(&g)
+        analysis::diameter(g)
     );
 
     // primitive stack: orientation → broadcast trees → layered BFS
-    let mut engine = Engine::new(NetConfig::new(n, 11));
+    let mut engine = scenario.engine();
     let shared = SharedRandomness::new(0x4242);
-    let (bt, setup) = build_broadcast_trees(&mut engine, &shared, &g).unwrap();
-    let r = bfs(&mut engine, &shared, &bt, &g, gateway).unwrap();
-    check::check_bfs(&g, gateway, &r.dist, &r.parent).expect("bfs invalid");
+    let (bt, setup) = build_broadcast_trees(&mut engine, &shared, g).unwrap();
+    let r = bfs(&mut engine, &shared, &bt, g, gateway).unwrap();
+    check::check_bfs(g, gateway, &r.dist, &r.parent).expect("bfs invalid");
     let stack_rounds = setup.total.rounds + r.report.total.rounds;
     println!(
         "BFS tree via primitives: {} phases, {stack_rounds} rounds (setup {} + bfs {})",
@@ -52,10 +55,11 @@ pub fn main() {
     );
 
     // naive baseline: every frontier phone messages each mesh neighbor
-    // directly over the overlay (TDMA-scheduled to respect capacity)
-    let mut engine = Engine::new(NetConfig::new(n, 12));
-    let naive = naive_bfs(&mut engine, &g, gateway).unwrap();
-    check::check_bfs(&g, gateway, &naive.dist, &naive.parent).expect("naive invalid");
+    // directly over the overlay (TDMA-scheduled to respect capacity);
+    // same scenario, different seed — still one builder line
+    let mut engine = Scenario::from_graph(spec.with_seed(12), g.clone()).engine();
+    let naive = naive_bfs(&mut engine, g, gateway).unwrap();
+    check::check_bfs(g, gateway, &naive.dist, &naive.parent).expect("naive invalid");
     println!(
         "naive direct-overlay BFS: {} rounds ({}× the primitive stack on this mesh)",
         naive.stats.rounds,

@@ -1,8 +1,10 @@
 //! Quickstart: the five-minute tour of the Node-Capacitated Clique stack.
 //!
-//! Builds a weighted random graph, spins up the capacity-limited network,
-//! agrees on shared randomness **in-model**, computes an MST with the §3
-//! algorithm, and verifies it against Kruskal.
+//! Describes a scenario as *data* with the [`ScenarioSpec`] builder, spins
+//! up the capacity-limited network, agrees on shared randomness
+//! **in-model**, computes an MST with the §3 algorithm, verifies it
+//! against Kruskal — then shows the same run as a one-liner through the
+//! algorithm registry.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -10,29 +12,28 @@
 
 use ncc::butterfly::broadcast_seed;
 use ncc::core::mst;
-use ncc::graph::{check, gen};
+use ncc::graph::check;
 use ncc::hashing::SharedRandomness;
-use ncc::model::{Engine, NetConfig};
+use ncc::runner::{run_named, FamilySpec, ScenarioSpec};
 
 pub fn main() {
-    let n = 128;
-    let seed = 7;
-
-    // 1. An input graph G on the same node set as the network: every node
-    //    initially knows only its own neighborhood (§1.1).
-    let g = gen::gnp(n, 0.08, seed);
-    let wg = gen::with_random_weights(&g, (n * n) as u64, seed + 1);
+    // 1. A scenario is a serializable value: graph family, n, seed,
+    //    capacity, weight range. It deterministically rebuilds the input
+    //    graph G (every node initially knows only its own neighborhood,
+    //    §1.1) and the configured network.
+    let spec = ScenarioSpec::new(FamilySpec::Gnp { p: 0.08 }, 128, 7);
+    let scenario = spec.build().expect("buildable spec");
     println!(
-        "input graph: n = {}, m = {}, max degree = {}",
-        wg.n(),
-        wg.m(),
-        g.max_degree()
+        "scenario {}: m = {}, max degree = {}",
+        spec.label(),
+        scenario.graph.m(),
+        scenario.graph.max_degree()
     );
 
     // 2. The Node-Capacitated Clique: every node may send/receive at most
     //    O(log n) messages of O(log n) bits per round. The engine enforces
     //    the caps and meters every round.
-    let mut engine = Engine::new(NetConfig::new(n, seed + 2));
+    let mut engine = scenario.engine();
     let cap = engine.config().capacity;
     println!(
         "capacity: {} msgs/round/node, {} bits/msg",
@@ -42,6 +43,7 @@ pub fn main() {
     // 3. Agree on shared randomness by broadcasting Θ(log² n) bits from
     //    node 0 over the emulated butterfly (§2.2) — a real protocol run,
     //    charged rounds like everything else.
+    let n = scenario.graph.n();
     let k = SharedRandomness::k_for(n);
     let bits = SharedRandomness::bits_required(n, 16, k);
     let (shared, seed_stats) = broadcast_seed(&mut engine, 0xC0FFEE, bits).unwrap();
@@ -49,7 +51,7 @@ pub fn main() {
 
     // 4. Run the §3 MST algorithm: Boruvka + sketch-based FindMin, all
     //    communication through the capacity-limited clique.
-    let result = mst(&mut engine, &shared, &wg).expect("mst failed");
+    let result = mst(&mut engine, &shared, &scenario.weighted).expect("mst failed");
     println!(
         "MST: {} edges in {} Boruvka phases, {} rounds total",
         result.edges.len(),
@@ -58,11 +60,11 @@ pub fn main() {
     );
 
     // 5. Verify against the centralised reference.
-    check::check_mst(&wg, &result.edges).expect("MST invalid");
-    let weight = wg.total_weight(&result.edges);
+    check::check_mst(&scenario.weighted, &result.edges).expect("MST invalid");
+    let weight = scenario.weighted.total_weight(&result.edges);
     println!(
         "verified ✓  (weight {weight} == Kruskal weight {})",
-        check::kruskal_mst_weight(&wg)
+        check::kruskal_mst_weight(&scenario.weighted)
     );
 
     // 6. Model compliance: nothing was dropped, nobody exceeded the cap.
@@ -74,4 +76,14 @@ pub fn main() {
         total.dropped
     );
     assert!(total.clean());
+
+    // 7. The same run as one registry call: engine construction, in-model
+    //    seed agreement, the algorithm, and the checker, all behind
+    //    `run_named` — the record echoes the spec and serializes to JSON.
+    let record = run_named("mst", &spec).expect("registry run");
+    println!(
+        "registry one-liner: {} — {} rounds, verdict {:?}",
+        record.summary, record.rounds, record.verdict
+    );
+    assert!(record.verdict.ok());
 }

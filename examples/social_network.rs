@@ -3,32 +3,35 @@
 //! The paper's introduction motivates the NCC model with overlay networks
 //! whose input graphs are e.g. social relations — low arboricity, but with
 //! hubs whose degree far exceeds any node's communication capacity. This
-//! example runs the full §5 pipeline (orientation → broadcast trees → MIS,
-//! maximal matching, O(a)-coloring) on a Barabási–Albert graph and shows
-//! that rounds track the *arboricity*, not the hub degrees.
+//! example describes the workload with the [`ScenarioSpec`] builder
+//! (Barabási–Albert family), runs the full §5 pipeline (orientation →
+//! broadcast trees → MIS, maximal matching, O(a)-coloring), and shows that
+//! rounds track the *arboricity*, not the hub degrees.
 //!
 //! ```text
 //! cargo run --release --example social_network
 //! ```
 
 use ncc::core::{build_broadcast_trees, coloring, maximal_matching, mis};
-use ncc::graph::{analysis, check, gen};
+use ncc::graph::{analysis, check};
 use ncc::hashing::SharedRandomness;
-use ncc::model::{Engine, NetConfig};
+use ncc::runner::{FamilySpec, ScenarioSpec};
 
 pub fn main() {
-    let n = 256;
-    let g = gen::barabasi_albert(n, 3, 42);
-    let (alo, ahi) = analysis::arboricity_bounds(&g);
+    let spec = ScenarioSpec::new(FamilySpec::Ba { m: 3 }, 256, 42);
+    let scenario = spec.build().expect("buildable spec");
+    let g = &scenario.graph;
+    let (alo, ahi) = analysis::arboricity_bounds(g);
     println!(
-        "BA graph: n = {n}, m = {}, max degree = {} (hub!), arboricity ∈ [{alo},{ahi}]",
+        "BA graph ({}): m = {}, max degree = {} (hub!), arboricity ∈ [{alo},{ahi}]",
+        spec.label(),
         g.m(),
         g.max_degree()
     );
 
-    let mut engine = Engine::new(NetConfig::new(n, 9));
+    let mut engine = scenario.engine();
     let shared = SharedRandomness::new(0x50C1A1);
-    let (bt, setup_report) = build_broadcast_trees(&mut engine, &shared, &g).unwrap();
+    let (bt, setup_report) = build_broadcast_trees(&mut engine, &shared, g).unwrap();
     println!(
         "orientation: max outdegree {} (O(a), despite Δ = {}), {} phases; setup {} rounds",
         bt.orientation.max_outdegree(),
@@ -37,8 +40,8 @@ pub fn main() {
         setup_report.total.rounds
     );
 
-    let r = mis(&mut engine, &shared, &bt, &g).unwrap();
-    check::check_mis(&g, &r.in_mis).expect("MIS invalid");
+    let r = mis(&mut engine, &shared, &bt, g).unwrap();
+    check::check_mis(g, &r.in_mis).expect("MIS invalid");
     println!(
         "MIS: {} nodes, {} phases, {} rounds ✓",
         r.in_mis.iter().filter(|&&b| b).count(),
@@ -46,8 +49,8 @@ pub fn main() {
         r.report.total.rounds
     );
 
-    let m = maximal_matching(&mut engine, &shared, &bt, &g).unwrap();
-    check::check_matching(&g, &m.mate).expect("matching invalid");
+    let m = maximal_matching(&mut engine, &shared, &bt, g).unwrap();
+    check::check_matching(g, &m.mate).expect("matching invalid");
     println!(
         "matching: {} pairs, {} phases, {} rounds ✓",
         m.mate.iter().filter(|x| x.is_some()).count() / 2,
@@ -55,8 +58,8 @@ pub fn main() {
         m.report.total.rounds
     );
 
-    let c = coloring(&mut engine, &shared, &bt.orientation, &g).unwrap();
-    check::check_coloring(&g, &c.colors, c.palette).expect("coloring invalid");
+    let c = coloring(&mut engine, &shared, &bt.orientation, g).unwrap();
+    check::check_coloring(g, &c.colors, c.palette).expect("coloring invalid");
     println!(
         "coloring: {} colors from a palette of {} = O(a) — NOT O(Δ) = {} ✓ ({} rounds)",
         c.colors.iter().max().unwrap() + 1,

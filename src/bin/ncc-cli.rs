@@ -4,18 +4,27 @@
 //! ncc-cli gen <family> --n <N> [--param <x>] [--seed <s>] [--out <file>]
 //! ncc-cli run <algo> (--graph <file> | --family <f> --n <N> [--param <x>])
 //!               [--seed <s>] [--weights <W>] [--src <v>] [--threads <t>]
+//!               [--json <file>]
+//! ncc-cli suite [--out <file>] [--threads <t>]
+//! ncc-cli list
 //! ncc-cli info --n <N>
 //! ```
 //!
-//! Families: path cycle star complete grid tgrid tree forests gnp gnm ba
-//! geometric. Algorithms: mst orientation bfs mis matching coloring
-//! gossip broadcast.
+//! Every algorithm dispatches through the `ncc-runner` registry: `run`
+//! builds a [`ScenarioSpec`] from the flags, looks the algorithm up by
+//! name, and prints the typed [`RunRecord`] (optionally as JSON). `suite`
+//! runs the whole registry over the standard scenario grid and writes
+//! `BENCH_suite.json` — the deterministic snapshot the CI bench gate
+//! diffs.
 
 use std::collections::HashMap;
 
-use ncc::graph::{analysis, check, gen, io, Graph};
-use ncc::hashing::SharedRandomness;
-use ncc::model::{Engine, NetConfig};
+use ncc::graph::{analysis, io};
+use ncc::model::NetConfig;
+use ncc::runner::{
+    algorithms, find_algorithm, run_suite, standard_grid, FamilySpec, RunRecord, Scenario,
+    ScenarioSpec,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,33 +32,53 @@ fn main() {
         usage_and_exit(None);
     }
     let cmd = args[0].as_str();
-    let mut flags: HashMap<String, String> = HashMap::new();
-    let mut positional: Vec<String> = Vec::new();
-    let mut i = 1;
-    while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(name.to_string(), value);
-            i += 2;
-        } else {
-            positional.push(args[i].clone());
-            i += 1;
-        }
-    }
+    let (positional, flags) = parse_args(&args[1..]);
 
     match cmd {
         "gen" => cmd_gen(&positional, &flags),
         "run" => cmd_run(&positional, &flags),
+        "suite" => cmd_suite(&flags),
+        "list" => cmd_list(),
         "info" => cmd_info(&flags),
         "help" | "-h" | "--help" => usage_and_exit(None),
         other => usage_and_exit(Some(&format!("unknown command '{other}'"))),
     }
 }
 
+/// Splits raw arguments into positionals and `--flag [value]` pairs.
+///
+/// A flag followed by another `--`-prefixed token (or by nothing) is
+/// *valueless* and maps to the empty string — `--json --threads 4` parses
+/// as `json=""`, `threads="4"`, never `json="--threads"`.
+fn parse_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    flags.insert(name.to_string(), String::new());
+                    i += 1;
+                }
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
 fn usage_and_exit(err: Option<&str>) -> ! {
     if let Some(e) = err {
         eprintln!("error: {e}\n");
     }
+    let algo_names: Vec<&str> = algorithms().iter().map(|a| a.name()).collect();
     eprintln!(
         "ncc-cli — Node-Capacitated Clique driver
 
@@ -57,16 +86,21 @@ USAGE:
   ncc-cli gen <family> --n <N> [--param <x>] [--seed <s>] [--out <file>]
   ncc-cli run <algo> (--graph <file> | --family <f> --n <N> [--param <x>])
                 [--seed <s>] [--weights <W>] [--src <v>] [--threads <t>]
+                [--json <file>]
+  ncc-cli suite [--out <file>] [--threads <t>]
+  ncc-cli list
   ncc-cli info --n <N>
 
 FAMILIES   path cycle star complete grid tgrid tree forests gnp gnm ba geometric
-ALGORITHMS mst orientation bfs mis matching coloring gossip broadcast
+ALGORITHMS {}
 
 EXAMPLES
   ncc-cli gen gnp --n 256 --param 0.05 --seed 7 --out g.txt
   ncc-cli run mst --graph g.txt --weights 1000
   ncc-cli run mis --family ba --n 256 --param 3
-  ncc-cli run bfs --family grid --n 256 --src 0"
+  ncc-cli run bfs --family grid --n 256 --src 0 --json bfs.json
+  ncc-cli suite --out BENCH_suite.json",
+        algo_names.join(" ")
     );
     std::process::exit(if err.is_some() { 2 } else { 0 });
 }
@@ -92,178 +126,215 @@ fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-fn build_family(family: &str, flags: &HashMap<String, String>) -> Graph {
-    let n = get_usize(flags, "n", 64);
-    let seed = get_u64(flags, "seed", 1);
+/// Maps the CLI family vocabulary onto a [`FamilySpec`].
+fn family_spec(family: &str, n: usize, flags: &HashMap<String, String>) -> (FamilySpec, usize) {
     let p = get_f64(flags, "param", f64::NAN);
     let param_usize = if p.is_nan() { 0 } else { p as usize };
     match family {
-        "path" => gen::path(n),
-        "cycle" => gen::cycle(n),
-        "star" => gen::star(n),
-        "complete" => gen::complete(n),
-        "grid" => {
-            let side = (n as f64).sqrt().round() as usize;
-            gen::grid(side, side.max(1))
+        "path" => (FamilySpec::Path, n),
+        "cycle" => (FamilySpec::Cycle, n),
+        "star" => (FamilySpec::Star, n),
+        "complete" => (FamilySpec::Complete, n),
+        "grid" | "tgrid" => {
+            let side = (n as f64).sqrt().round().max(1.0) as usize;
+            let fam = if family == "grid" {
+                FamilySpec::Grid {
+                    rows: side,
+                    cols: side,
+                }
+            } else {
+                FamilySpec::TGrid {
+                    rows: side,
+                    cols: side,
+                }
+            };
+            (fam, side * side)
         }
-        "tgrid" => {
-            let side = (n as f64).sqrt().round() as usize;
-            gen::triangulated_grid(side, side.max(1))
-        }
-        "tree" => gen::random_tree(n, seed),
-        "forests" => gen::forest_union(n, param_usize.max(1), seed),
-        "gnp" => gen::gnp(n, if p.is_nan() { 0.05 } else { p }, seed),
-        "gnm" => gen::gnm(n, param_usize.max(n), seed),
-        "ba" => gen::barabasi_albert(n, param_usize.max(1), seed),
-        "geometric" => gen::random_geometric(n, if p.is_nan() { 0.15 } else { p }, seed),
+        "tree" => (FamilySpec::Tree, n),
+        "forests" => (
+            FamilySpec::Forests {
+                k: param_usize.max(1),
+            },
+            n,
+        ),
+        "gnp" => (
+            FamilySpec::Gnp {
+                p: if p.is_nan() { 0.05 } else { p },
+            },
+            n,
+        ),
+        "gnm" => (
+            FamilySpec::Gnm {
+                m: param_usize.max(n),
+            },
+            n,
+        ),
+        "ba" => (
+            FamilySpec::Ba {
+                m: param_usize.max(1),
+            },
+            n,
+        ),
+        "geometric" => (
+            FamilySpec::Geometric {
+                radius: if p.is_nan() { 0.15 } else { p },
+            },
+            n,
+        ),
         other => {
             usage_and_exit(Some(&format!("unknown family '{other}'")));
         }
     }
 }
 
+/// Builds the scenario spec described by the `run` flags (graph family
+/// path; `--graph` files go through [`Scenario::from_graph`] instead).
+fn spec_from_flags(family: &str, flags: &HashMap<String, String>) -> ScenarioSpec {
+    let n = get_usize(flags, "n", 64);
+    let seed = get_u64(flags, "seed", 1);
+    let (fam, n) = family_spec(family, n, flags);
+    let mut spec = ScenarioSpec::new(fam, n, seed)
+        .with_source(get_usize(flags, "src", 0) as u32)
+        .with_threads(get_usize(flags, "threads", 1));
+    if let Some(w) = flags.get("weights") {
+        spec = spec.with_weight_max(w.parse().unwrap_or_else(|_| panic!("bad --weights")));
+    }
+    spec
+}
+
 fn cmd_gen(positional: &[String], flags: &HashMap<String, String>) {
     let family = positional.first().map(String::as_str).unwrap_or_else(|| {
         usage_and_exit(Some("gen needs a family"));
     });
-    let g = build_family(family, flags);
+    let spec = spec_from_flags(family, flags);
+    let g = spec.build_graph().unwrap_or_else(|e| {
+        usage_and_exit(Some(&e.to_string()));
+    });
     let text = io::write_graph(&g);
     match flags.get("out") {
-        Some(path) => {
+        Some(path) if !path.is_empty() => {
             std::fs::write(path, text).expect("write graph file");
             eprintln!("wrote {} ({} nodes, {} edges)", path, g.n(), g.m());
         }
-        None => print!("{text}"),
-    }
-}
-
-fn load_graph(flags: &HashMap<String, String>) -> Graph {
-    if let Some(path) = flags.get("graph") {
-        let text = std::fs::read_to_string(path).expect("read graph file");
-        io::read_graph(&text).expect("parse graph file")
-    } else if let Some(f) = flags.get("family") {
-        build_family(f.clone().as_str(), flags)
-    } else {
-        usage_and_exit(Some("run needs --graph <file> or --family <name>"));
+        _ => print!("{text}"),
     }
 }
 
 fn cmd_run(positional: &[String], flags: &HashMap<String, String>) {
-    let algo = positional.first().map(String::as_str).unwrap_or_else(|| {
+    let algo_name = positional.first().map(String::as_str).unwrap_or_else(|| {
         usage_and_exit(Some("run needs an algorithm"));
     });
-    let g = load_graph(flags);
-    let n = g.n();
-    let seed = get_u64(flags, "seed", 1);
-    let threads = get_usize(flags, "threads", 1);
-    let (alo, ahi) = analysis::arboricity_bounds(&g);
+    let Some(algo) = find_algorithm(algo_name) else {
+        usage_and_exit(Some(&format!(
+            "unknown algorithm '{algo_name}' (try `ncc-cli list`)"
+        )));
+    };
+
+    // Scenario: either an on-disk graph (echoed as family `provided`) or a
+    // generated family.
+    let scn = if let Some(path) = flags.get("graph") {
+        let text = std::fs::read_to_string(path).expect("read graph file");
+        let g = io::read_graph(&text).expect("parse graph file");
+        let mut spec = ScenarioSpec::new(FamilySpec::Provided, g.n(), get_u64(flags, "seed", 1))
+            .with_source(get_usize(flags, "src", 0) as u32)
+            .with_threads(get_usize(flags, "threads", 1));
+        if let Some(w) = flags.get("weights") {
+            spec = spec.with_weight_max(w.parse().unwrap_or_else(|_| panic!("bad --weights")));
+        }
+        Scenario::from_graph(spec, g)
+    } else if let Some(f) = flags.get("family") {
+        spec_from_flags(f, flags).build().unwrap_or_else(|e| {
+            usage_and_exit(Some(&e.to_string()));
+        })
+    } else {
+        usage_and_exit(Some("run needs --graph <file> or --family <name>"));
+    };
+
+    let (alo, ahi) = analysis::arboricity_bounds(&scn.graph);
     eprintln!(
-        "graph: n = {n}, m = {}, Δ = {}, arboricity ∈ [{alo},{ahi}]",
-        g.m(),
-        g.max_degree()
+        "graph: n = {}, m = {}, Δ = {}, arboricity ∈ [{alo},{ahi}]",
+        scn.graph.n(),
+        scn.graph.m(),
+        scn.graph.max_degree()
     );
 
-    let mut eng = Engine::new(NetConfig::new(n, seed).with_threads(threads));
-    let shared = SharedRandomness::new(seed ^ 0xC11);
+    let mut eng = scn.engine();
+    let record = algo
+        .run(&mut eng, &scn)
+        .unwrap_or_else(|e| panic!("{algo_name} failed: {e}"));
+    print_record(&record, eng.config().capacity.send);
 
-    match algo {
-        "mst" => {
-            let w = get_u64(flags, "weights", (n * n) as u64);
-            let wg = gen::with_random_weights(&g, w.max(1), seed ^ 1);
-            let r = ncc::core::mst(&mut eng, &shared, &wg).expect("mst");
-            check::check_mst(&wg, &r.edges).expect("verification");
-            println!(
-                "MST: {} edges, weight {}, {} phases, {} rounds — verified ✓",
-                r.edges.len(),
-                wg.total_weight(&r.edges),
-                r.phases,
-                r.report.total.rounds
-            );
-        }
-        "orientation" => {
-            let r = ncc::core::orient(&mut eng, &shared, &g).expect("orientation");
-            check::check_orientation(&g, &r.directed_edges(), 4 * ahi.max(1))
-                .expect("verification");
-            println!(
-                "orientation: max outdegree {} (d* = {}), {} phases, {} rounds — verified ✓",
-                r.max_outdegree(),
-                r.d_star,
-                r.phases,
-                r.report.total.rounds
-            );
-        }
-        "bfs" | "mis" | "matching" | "coloring" => {
-            let (bt, setup) =
-                ncc::core::build_broadcast_trees(&mut eng, &shared, &g).expect("setup");
-            eprintln!("setup (orientation + trees): {} rounds", setup.total.rounds);
-            match algo {
-                "bfs" => {
-                    let src = get_usize(flags, "src", 0) as u32;
-                    let r = ncc::core::bfs(&mut eng, &shared, &bt, &g, src).expect("bfs");
-                    check::check_bfs(&g, src, &r.dist, &r.parent).expect("verification");
-                    let reached = r.dist.iter().filter(|&&d| d != u32::MAX).count();
-                    println!(
-                        "BFS from {src}: {reached}/{n} reached, {} phases, {} rounds — verified ✓",
-                        r.phases, r.report.total.rounds
-                    );
-                }
-                "mis" => {
-                    let r = ncc::core::mis(&mut eng, &shared, &bt, &g).expect("mis");
-                    check::check_mis(&g, &r.in_mis).expect("verification");
-                    println!(
-                        "MIS: {} nodes, {} phases, {} rounds — verified ✓",
-                        r.in_mis.iter().filter(|&&b| b).count(),
-                        r.phases,
-                        r.report.total.rounds
-                    );
-                }
-                "matching" => {
-                    let r =
-                        ncc::core::maximal_matching(&mut eng, &shared, &bt, &g).expect("matching");
-                    check::check_matching(&g, &r.mate).expect("verification");
-                    println!(
-                        "matching: {} pairs, {} phases, {} rounds — verified ✓",
-                        r.mate.iter().filter(|m| m.is_some()).count() / 2,
-                        r.phases,
-                        r.report.total.rounds
-                    );
-                }
-                _ => {
-                    let r = ncc::core::coloring(&mut eng, &shared, &bt.orientation, &g)
-                        .expect("coloring");
-                    check::check_coloring(&g, &r.colors, r.palette).expect("verification");
-                    println!(
-                        "coloring: {} colors (palette {}), {} rounds — verified ✓",
-                        r.colors.iter().max().map_or(0, |c| c + 1),
-                        r.palette,
-                        r.report.total.rounds
-                    );
-                }
-            }
-        }
-        "gossip" => {
-            let stats = ncc::baselines::gossip_all(&mut eng).expect("gossip");
-            println!("gossip: {} rounds, {} messages", stats.rounds, stats.sent);
-        }
-        "broadcast" => {
-            let stats = ncc::baselines::broadcast_all(&mut eng, 42).expect("broadcast");
-            println!(
-                "broadcast: {} rounds, {} messages",
-                stats.rounds, stats.sent
-            );
-        }
-        other => usage_and_exit(Some(&format!("unknown algorithm '{other}'"))),
+    if let Some(path) = flags.get("json") {
+        let path = if path.is_empty() {
+            format!("{algo_name}.json")
+        } else {
+            path.clone()
+        };
+        std::fs::write(&path, record.to_json_pretty() + "\n").expect("write JSON record");
+        eprintln!("wrote {path}");
     }
+    if record.verdict == ncc::runner::Verdict::Failed {
+        std::process::exit(1);
+    }
+}
 
-    let t = eng.total;
-    eprintln!(
-        "totals: {} rounds, {} msgs, peak load {}/{} per node-round, {} drops",
-        t.rounds,
-        t.sent,
-        t.peak_load(),
-        eng.config().capacity.send,
-        t.dropped
+fn print_record(r: &RunRecord, send_cap: usize) {
+    let verdict = match r.verdict {
+        ncc::runner::Verdict::Verified => "verified ✓",
+        ncc::runner::Verdict::Unchecked => "completed (no checker)",
+        ncc::runner::Verdict::Failed => "VERIFICATION FAILED ✗",
+    };
+    println!("{}: {} — {verdict}", r.algorithm, r.summary);
+    println!(
+        "totals: {} rounds, {} msgs, peak load {}/{} per node-round, {} drops, {} truncated",
+        r.rounds, r.sent, r.max_load, send_cap, r.dropped, r.truncated
     );
+    for (label, s) in &r.report.stages {
+        println!(
+            "  stage {label:<24} {:>6} rounds {:>9} msgs",
+            s.rounds, s.sent
+        );
+    }
+}
+
+fn cmd_suite(flags: &HashMap<String, String>) {
+    let threads = get_usize(flags, "threads", 1);
+    let out_path = match flags.get("out") {
+        Some(p) if !p.is_empty() => p.clone(),
+        _ => "BENCH_suite.json".to_string(),
+    };
+    let grid = standard_grid();
+    eprintln!(
+        "suite: {} algorithms × {} scenarios",
+        algorithms().len(),
+        grid.len()
+    );
+    let out = run_suite(&grid, threads).unwrap_or_else(|e| panic!("suite failed: {e}"));
+    for rec in &out.records {
+        println!(
+            "{:<24} {:<22} {:>7} rounds  {:>4} load  {:>3} drops  {}",
+            rec.algorithm,
+            rec.scenario.label(),
+            rec.rounds,
+            rec.max_load,
+            rec.dropped,
+            if rec.verdict.ok() { "ok" } else { "FAIL" }
+        );
+    }
+    let failed = out.records.iter().filter(|r| !r.verdict.ok()).count();
+    out.write(&out_path).expect("write suite JSON");
+    eprintln!("wrote {out_path} ({} records)", out.records.len());
+    if failed > 0 {
+        eprintln!("{failed} record(s) FAILED verification");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_list() {
+    println!("registered algorithms:");
+    for a in algorithms() {
+        println!("  {:<22} {}", a.name(), a.description());
+    }
 }
 
 fn cmd_info(flags: &HashMap<String, String>) {
@@ -288,4 +359,72 @@ fn cmd_info(flags: &HashMap<String, String>) {
         "  network budget: ≈ {} messages per round network-wide",
         n * c.send
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_flag_value_pairs() {
+        let (pos, flags) = parse_args(&strings(&["mst", "--n", "64", "--seed", "9"]));
+        assert_eq!(pos, vec!["mst"]);
+        assert_eq!(flags.get("n").map(String::as_str), Some("64"));
+        assert_eq!(flags.get("seed").map(String::as_str), Some("9"));
+    }
+
+    #[test]
+    fn parse_rejects_flag_as_swallowed_value() {
+        // the old parser read this as json="--threads" and dropped --threads
+        let (_, flags) = parse_args(&strings(&["--json", "--threads", "4"]));
+        assert_eq!(flags.get("json").map(String::as_str), Some(""));
+        assert_eq!(flags.get("threads").map(String::as_str), Some("4"));
+    }
+
+    #[test]
+    fn parse_valueless_trailing_flag() {
+        let (pos, flags) = parse_args(&strings(&["run", "--json"]));
+        assert_eq!(pos, vec!["run"]);
+        assert_eq!(flags.get("json").map(String::as_str), Some(""));
+    }
+
+    #[test]
+    fn family_spec_covers_cli_vocabulary() {
+        let flags = HashMap::new();
+        for fam in [
+            "path",
+            "cycle",
+            "star",
+            "complete",
+            "grid",
+            "tgrid",
+            "tree",
+            "forests",
+            "gnp",
+            "gnm",
+            "ba",
+            "geometric",
+        ] {
+            let (spec, n) = family_spec(fam, 64, &flags);
+            assert!(n >= 1);
+            let spec = ScenarioSpec::new(spec, n, 1);
+            assert!(spec.build().is_ok(), "family {fam} must build");
+        }
+    }
+
+    #[test]
+    fn spec_from_flags_threads_and_weights() {
+        let mut flags = HashMap::new();
+        flags.insert("n".to_string(), "32".to_string());
+        flags.insert("threads".to_string(), "4".to_string());
+        flags.insert("weights".to_string(), "100".to_string());
+        let spec = spec_from_flags("gnp", &flags);
+        assert_eq!(spec.n, 32);
+        assert_eq!(spec.threads, 4);
+        assert_eq!(spec.weight_max, 100);
+    }
 }

@@ -10,6 +10,8 @@
 //! * [`core`] — MST, O(a)-orientation, BFS, MIS, matching, coloring (§3–§5)
 //! * [`baselines`] — sequential references and naive-NCC baselines
 //! * [`kmachine`] — Appendix A conversion to the k-machine model
+//! * [`runner`] — the unified scenario API: serializable [`runner::ScenarioSpec`],
+//!   the [`runner::Algorithm`] registry, typed JSON [`runner::RunRecord`]s
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -20,3 +22,4 @@ pub use ncc_graph as graph;
 pub use ncc_hashing as hashing;
 pub use ncc_kmachine as kmachine;
 pub use ncc_model as model;
+pub use ncc_runner as runner;

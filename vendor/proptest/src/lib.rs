@@ -145,6 +145,47 @@ impl_tuple_strategy! {
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
     (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+/// Object-safe face of [`Strategy`], so heterogeneous strategies with a
+/// common `Value` can live in one collection (what `prop_oneof!` builds).
+pub trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Uniform choice between strategies (the stub's `prop_oneof!` backend;
+/// the real crate's weighted form is not supported).
+pub struct Union<T>(pub Vec<Box<dyn DynStrategy<T>>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate_dyn(rng)
+    }
+}
+
+/// `prop_oneof![a, b, c]` — picks one of the arm strategies uniformly per
+/// case. All arms must share a `Value` type. Weighted arms (`w => s`) from
+/// the real crate are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![
+            $(Box::new($strategy) as Box<dyn $crate::DynStrategy<_>>),+
+        ])
+    };
 }
 
 /// Types with a canonical "anything" strategy.
@@ -216,8 +257,8 @@ pub fn any<A: Arbitrary>() -> Any<A> {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, Just,
-        ProptestConfig, Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        DynStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
     };
 }
 

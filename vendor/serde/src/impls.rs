@@ -197,6 +197,23 @@ impl<'de> Deserialize<'de> for () {
 }
 
 // ---------------------------------------------------------------------------
+// Value is itself serializable: it passes through unchanged, which lets
+// callers work with dynamically-typed documents (`serde_json::from_str::
+// <serde::Value>`) the way real serde_json's `Value` allows.
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // compound std types
 
 impl<T: Serialize + ?Sized> Serialize for &T {
