@@ -5,7 +5,10 @@
 #
 #   BENCH_exp01.json  the Table-1 experiment (exp01_table1 --json)
 #   BENCH_suite.json  the whole runner registry over the standard
-#                     scenario grid (ncc-cli suite)
+#                     scenario grid (ncc-cli suite), including the model
+#                     dimension: every cell names its execution model
+#                     (ncc / congested-clique / kmachine / hybrid) and the
+#                     model rows carry km_rounds + max_edge_load
 #
 # Usage:
 #   ./bench.sh [extra cargo run args...]

@@ -63,6 +63,13 @@ impl GraphBuilder {
         for i in 0..self.n {
             offsets[i + 1] = offsets[i] + degree[i];
         }
+        // One cursor-scatter pass over the lexicographically sorted
+        // canonical edge list fills every neighbour slice already sorted:
+        // a node w's list receives first the endpoints u < w of edges
+        // (u, w) — in ascending u, because the list is sorted by first
+        // endpoint — and then the endpoints v > w of edges (w, v), in
+        // ascending v; every value of the first kind is < w < every value
+        // of the second kind, so the whole slice is ascending.
         let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
         let mut adj = vec![0 as NodeId; 2 * self.edges.len()];
         for &(u, v) in &self.edges {
@@ -71,19 +78,14 @@ impl GraphBuilder {
             adj[cursor[v as usize] as usize] = u;
             cursor[v as usize] += 1;
         }
-        // neighbor lists are sorted because edges were sorted by (min,max)
-        // only for the first endpoint; sort each list to guarantee it.
-        let g = Graph {
+        debug_assert!(
+            (0..self.n).all(|u| { adj[offsets[u] as usize..offsets[u + 1] as usize].is_sorted() })
+        );
+        Graph {
             n: self.n,
             offsets,
             adj,
-        };
-        let mut adj = g.adj;
-        for u in 0..self.n {
-            let (lo, hi) = (g.offsets[u] as usize, g.offsets[u + 1] as usize);
-            adj[lo..hi].sort_unstable();
         }
-        Graph { adj, ..g }
     }
 }
 
@@ -295,6 +297,24 @@ mod tests {
         assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
         assert_eq!(g.max_degree(), 2);
         assert!((g.avg_degree() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_pass_build_yields_sorted_adjacency() {
+        // adversarial insert order + duplicates across a denser graph: the
+        // cursor-scatter over the sorted canonical edge list must produce
+        // every neighbour slice already sorted (no per-list re-sort).
+        let n = 97u32;
+        let edges = (0..n * 4).map(|i| {
+            let u = (i * 31 + 7) % n;
+            let v = (i * 17 + 3) % n;
+            (u, v)
+        });
+        let g = Graph::from_edges(n as usize, edges);
+        for u in 0..n {
+            let nb = g.neighbors(u);
+            assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted list at {u}");
+        }
     }
 
     #[test]

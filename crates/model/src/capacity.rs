@@ -36,10 +36,13 @@ impl Capacity {
     /// well inside this budget (see EXPERIMENTS.md, E15).
     pub fn log_scaled(n: usize, kappa: usize, beta: u32) -> Self {
         let logn = ilog2_ceil(n).max(1) as usize;
+        // Saturating: callers may probe with `usize::MAX`-ish constants
+        // (unbounded-capacity sweeps); a silent wrap here would turn an
+        // "effectively infinite" budget into a tiny one.
         Capacity {
-            send: (kappa * logn).max(kappa),
-            recv: (kappa * logn).max(kappa),
-            payload_bits: (beta * logn as u32).max(128),
+            send: kappa.saturating_mul(logn).max(kappa),
+            recv: kappa.saturating_mul(logn).max(kappa),
+            payload_bits: beta.saturating_mul(logn as u32).max(128),
         }
     }
 
@@ -115,6 +118,14 @@ mod tests {
         let c = Capacity::unbounded();
         assert_eq!(c.send, usize::MAX);
         assert_eq!(c.recv, usize::MAX);
+    }
+
+    #[test]
+    fn log_scaled_saturates_instead_of_wrapping() {
+        let c = Capacity::log_scaled(1 << 20, usize::MAX, u32::MAX);
+        assert_eq!(c.send, usize::MAX);
+        assert_eq!(c.recv, usize::MAX);
+        assert_eq!(c.payload_bits, u32::MAX);
     }
 
     #[test]

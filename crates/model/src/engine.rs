@@ -42,6 +42,7 @@ use rand::rngs::SmallRng;
 
 use crate::capacity::Capacity;
 use crate::error::ModelError;
+use crate::network::{Lane, Ncc, NetworkModel};
 use crate::payload::{Envelope, Payload};
 use crate::program::{Ctx, NodeProgram};
 use crate::rng::node_rng;
@@ -97,7 +98,8 @@ impl NetConfig {
     }
 }
 
-/// The simulated Node-Capacitated Clique.
+/// The simulated network: `n` synchronous nodes driven under a pluggable
+/// [`NetworkModel`] (the Node-Capacitated Clique by default).
 pub struct Engine {
     cfg: NetConfig,
     node_rngs: Vec<SmallRng>,
@@ -105,10 +107,20 @@ pub struct Engine {
     /// Cumulative statistics across every execution on this engine.
     pub total: ExecStats,
     sink: Option<Box<dyn TraceSink>>,
+    model: Box<dyn NetworkModel>,
 }
 
 impl Engine {
+    /// An engine under the default [`Ncc`] model (per-node caps; the
+    /// paper's setting). Executions are byte-identical to the pre-model
+    /// engine for any `(seed, n, capacity)`.
     pub fn new(cfg: NetConfig) -> Self {
+        Self::with_model(cfg, Box::new(Ncc))
+    }
+
+    /// An engine under an explicit network model (Congested Clique,
+    /// k-machine, hybrid local+global, or anything user-provided).
+    pub fn with_model(cfg: NetConfig, model: Box<dyn NetworkModel>) -> Self {
         let node_rngs = (0..cfg.n as NodeId)
             .map(|i| node_rng(cfg.seed, i))
             .collect();
@@ -118,11 +130,18 @@ impl Engine {
             global_round: 0,
             total: ExecStats::default(),
             sink: None,
+            model,
         }
     }
 
     pub fn config(&self) -> &NetConfig {
         &self.cfg
+    }
+
+    /// The active network model (downcast via
+    /// [`NetworkModel::as_any`] for model-specific post-run reports).
+    pub fn model(&self) -> &dyn NetworkModel {
+        &*self.model
     }
 
     pub fn n(&self) -> usize {
@@ -152,11 +171,22 @@ impl Engine {
         states: &mut [Prog::State],
     ) -> Result<ExecStats, ModelError> {
         assert_eq!(states.len(), self.cfg.n, "one state per node required");
-        let n = self.cfg.n;
-        let cap = self.cfg.capacity;
+        let Engine {
+            cfg,
+            node_rngs,
+            global_round,
+            total,
+            sink,
+            model,
+        } = self;
+        let n = cfg.n;
+        let cap = cfg.capacity;
+        let send_cap = model.send_cap(&cap);
+        let recv_policy = model.recv_policy(&cap);
+        let wants_pairs = model.wants_delivered_pairs();
 
         let mut stats = ExecStats::default();
-        let mut router: Router<Prog::Payload> = Router::new(n, self.cfg.seed, self.cfg.threads);
+        let mut router: Router<Prog::Payload> = Router::new(n, cfg.seed, cfg.threads);
         let mut active: Vec<NodeId> = (0..n as NodeId).collect();
         let mut next_active: Vec<NodeId> = Vec::with_capacity(n);
         let mut awake: Vec<bool> = vec![false; n];
@@ -175,8 +205,8 @@ impl Engine {
             sends.clear();
 
             // ---- step phase -------------------------------------------------
-            let violation = if self.cfg.threads > 1 && active.len() >= 128 {
-                self.step_parallel(
+            let violation = if cfg.threads > 1 && active.len() >= 128 {
+                step_parallel(
                     prog,
                     states,
                     &router,
@@ -184,9 +214,13 @@ impl Engine {
                     &active,
                     local_round,
                     &mut sends,
+                    cfg,
+                    node_rngs,
+                    send_cap,
+                    &**model,
                 )
             } else {
-                self.step_sequential(
+                step_sequential(
                     prog,
                     states,
                     &router,
@@ -194,6 +228,10 @@ impl Engine {
                     &active,
                     local_round,
                     &mut sends,
+                    cfg,
+                    node_rngs,
+                    send_cap,
+                    &**model,
                 )
             };
 
@@ -201,20 +239,20 @@ impl Engine {
             // `sends` is ordered by (node order within `active`, send order),
             // so per-node runs are contiguous.
             if let Some((node, attempted)) = violation.send_over {
-                if self.cfg.strict {
+                if cfg.strict {
                     return Err(ModelError::SendCapExceeded {
                         node,
-                        round: self.global_round,
+                        round: *global_round,
                         attempted,
-                        cap: cap.send,
+                        cap: send_cap,
                     });
                 }
             }
             if let Some((node, bits)) = violation.payload_over {
-                if self.cfg.strict {
+                if cfg.strict {
                     return Err(ModelError::PayloadTooWide {
                         node,
-                        round: self.global_round,
+                        round: *global_round,
                         bits,
                         budget: cap.payload_bits,
                     });
@@ -223,7 +261,7 @@ impl Engine {
             if let Some((node, dst)) = violation.bad_dst {
                 return Err(ModelError::BadDestination {
                     node,
-                    round: self.global_round,
+                    round: *global_round,
                     dst,
                     n,
                 });
@@ -235,22 +273,29 @@ impl Engine {
             round_stats.truncated = violation.truncated;
 
             // ---- route + deliver --------------------------------------------
-            let report = router.route(&mut sends, self.global_round, cap.recv);
+            let report = router.route_model(&mut sends, *global_round, recv_policy, &**model);
             round_stats.delivered = report.delivered;
             round_stats.dropped = report.dropped;
             round_stats.max_in = report.max_in;
             round_stats.over_cap_dsts = report.over_cap_dsts;
+            round_stats.max_edge_load = report.max_edge_load;
 
-            if let Some(sink) = self.sink.as_mut() {
+            // ---- model cost accounting + tracing ----------------------------
+            if sink.is_some() || wants_pairs {
                 trace_buf.clear();
                 for d in 0..n as NodeId {
                     for e in router.inbox(d) {
                         trace_buf.push(TraceEvent { src: e.src, dst: d });
                     }
                 }
-                sink.on_round(self.global_round, &trace_buf);
-                if !router.drops().is_empty() {
-                    sink.on_drops(self.global_round, router.drops());
+                if wants_pairs {
+                    round_stats.km_rounds = model.charge_round(*global_round, &trace_buf);
+                }
+                if let Some(sink) = sink.as_mut() {
+                    sink.on_round(*global_round, &trace_buf);
+                    if !router.drops().is_empty() {
+                        sink.on_drops(*global_round, router.drops());
+                    }
                 }
             }
 
@@ -265,144 +310,149 @@ impl Engine {
             }
 
             stats.absorb_round(&round_stats);
-            self.total.absorb_round(&round_stats);
-            self.global_round += 1;
+            total.absorb_round(&round_stats);
+            *global_round += 1;
             local_round += 1;
 
             if next_active.is_empty() {
                 break;
             }
-            if local_round >= self.cfg.max_rounds {
+            if local_round >= cfg.max_rounds {
                 return Err(ModelError::RoundLimitExceeded {
-                    limit: self.cfg.max_rounds,
+                    limit: cfg.max_rounds,
                 });
             }
             std::mem::swap(&mut active, &mut next_active);
         }
         Ok(stats)
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn step_sequential<Prog: NodeProgram>(
-        &mut self,
-        prog: &Prog,
-        states: &mut [Prog::State],
-        router: &Router<Prog::Payload>,
-        awake: &mut [bool],
-        active: &[NodeId],
-        local_round: u64,
-        sends: &mut Vec<Envelope<Prog::Payload>>,
-    ) -> Violation {
-        let mut v = Violation::default();
-        let mut out: Vec<(NodeId, Prog::Payload)> = Vec::new();
-        for &node in active {
-            let i = node as usize;
-            out.clear();
-            {
-                let mut ctx = Ctx {
-                    id: node,
-                    n: self.cfg.n,
-                    round: local_round,
-                    rng: &mut self.node_rngs[i],
-                    out: &mut out,
-                    awake: &mut awake[i],
-                };
-                if local_round == 0 {
-                    prog.init(&mut states[i], &mut ctx);
-                } else {
-                    prog.round(&mut states[i], router.inbox(node), &mut ctx);
-                }
+#[allow(clippy::too_many_arguments)]
+fn step_sequential<Prog: NodeProgram>(
+    prog: &Prog,
+    states: &mut [Prog::State],
+    router: &Router<Prog::Payload>,
+    awake: &mut [bool],
+    active: &[NodeId],
+    local_round: u64,
+    sends: &mut Vec<Envelope<Prog::Payload>>,
+    cfg: &NetConfig,
+    node_rngs: &mut [SmallRng],
+    send_cap: usize,
+    model: &dyn NetworkModel,
+) -> Violation {
+    let mut v = Violation::default();
+    let mut out: Vec<(NodeId, Prog::Payload)> = Vec::new();
+    for &node in active {
+        let i = node as usize;
+        out.clear();
+        {
+            let mut ctx = Ctx {
+                id: node,
+                n: cfg.n,
+                round: local_round,
+                rng: &mut node_rngs[i],
+                out: &mut out,
+                awake: &mut awake[i],
+            };
+            if local_round == 0 {
+                prog.init(&mut states[i], &mut ctx);
+            } else {
+                prog.round(&mut states[i], router.inbox(node), &mut ctx);
             }
-            v.account(node, &out, &self.cfg, sends);
         }
-        v
+        v.account(node, &out, cfg, send_cap, model, sends);
     }
+    v
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn step_parallel<Prog: NodeProgram>(
-        &mut self,
-        prog: &Prog,
-        states: &mut [Prog::State],
-        router: &Router<Prog::Payload>,
-        awake: &mut [bool],
-        active: &[NodeId],
-        local_round: u64,
-        sends: &mut Vec<Envelope<Prog::Payload>>,
-    ) -> Violation {
-        let threads = self.cfg.threads.min(active.len());
-        let chunk = active.len().div_ceil(threads);
-        let n = self.cfg.n;
-        let cfg = self.cfg.clone();
+#[allow(clippy::too_many_arguments)]
+fn step_parallel<Prog: NodeProgram>(
+    prog: &Prog,
+    states: &mut [Prog::State],
+    router: &Router<Prog::Payload>,
+    awake: &mut [bool],
+    active: &[NodeId],
+    local_round: u64,
+    sends: &mut Vec<Envelope<Prog::Payload>>,
+    cfg: &NetConfig,
+    node_rngs: &mut [SmallRng],
+    send_cap: usize,
+    model: &dyn NetworkModel,
+) -> Violation {
+    let threads = cfg.threads.min(active.len());
+    let chunk = active.len().div_ceil(threads);
+    let n = cfg.n;
 
-        // SAFETY: the active list contains unique node ids (engine invariant:
-        // built by an ascending id scan), and chunks partition it, so every
-        // thread touches a disjoint set of indices in `states`, `awake`, and
-        // `node_rngs`. The router is only read (shared inbox slices).
-        let states_ptr = SendPtr(states.as_mut_ptr());
-        let awake_ptr = SendPtr(awake.as_mut_ptr());
-        let rngs_ptr = SendPtr(self.node_rngs.as_mut_ptr());
+    // SAFETY: the active list contains unique node ids (engine invariant:
+    // built by an ascending id scan), and chunks partition it, so every
+    // thread touches a disjoint set of indices in `states`, `awake`, and
+    // `node_rngs`. The router is only read (shared inbox slices).
+    let states_ptr = SendPtr(states.as_mut_ptr());
+    let awake_ptr = SendPtr(awake.as_mut_ptr());
+    let rngs_ptr = SendPtr(node_rngs.as_mut_ptr());
 
-        let mut chunk_results: Vec<(Violation, Vec<Envelope<Prog::Payload>>)> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for c in 0..threads {
-                    let lo = c * chunk;
-                    let hi = ((c + 1) * chunk).min(active.len());
-                    if lo >= hi {
-                        break;
-                    }
-                    let slice = &active[lo..hi];
-                    let cfg = cfg.clone();
-                    let (states_ptr, awake_ptr, rngs_ptr) = (states_ptr, awake_ptr, rngs_ptr);
-                    handles.push(scope.spawn(move || {
-                        let mut v = Violation::default();
-                        let mut local: Vec<Envelope<Prog::Payload>> = Vec::new();
-                        let mut out: Vec<(NodeId, Prog::Payload)> = Vec::new();
-                        for &node in slice {
-                            let i = node as usize;
-                            debug_assert!(i < n);
-                            // SAFETY: disjoint indices per the invariant above.
-                            let (state, awake_slot, rng) = unsafe {
-                                (
-                                    &mut *states_ptr.get().add(i),
-                                    &mut *awake_ptr.get().add(i),
-                                    &mut *rngs_ptr.get().add(i),
-                                )
-                            };
-                            out.clear();
-                            {
-                                let mut ctx = Ctx {
-                                    id: node,
-                                    n,
-                                    round: local_round,
-                                    rng,
-                                    out: &mut out,
-                                    awake: awake_slot,
-                                };
-                                if local_round == 0 {
-                                    prog.init(state, &mut ctx);
-                                } else {
-                                    prog.round(state, router.inbox(node), &mut ctx);
-                                }
-                            }
-                            v.account(node, &out, &cfg, &mut local);
-                        }
-                        (v, local)
-                    }));
+    let mut chunk_results: Vec<(Violation, Vec<Envelope<Prog::Payload>>)> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for c in 0..threads {
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(active.len());
+                if lo >= hi {
+                    break;
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
+                let slice = &active[lo..hi];
+                let cfg = cfg.clone();
+                let (states_ptr, awake_ptr, rngs_ptr) = (states_ptr, awake_ptr, rngs_ptr);
+                handles.push(scope.spawn(move || {
+                    let mut v = Violation::default();
+                    let mut local: Vec<Envelope<Prog::Payload>> = Vec::new();
+                    let mut out: Vec<(NodeId, Prog::Payload)> = Vec::new();
+                    for &node in slice {
+                        let i = node as usize;
+                        debug_assert!(i < n);
+                        // SAFETY: disjoint indices per the invariant above.
+                        let (state, awake_slot, rng) = unsafe {
+                            (
+                                &mut *states_ptr.get().add(i),
+                                &mut *awake_ptr.get().add(i),
+                                &mut *rngs_ptr.get().add(i),
+                            )
+                        };
+                        out.clear();
+                        {
+                            let mut ctx = Ctx {
+                                id: node,
+                                n,
+                                round: local_round,
+                                rng,
+                                out: &mut out,
+                                awake: awake_slot,
+                            };
+                            if local_round == 0 {
+                                prog.init(state, &mut ctx);
+                            } else {
+                                prog.round(state, router.inbox(node), &mut ctx);
+                            }
+                        }
+                        v.account(node, &out, &cfg, send_cap, model, &mut local);
+                    }
+                    (v, local)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
 
-        let mut v = Violation::default();
-        for (cv, mut local) in chunk_results.drain(..) {
-            v.merge(cv);
-            sends.append(&mut local);
-        }
-        v
+    let mut v = Violation::default();
+    for (cv, mut local) in chunk_results.drain(..) {
+        v.merge(cv);
+        sends.append(&mut local);
     }
+    v
 }
 
 /// Per-round cap bookkeeping shared by both step drivers.
@@ -423,27 +473,42 @@ struct Violation {
 }
 
 impl Violation {
-    /// Applies the caps to one node's outgoing messages and moves the
-    /// survivors into the flat send buffer.
+    /// Applies the model's send-side budgets to one node's outgoing
+    /// messages and moves the survivors into the flat send buffer.
+    ///
+    /// `send_cap` is the model's node-level budget; in lane-splitting
+    /// models (`!model.uniform_lanes()`) only `Lane::Global` messages count
+    /// against it — local-edge messages always reach the network and are
+    /// budgeted there (per edge, in the route phase). Under a uniform-lane
+    /// model this reduces exactly to the pre-model positional truncation:
+    /// the first `send_cap` messages survive.
     fn account<P: Payload>(
         &mut self,
         node: NodeId,
         out: &[(NodeId, P)],
         cfg: &NetConfig,
+        send_cap: usize,
+        model: &dyn NetworkModel,
         sends: &mut Vec<Envelope<P>>,
     ) {
         let cap = &cfg.capacity;
         let attempted = out.len();
         self.max_out = self.max_out.max(attempted as u64);
-        if attempted > cap.send {
-            self.violations += 1;
-            self.truncated += (attempted - cap.send) as u64;
-            if self.send_over.is_none() {
-                self.send_over = Some((node, attempted));
+        let uniform = model.uniform_lanes();
+        // One pass: classify each message's lane exactly once, admitting
+        // the first `send_cap` cap-counted messages and tallying the rest
+        // as truncated (recorded after the loop).
+        let mut counted = 0usize;
+        let mut taken = 0usize;
+        for (dst, p) in out.iter() {
+            let global = uniform || model.lane(node, *dst) == Lane::Global;
+            if global {
+                counted += 1;
+                if taken >= send_cap {
+                    continue; // over the node budget: truncated
+                }
+                taken += 1;
             }
-        }
-        let take = attempted.min(cap.send);
-        for (dst, p) in out.iter().take(take) {
             if (*dst as usize) >= cfg.n {
                 if self.bad_dst.is_none() {
                     self.bad_dst = Some((node, *dst));
@@ -463,6 +528,13 @@ impl Violation {
             }
             self.bits += bits as u64;
             sends.push(Envelope::new(node, *dst, p.clone()));
+        }
+        if counted > send_cap {
+            self.violations += 1;
+            self.truncated += (counted - send_cap) as u64;
+            if self.send_over.is_none() {
+                self.send_over = Some((node, counted));
+            }
         }
     }
 

@@ -22,6 +22,17 @@
 //! multi-threaded executor (results are bit-identical — see
 //! [`engine::Engine::execute`]).
 //!
+//! ## Pluggable network models
+//!
+//! The communication semantics themselves — who may talk to whom, the
+//! per-round budgets, the drop rules, and the cost accounting — live
+//! behind the [`NetworkModel`] trait (see [`network`]): the default [`Ncc`]
+//! per-node-cap clique, the per-edge-bandwidth [`CongestedClique`], the
+//! k-machine cost model (crate `ncc-kmachine`), and the §1
+//! [`HybridLocal`] local+global setting all drive the same engine and the
+//! same batched delivery pipeline. [`ModelSpec`] is the serializable
+//! description a scenario carries.
+//!
 //! ## Delivery as batched routing
 //!
 //! The per-round delivery phase is the [`router::Router`]: one counting
@@ -75,6 +86,7 @@
 pub mod capacity;
 pub mod engine;
 pub mod error;
+pub mod network;
 pub mod payload;
 pub mod program;
 pub mod rng;
@@ -85,6 +97,7 @@ pub mod trace;
 pub use capacity::Capacity;
 pub use engine::{Engine, NetConfig};
 pub use error::ModelError;
+pub use network::{CongestedClique, HybridLocal, Lane, ModelSpec, Ncc, NetworkModel, RecvPolicy};
 pub use payload::{Envelope, Payload};
 pub use program::{Ctx, NodeProgram};
 pub use router::{RouteReport, Router};

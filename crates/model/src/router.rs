@@ -13,20 +13,30 @@
 //!    slot; within a bucket, arrival order is exactly global send order,
 //!    i.e. `(sender, send order)`, preserving the documented ordering
 //!    contract;
-//! 4. **sample** — for every destination whose in-degree exceeds the
-//!    receive cap, a partial Fisher–Yates selection keyed by
-//!    `(seed, round, destination)` picks the survivors (identical choice
-//!    sequence to the seed engine), and the bucket is compacted in place,
-//!    keeping survivor arrival order.
+//! 4. **sample** — the active [`NetworkModel`]'s [`RecvPolicy`] decides
+//!    which messages of an over-full bucket survive:
+//!    [`RecvPolicy::NodeCap`] keeps a seeded-random subset (partial
+//!    Fisher–Yates keyed by `(seed, round, destination)` — identical
+//!    choice sequence to the seed engine), [`RecvPolicy::EdgeCap`] keeps
+//!    the first `edge_cap` arrivals per sender (Congested-Clique edge
+//!    bandwidth), [`RecvPolicy::Hybrid`] budgets local-edge arrivals per
+//!    sender and samples the global remainder under the node cap, and
+//!    [`RecvPolicy::Unlimited`] delivers everything. Buckets are compacted
+//!    in place, keeping survivor arrival order.
+//!
+//! Every model runs through this same pipeline — pairwise budgets slot into
+//! the sample phase as a per-bucket scan with stamped per-sender counters,
+//! not a fallback slow path.
 //!
 //! ## Steady-state zero allocation
 //!
 //! All buffers — the inbox arena, the offset/length/count tables, the
-//! Fisher–Yates scratch, and the per-thread histograms — are owned by the
-//! `Router` and reused across rounds. After the high-water round of an
-//! execution, routing performs **no heap allocation at all**; `route`
-//! only clears and refills what it owns. (The arena grows to the largest
-//! round's send volume and stays there.)
+//! sample-phase scratch (Fisher–Yates permutations, per-sender stamp
+//! counters, survivor index lists), and the per-thread histograms — are
+//! owned by the `Router` and reused across rounds. After the high-water
+//! round of an execution, routing performs **no heap allocation at all**;
+//! `route` only clears and refills what it owns. (The arena grows to the
+//! largest round's send volume and stays there.)
 //!
 //! ## Deterministic parallelism
 //!
@@ -35,11 +45,14 @@
 //! also computes per-`(thread, destination)` scatter cursors (prefix), a
 //! disjoint-slot parallel scatter, and a parallel per-destination-range
 //! sample/compact. Each phase produces bit-identical arena layout and drop
-//! choices to the sequential path, so results do not depend on thread
-//! count — the property tests assert this for 1, 2, 4 and 8 threads.
+//! choices to the sequential path for every policy — survivor choices
+//! depend only on `(seed, round, destination)` and bucket content, never on
+//! thread count — so results do not depend on the number of workers. The
+//! property tests assert this for 1, 2, 4 and 8 threads.
 
 use rand::Rng;
 
+use crate::network::{Lane, Ncc, NetworkModel, RecvPolicy};
 use crate::payload::{Envelope, Payload};
 use crate::rng::network_rng;
 use crate::NodeId;
@@ -55,12 +68,71 @@ const PAR_MIN_SENDS: usize = 1 << 16;
 pub struct RouteReport {
     /// Messages placed into inboxes.
     pub delivered: u64,
-    /// Messages dropped by receive-cap sampling.
+    /// Messages dropped by the receive policy (node-cap sampling or
+    /// pairwise edge budgets).
     pub dropped: u64,
     /// Largest pre-drop in-degree of any destination.
     pub max_in: u64,
-    /// Destinations whose in-degree exceeded the receive cap.
+    /// Destinations that lost at least one message this round.
     pub over_cap_dsts: u64,
+    /// Largest per-ordered-edge load (only measured by pairwise policies;
+    /// 0 under [`RecvPolicy::NodeCap`] / [`RecvPolicy::Unlimited`]).
+    pub max_edge_load: u64,
+}
+
+/// Per-worker sample-phase scratch: everything one thread needs to apply a
+/// receive policy to its destination range. Reused across rounds.
+#[derive(Default)]
+struct SampleScratch {
+    /// Fisher–Yates permutation buffer (node-cap sampling).
+    perm: Vec<u32>,
+    /// Survivor bucket indices, ascending (pairwise policies).
+    keep: Vec<u32>,
+    /// Global-lane bucket indices (hybrid policy).
+    globals: Vec<u32>,
+    /// `(destination, dropped)` pairs produced by this worker, ascending.
+    drops: Vec<(NodeId, u32)>,
+    /// Stamped per-sender arrival counters (pairwise policies); lazily
+    /// sized to `n` the first time a pairwise policy routes.
+    edge_stamp: Vec<u64>,
+    edge_cnt: Vec<u32>,
+    stamp: u64,
+}
+
+impl SampleScratch {
+    fn ensure_edges(&mut self, n: usize) {
+        if self.edge_stamp.len() < n {
+            self.edge_stamp.resize(n, 0);
+            self.edge_cnt.resize(n, 0);
+        }
+    }
+
+    #[inline]
+    fn begin_bucket(&mut self) {
+        self.stamp += 1;
+    }
+
+    /// Counts one more arrival from `src` in the current bucket and returns
+    /// the running per-sender total (saturating — `u32::MAX` arrivals from
+    /// one sender are beyond any real round, but unbounded caps must never
+    /// wrap the counter).
+    #[inline]
+    fn bump(&mut self, src: NodeId) -> u32 {
+        let s = src as usize;
+        if self.edge_stamp[s] != self.stamp {
+            self.edge_stamp[s] = self.stamp;
+            self.edge_cnt[s] = 0;
+        }
+        self.edge_cnt[s] = self.edge_cnt[s].saturating_add(1);
+        self.edge_cnt[s]
+    }
+}
+
+/// Outcome of applying a pairwise receive policy to one bucket.
+struct BucketOutcome {
+    kept: usize,
+    dropped: usize,
+    max_edge: u64,
 }
 
 /// Reusable batched router: owns the flat inbox arena and every piece of
@@ -83,13 +155,12 @@ pub struct Router<P> {
     /// Per-thread histogram / scatter-cursor tables (index 0 doubles as the
     /// sequential path's cursor table).
     cursors: Vec<Vec<u32>>,
-    /// Per-thread Fisher–Yates scratch.
-    perms: Vec<Vec<u32>>,
-    /// `(destination, dropped)` for every over-cap destination this round,
+    /// Per-thread sample-phase scratch (index 0 doubles as the sequential
+    /// path's scratch).
+    scratch: Vec<SampleScratch>,
+    /// `(destination, dropped)` for every lossy destination this round,
     /// ascending by destination.
     drops: Vec<(NodeId, u32)>,
-    /// Per-thread partial drop lists (parallel sample phase).
-    drop_bufs: Vec<Vec<(NodeId, u32)>>,
 }
 
 impl<P: Payload> Router<P> {
@@ -104,9 +175,8 @@ impl<P: Payload> Router<P> {
             len: vec![0; n],
             counts: vec![0; n],
             cursors: vec![vec![0; n]],
-            perms: vec![Vec::new()],
+            scratch: vec![SampleScratch::default()],
             drops: Vec::new(),
-            drop_bufs: Vec::new(),
         }
     }
 
@@ -145,11 +215,26 @@ impl<P: Payload> Router<P> {
         &self.drops
     }
 
-    /// Routes one round's flat send buffer into the inbox arena, enforcing
-    /// the receive cap per destination. Drains `sends`; envelopes are moved,
-    /// never cloned. Drop choices are keyed by `(seed, round, destination)`
-    /// and are independent of thread count.
+    /// Routes one round's flat send buffer with NCC semantics: at most
+    /// `recv` messages per destination, seeded-random drops. Equivalent to
+    /// [`Router::route_model`] with [`RecvPolicy::NodeCap`] and the
+    /// default [`Ncc`] model.
     pub fn route(&mut self, sends: &mut Vec<Envelope<P>>, round: u64, recv: usize) -> RouteReport {
+        self.route_model(sends, round, RecvPolicy::NodeCap { recv }, &Ncc)
+    }
+
+    /// Routes one round's flat send buffer into the inbox arena under the
+    /// given receive policy. Drains `sends`; envelopes are moved, never
+    /// cloned. Drop choices are keyed by `(seed, round, destination)` and
+    /// are independent of thread count. `model` is consulted only by the
+    /// [`RecvPolicy::Hybrid`] policy, for per-message lane classification.
+    pub fn route_model(
+        &mut self,
+        sends: &mut Vec<Envelope<P>>,
+        round: u64,
+        policy: RecvPolicy,
+        model: &dyn NetworkModel,
+    ) -> RouteReport {
         self.drops.clear();
         let total = sends.len();
         // Hard assert: the prefix sums feeding the unsafe scatter are u32,
@@ -165,9 +250,9 @@ impl<P: Payload> Router<P> {
             return RouteReport::default();
         }
         if self.threads > 1 && total >= self.min_par_sends {
-            self.route_parallel(sends, round, recv)
+            self.route_parallel(sends, round, policy, model)
         } else {
-            self.route_sequential(sends, round, recv)
+            self.route_sequential(sends, round, policy, model)
         }
     }
 
@@ -175,7 +260,8 @@ impl<P: Payload> Router<P> {
         &mut self,
         sends: &mut Vec<Envelope<P>>,
         round: u64,
-        recv: usize,
+        policy: RecvPolicy,
+        model: &dyn NetworkModel,
     ) -> RouteReport {
         let n = self.n;
         let total = sends.len();
@@ -210,24 +296,77 @@ impl<P: Payload> Router<P> {
         // SAFETY: all `total` slots were initialised by the scatter above.
         unsafe { self.arena.set_len(total) };
 
-        // sample + compact
+        // sample + compact (policy-dispatched)
+        let Router {
+            arena,
+            start,
+            len,
+            counts,
+            scratch,
+            drops,
+            seed,
+            ..
+        } = self;
+        let seed = *seed;
         let mut report = RouteReport::default();
-        let perm = &mut self.perms[0];
-        for d in 0..n {
-            let c = self.counts[d] as usize;
-            report.max_in = report.max_in.max(c as u64);
-            if c > recv {
-                let s = self.start[d] as usize;
-                sample_survivors(perm, c, recv, self.seed, round, d as NodeId);
-                compact_bucket(&mut self.arena[s..s + c], &perm[..recv]);
-                self.len[d] = recv as u32;
-                self.drops.push((d as NodeId, (c - recv) as u32));
-                report.over_cap_dsts += 1;
-                report.delivered += recv as u64;
-                report.dropped += (c - recv) as u64;
-            } else {
-                self.len[d] = c as u32;
-                report.delivered += c as u64;
+        match policy {
+            RecvPolicy::NodeCap { recv } => {
+                let perm = &mut scratch[0].perm;
+                for d in 0..n {
+                    let c = counts[d] as usize;
+                    report.max_in = report.max_in.max(c as u64);
+                    if c > recv {
+                        let s = start[d] as usize;
+                        sample_survivors(perm, c, recv, seed, round, d as NodeId);
+                        compact_bucket(&mut arena[s..s + c], &perm[..recv]);
+                        len[d] = recv as u32;
+                        drops.push((d as NodeId, (c - recv) as u32));
+                        report.over_cap_dsts += 1;
+                        report.delivered += recv as u64;
+                        report.dropped += (c - recv) as u64;
+                    } else {
+                        len[d] = c as u32;
+                        report.delivered += c as u64;
+                    }
+                }
+            }
+            RecvPolicy::Unlimited => {
+                for d in 0..n {
+                    let c = counts[d];
+                    report.max_in = report.max_in.max(c as u64);
+                    len[d] = c;
+                    report.delivered += c as u64;
+                }
+            }
+            RecvPolicy::EdgeCap { .. } | RecvPolicy::Hybrid { .. } => {
+                let sc = &mut scratch[0];
+                sc.ensure_edges(n);
+                for d in 0..n {
+                    let c = counts[d] as usize;
+                    report.max_in = report.max_in.max(c as u64);
+                    if c == 0 {
+                        len[d] = 0;
+                        continue;
+                    }
+                    let s = start[d] as usize;
+                    let out = pair_budget_bucket(
+                        &mut arena[s..s + c],
+                        d as NodeId,
+                        policy,
+                        model,
+                        seed,
+                        round,
+                        sc,
+                    );
+                    len[d] = out.kept as u32;
+                    report.delivered += out.kept as u64;
+                    report.max_edge_load = report.max_edge_load.max(out.max_edge);
+                    if out.dropped > 0 {
+                        report.dropped += out.dropped as u64;
+                        report.over_cap_dsts += 1;
+                        drops.push((d as NodeId, out.dropped as u32));
+                    }
+                }
             }
         }
         report
@@ -237,7 +376,8 @@ impl<P: Payload> Router<P> {
         &mut self,
         sends: &mut Vec<Envelope<P>>,
         round: u64,
-        recv: usize,
+        policy: RecvPolicy,
+        model: &dyn NetworkModel,
     ) -> RouteReport {
         let n = self.n;
         let total = sends.len();
@@ -246,11 +386,8 @@ impl<P: Payload> Router<P> {
         while self.cursors.len() < t {
             self.cursors.push(vec![0; n]);
         }
-        while self.perms.len() < t {
-            self.perms.push(Vec::new());
-        }
-        while self.drop_bufs.len() < t {
-            self.drop_bufs.push(Vec::new());
+        while self.scratch.len() < t {
+            self.scratch.push(SampleScratch::default());
         }
 
         // count: per-chunk histograms
@@ -312,51 +449,99 @@ impl<P: Payload> Router<P> {
         }
 
         // sample + compact: destinations are partitioned across threads;
-        // buckets are disjoint arena ranges, and each drop choice depends
-        // only on (seed, round, destination).
+        // buckets are disjoint arena ranges, and every survivor choice
+        // depends only on (seed, round, destination) and bucket content.
         let dst_chunk = n.div_ceil(t);
         let seed = self.seed;
         let counts = &self.counts;
         let start = &self.start;
         let arena_base = SendPtr(self.arena.as_mut_ptr());
+        let pairwise = matches!(
+            policy,
+            RecvPolicy::EdgeCap { .. } | RecvPolicy::Hybrid { .. }
+        );
         // A round may use fewer destination chunks than `t`; pre-clear all
-        // buffers so the merge below never picks up a previous round's drops.
-        for dbuf in &mut self.drop_bufs[..t] {
-            dbuf.clear();
+        // drop buffers so the merge below never picks up a previous round's
+        // drops.
+        for sc in &mut self.scratch[..t] {
+            sc.drops.clear();
+            if pairwise {
+                sc.ensure_edges(n);
+            }
         }
         let len_chunks = self.len.chunks_mut(dst_chunk);
         let partials: Vec<RouteReport> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(t);
-            for (ti, ((perm, dbuf), len_chunk)) in self.perms[..t]
-                .iter_mut()
-                .zip(self.drop_bufs[..t].iter_mut())
-                .zip(len_chunks)
-                .enumerate()
-            {
+            for (ti, (sc, len_chunk)) in self.scratch[..t].iter_mut().zip(len_chunks).enumerate() {
                 let lo = ti * dst_chunk;
                 handles.push(scope.spawn(move || {
                     let mut part = RouteReport::default();
                     for (off, len_slot) in len_chunk.iter_mut().enumerate() {
                         let d = lo + off;
                         let c = counts[d] as usize;
-                        if c > recv {
-                            let s = start[d] as usize;
-                            // SAFETY: bucket ranges are disjoint across
-                            // destinations and this thread owns dsts
-                            // `lo..lo + len_chunk.len()` exclusively.
-                            let bucket = unsafe {
-                                std::slice::from_raw_parts_mut(arena_base.get().add(s), c)
-                            };
-                            sample_survivors(perm, c, recv, seed, round, d as NodeId);
-                            compact_bucket(bucket, &perm[..recv]);
-                            *len_slot = recv as u32;
-                            dbuf.push((d as NodeId, (c - recv) as u32));
-                            part.over_cap_dsts += 1;
-                            part.delivered += recv as u64;
-                            part.dropped += (c - recv) as u64;
-                        } else {
-                            *len_slot = c as u32;
-                            part.delivered += c as u64;
+                        match policy {
+                            RecvPolicy::NodeCap { recv } => {
+                                if c > recv {
+                                    let s = start[d] as usize;
+                                    // SAFETY: bucket ranges are disjoint
+                                    // across destinations and this thread
+                                    // owns dsts `lo..lo + len_chunk.len()`
+                                    // exclusively.
+                                    let bucket = unsafe {
+                                        std::slice::from_raw_parts_mut(arena_base.get().add(s), c)
+                                    };
+                                    sample_survivors(
+                                        &mut sc.perm,
+                                        c,
+                                        recv,
+                                        seed,
+                                        round,
+                                        d as NodeId,
+                                    );
+                                    compact_bucket(bucket, &sc.perm[..recv]);
+                                    *len_slot = recv as u32;
+                                    sc.drops.push((d as NodeId, (c - recv) as u32));
+                                    part.over_cap_dsts += 1;
+                                    part.delivered += recv as u64;
+                                    part.dropped += (c - recv) as u64;
+                                } else {
+                                    *len_slot = c as u32;
+                                    part.delivered += c as u64;
+                                }
+                            }
+                            RecvPolicy::Unlimited => {
+                                *len_slot = c as u32;
+                                part.delivered += c as u64;
+                            }
+                            RecvPolicy::EdgeCap { .. } | RecvPolicy::Hybrid { .. } => {
+                                if c == 0 {
+                                    *len_slot = 0;
+                                    continue;
+                                }
+                                let s = start[d] as usize;
+                                // SAFETY: as above — disjoint buckets,
+                                // exclusive destination ownership.
+                                let bucket = unsafe {
+                                    std::slice::from_raw_parts_mut(arena_base.get().add(s), c)
+                                };
+                                let out = pair_budget_bucket(
+                                    bucket,
+                                    d as NodeId,
+                                    policy,
+                                    model,
+                                    seed,
+                                    round,
+                                    sc,
+                                );
+                                *len_slot = out.kept as u32;
+                                part.delivered += out.kept as u64;
+                                part.max_edge_load = part.max_edge_load.max(out.max_edge);
+                                if out.dropped > 0 {
+                                    part.dropped += out.dropped as u64;
+                                    part.over_cap_dsts += 1;
+                                    sc.drops.push((d as NodeId, out.dropped as u32));
+                                }
+                            }
                         }
                     }
                     part
@@ -371,11 +556,74 @@ impl<P: Payload> Router<P> {
             report.delivered += part.delivered;
             report.dropped += part.dropped;
             report.over_cap_dsts += part.over_cap_dsts;
+            report.max_edge_load = report.max_edge_load.max(part.max_edge_load);
         }
-        for dbuf in &self.drop_bufs[..t] {
-            self.drops.extend_from_slice(dbuf);
+        for sc in &self.scratch[..t] {
+            self.drops.extend_from_slice(&sc.drops);
         }
         report
+    }
+}
+
+/// Applies a pairwise receive policy ([`RecvPolicy::EdgeCap`] or
+/// [`RecvPolicy::Hybrid`]) to one destination bucket, in place.
+///
+/// Edge-budgeted arrivals keep the **first** `edge_cap` messages per sender
+/// (a deterministic choice — edge bandwidth is a FIFO pipe, not a lottery);
+/// hybrid global arrivals are sampled with the same seeded partial
+/// Fisher–Yates as the NCC node cap, applied to the global sub-sequence of
+/// the bucket. Survivors stay in arrival order.
+fn pair_budget_bucket<P>(
+    bucket: &mut [Envelope<P>],
+    dst: NodeId,
+    policy: RecvPolicy,
+    model: &dyn NetworkModel,
+    seed: u64,
+    round: u64,
+    sc: &mut SampleScratch,
+) -> BucketOutcome {
+    let (edge_cap, recv, split_lanes) = match policy {
+        RecvPolicy::EdgeCap { edge_cap } => (edge_cap, usize::MAX, false),
+        RecvPolicy::Hybrid {
+            recv,
+            local_edge_cap,
+        } => (local_edge_cap, recv, true),
+        _ => unreachable!("pair_budget_bucket handles pairwise policies only"),
+    };
+    sc.keep.clear();
+    sc.globals.clear();
+    sc.begin_bucket();
+    let mut max_edge = 0u64;
+    for (i, e) in bucket.iter().enumerate() {
+        let local = !split_lanes || model.lane(e.src, dst) == Lane::Local;
+        if local {
+            let cnt = sc.bump(e.src);
+            max_edge = max_edge.max(cnt as u64);
+            if (cnt as usize) <= edge_cap {
+                sc.keep.push(i as u32);
+            }
+        } else {
+            sc.globals.push(i as u32);
+        }
+    }
+    let g = sc.globals.len();
+    if g > recv {
+        sample_survivors(&mut sc.perm, g, recv, seed, round, dst);
+        for &gi in &sc.perm[..recv] {
+            sc.keep.push(sc.globals[gi as usize]);
+        }
+    } else {
+        sc.keep.extend_from_slice(&sc.globals);
+    }
+    sc.keep.sort_unstable();
+    let kept = sc.keep.len();
+    if kept < bucket.len() {
+        compact_bucket(bucket, &sc.keep);
+    }
+    BucketOutcome {
+        kept,
+        dropped: bucket.len() - kept,
+        max_edge,
     }
 }
 
@@ -417,9 +665,9 @@ fn compact_bucket<P>(bucket: &mut [Envelope<P>], survivors: &[u32]) {
 /// The seed engine's delivery phase, kept verbatim: per-envelope grouping
 /// into fresh per-destination `Vec`s with the partial Fisher–Yates drop
 /// selection keyed by `(seed, round, destination)`. This is the semantic
-/// oracle the [`Router`] must match bit for bit — used by the equivalence
-/// property tests and as the measured baseline in `bench_router`. Not part
-/// of the public API.
+/// oracle the [`Router`] must match bit for bit under the default NCC
+/// policy — used by the equivalence property tests and as the measured
+/// baseline in `bench_router`. Not part of the public API.
 #[doc(hidden)]
 #[allow(clippy::needless_range_loop)]
 pub fn reference_route<P: Payload>(
@@ -490,6 +738,7 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::{CongestedClique, HybridLocal};
 
     fn env(src: NodeId, dst: NodeId, payload: u64) -> Envelope<u64> {
         Envelope::new(src, dst, payload)
@@ -567,5 +816,133 @@ mod tests {
         assert_eq!(rep, RouteReport::default());
         assert!(!r.has_mail(1));
         assert_eq!(r.inbox(1), &[]);
+    }
+
+    #[test]
+    fn edge_cap_keeps_first_per_sender_and_measures_load() {
+        let n = 4;
+        let cc = CongestedClique::new(2);
+        let mut r: Router<u64> = Router::new(n, 7, 1);
+        // node 0 sends 4 to dst 1; node 2 sends 1 to dst 1; node 3 sends 3 to dst 3
+        let mut sends = vec![
+            env(0, 1, 10),
+            env(0, 1, 11),
+            env(2, 1, 20),
+            env(0, 1, 12),
+            env(0, 1, 13),
+            env(3, 3, 30),
+            env(3, 3, 31),
+            env(3, 3, 32),
+        ];
+        let rep = r.route_model(
+            &mut sends,
+            0,
+            cc.recv_policy(&crate::Capacity::unbounded()),
+            &cc,
+        );
+        // dst 1: first two of node 0 + node 2's single message survive
+        assert_eq!(r.inbox(1), &[env(0, 1, 10), env(0, 1, 11), env(2, 1, 20)]);
+        // dst 3: first two of node 3
+        assert_eq!(r.inbox(3), &[env(3, 3, 30), env(3, 3, 31)]);
+        assert_eq!(rep.delivered, 5);
+        assert_eq!(rep.dropped, 3);
+        assert_eq!(rep.over_cap_dsts, 2);
+        assert_eq!(rep.max_edge_load, 4);
+        assert_eq!(rep.delivered + rep.dropped, 8);
+        assert_eq!(r.drops(), &[(1, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn hybrid_budgets_local_edges_and_samples_globals() {
+        let n = 6;
+        // local edges: 0-1, 1-2
+        let h = HybridLocal::from_edges(n, [(0, 1), (1, 2)], 1);
+        let recv = 2;
+        let policy = RecvPolicy::Hybrid {
+            recv,
+            local_edge_cap: 1,
+        };
+        let mut r: Router<u64> = Router::new(n, 5, 1);
+        // dst 1 gets: 2 local from 0 (one over the edge budget), 1 local
+        // from 2, and 4 globals from 3/4/5/3 (two over the recv cap).
+        let mut sends = vec![
+            env(0, 1, 1),
+            env(0, 1, 2),
+            env(2, 1, 3),
+            env(3, 1, 4),
+            env(4, 1, 5),
+            env(5, 1, 6),
+            env(3, 1, 7),
+        ];
+        let rep = r.route_model(&mut sends, 0, policy, &h);
+        // locals: first from 0, the one from 2; globals: exactly `recv`
+        let inbox = r.inbox(1);
+        assert_eq!(inbox.len(), 2 + recv);
+        let locals: Vec<u64> = inbox
+            .iter()
+            .filter(|e| h.is_local(e.src, 1))
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(locals, vec![1, 3]);
+        // arrival order is preserved overall
+        let payloads: Vec<u64> = inbox.iter().map(|e| e.payload).collect();
+        let mut sorted = payloads.clone();
+        sorted.sort_unstable();
+        assert_eq!(payloads, sorted);
+        assert_eq!(rep.delivered, 4);
+        assert_eq!(rep.dropped, 3);
+        assert_eq!(rep.max_edge_load, 2);
+        assert_eq!(rep.delivered + rep.dropped, 7);
+    }
+
+    #[test]
+    fn pairwise_policies_agree_across_thread_counts() {
+        let n = 48;
+        let h = HybridLocal::from_edges(n, (0..n as u32 - 1).map(|u| (u, u + 1)), 1);
+        let mk_sends = || -> Vec<Envelope<u64>> {
+            (0..4000u32)
+                .map(|i| {
+                    let src = i % n as u32;
+                    let dst = if i % 5 == 0 {
+                        (src + 1) % n as u32 // often a local edge
+                    } else {
+                        (i * 7) % n as u32
+                    };
+                    env(src, dst, i as u64)
+                })
+                .collect()
+        };
+        for policy in [
+            RecvPolicy::EdgeCap { edge_cap: 3 },
+            RecvPolicy::Hybrid {
+                recv: 6,
+                local_edge_cap: 1,
+            },
+            RecvPolicy::Unlimited,
+        ] {
+            let run = |threads: usize| {
+                let mut r: Router<u64> = Router::new(n, 42, threads).with_min_parallel_sends(1);
+                let mut sends = mk_sends();
+                let rep = r.route_model(&mut sends, 9, policy, &h);
+                let inboxes: Vec<Vec<Envelope<u64>>> =
+                    (0..n as u32).map(|d| r.inbox(d).to_vec()).collect();
+                (rep, r.drops().to_vec(), inboxes)
+            };
+            let a = run(1);
+            for threads in [2, 4, 8] {
+                assert_eq!(a, run(threads), "policy={policy:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_policy_never_drops_even_at_usize_max_counts() {
+        let n = 8;
+        let mut r: Router<u64> = Router::new(n, 1, 1);
+        let mut sends: Vec<_> = (0..512).map(|i| env(i % 8, 0, i as u64)).collect();
+        let rep = r.route_model(&mut sends, 0, RecvPolicy::Unlimited, &Ncc);
+        assert_eq!(rep.delivered, 512);
+        assert_eq!(rep.dropped, 0);
+        assert_eq!(r.inbox(0).len(), 512);
     }
 }

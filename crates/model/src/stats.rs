@@ -31,10 +31,18 @@ pub struct RoundStats {
     /// Maximum messages addressed to any single node this round
     /// (before the receive cap is applied).
     pub max_in: u64,
+    /// Largest per-ordered-edge load this round. Only measured by models
+    /// with pairwise budgets (Congested Clique edges, hybrid local edges);
+    /// 0 under plain NCC.
+    pub max_edge_load: u64,
     /// Number of nodes that executed their step function this round.
     pub active_nodes: u64,
     /// Send-cap violations observed (permissive mode only; strict mode errors).
     pub send_cap_violations: u64,
+    /// Model rounds charged by the active network model's cost accounting
+    /// (the k-machine conversion of Appendix A); 0 for models that charge
+    /// nothing beyond the engine round itself.
+    pub km_rounds: u64,
 }
 
 /// Accumulated statistics for a full execution (or a phase of one).
@@ -55,9 +63,15 @@ pub struct ExecStats {
     pub max_out: u64,
     /// Max over rounds of the per-round max in-degree (pre-drop).
     pub max_in: u64,
+    /// Max over rounds of the per-round max per-edge load (pairwise-budget
+    /// models only; 0 under plain NCC).
+    pub max_edge_load: u64,
     pub send_cap_violations: u64,
     /// Sum over rounds of active node counts (total "node-rounds" of work).
     pub node_rounds: u64,
+    /// Total model rounds charged by the network model's cost accounting
+    /// (k-machine rounds under the `KMachine` model; 0 otherwise).
+    pub km_rounds: u64,
 }
 
 impl ExecStats {
@@ -81,8 +95,10 @@ impl ExecStats {
         self.bits += r.bits;
         self.max_out = self.max_out.max(r.max_out);
         self.max_in = self.max_in.max(r.max_in);
+        self.max_edge_load = self.max_edge_load.max(r.max_edge_load);
         self.send_cap_violations += r.send_cap_violations;
         self.node_rounds += r.active_nodes;
+        self.km_rounds += r.km_rounds;
     }
 
     /// Merges the totals of another execution (phase) into this one.
@@ -97,8 +113,10 @@ impl ExecStats {
         self.bits += other.bits;
         self.max_out = self.max_out.max(other.max_out);
         self.max_in = self.max_in.max(other.max_in);
+        self.max_edge_load = self.max_edge_load.max(other.max_edge_load);
         self.send_cap_violations += other.send_cap_violations;
         self.node_rounds += other.node_rounds;
+        self.km_rounds += other.km_rounds;
     }
 
     /// `true` when no message was lost and no cap was violated — the
@@ -137,8 +155,28 @@ mod tests {
             max_out,
             max_in,
             active_nodes: 4,
-            send_cap_violations: 0,
+            ..RoundStats::default()
         }
+    }
+
+    #[test]
+    fn km_rounds_accumulate_and_edge_load_maxes() {
+        let mut e = ExecStats::default();
+        let mut r1 = round(4, 1, 1);
+        r1.km_rounds = 3;
+        r1.max_edge_load = 2;
+        let mut r2 = round(4, 1, 1);
+        r2.km_rounds = 5;
+        r2.max_edge_load = 7;
+        e.absorb_round(&r1);
+        e.absorb_round(&r2);
+        assert_eq!(e.km_rounds, 8);
+        assert_eq!(e.max_edge_load, 7);
+        let mut other = ExecStats::default();
+        other.absorb_round(&r1);
+        e.merge(&other);
+        assert_eq!(e.km_rounds, 11);
+        assert_eq!(e.max_edge_load, 7);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! suite snapshot, and the examples:
 //!
 //! * [`ScenarioSpec`] — a serde-serializable value (graph family + params,
-//!   `n`, weight range, [`Capacity`](ncc_model::Capacity), seed, threads)
-//!   that deterministically rebuilds its input [`Scenario`] (graph +
-//!   weights) and a configured engine;
+//!   `n`, weight range, [`Capacity`](ncc_model::Capacity), seed, threads,
+//!   and the execution [`ModelSpec`] — NCC, Congested Clique, k-machine,
+//!   or hybrid local+global) that deterministically rebuilds its input
+//!   [`Scenario`] (graph + weights) and a configured engine under that
+//!   model;
 //! * [`Algorithm`] — an object-safe trait implemented by every paper
 //!   algorithm (mst, orientation, bfs, mis, matching, coloring, gossip,
 //!   broadcast, butterfly-aggregation), each owning its full in-model
@@ -45,11 +47,12 @@ pub mod scenario;
 pub mod suite;
 
 pub use algorithms::{algorithm_names, algorithms, find_algorithm, Algorithm};
+pub use ncc_model::ModelSpec;
 pub use record::{RunRecord, Verdict};
 pub use scenario::{FamilySpec, Scenario, ScenarioSpec};
 pub use suite::{
     run_named, run_named_threads, run_record, run_record_threads, run_suite, standard_grid,
-    SuiteOutput, SUITE_SEED,
+    standard_grid_for_model, standard_models, SuiteOutput, SUITE_SEED,
 };
 
 use std::fmt;

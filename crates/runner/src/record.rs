@@ -59,6 +59,10 @@ pub struct RunRecord {
     pub truncated: u64,
     /// Peak per-node per-round load (the Lemma 4.11 quantity).
     pub max_load: u64,
+    /// Model rounds charged by the scenario's network model (k-machine
+    /// rounds under `ModelSpec::KMachine`; 0 for models that charge
+    /// nothing beyond the engine rounds themselves).
+    pub km_rounds: u64,
     /// Algorithm phases (Boruvka / peeling / frontier), where meaningful.
     pub phases: Option<u32>,
     pub verdict: Verdict,
@@ -90,6 +94,7 @@ impl RunRecord {
             dropped: t.dropped,
             truncated: t.truncated,
             max_load: t.peak_load(),
+            km_rounds: t.km_rounds,
             phases,
             verdict,
             summary,

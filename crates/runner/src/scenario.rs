@@ -10,7 +10,10 @@
 //! adding a scenario is a data change, not a new hand-rolled entrypoint.
 
 use ncc_graph::{gen, Graph, WeightedGraph};
-use ncc_model::{Capacity, Engine, NetConfig, NodeId};
+use ncc_kmachine::KMachineModel;
+use ncc_model::{
+    Capacity, CongestedClique, Engine, HybridLocal, ModelSpec, Ncc, NetConfig, NetworkModel, NodeId,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::RunnerError;
@@ -105,6 +108,10 @@ pub struct ScenarioSpec {
     pub weight_max: u64,
     /// Per-node, per-round communication budget.
     pub capacity: Capacity,
+    /// The network model the scenario executes under (NCC, Congested
+    /// Clique, k-machine, hybrid local+global). Part of scenario identity:
+    /// two specs differing only in `model` are different experiments.
+    pub model: ModelSpec,
     /// Worker threads for the engine (results are identical for any value).
     pub threads: usize,
     /// Source node for rooted algorithms (BFS).
@@ -119,8 +126,9 @@ impl ScenarioSpec {
             family,
             n,
             seed,
-            weight_max: (n * n).max(1) as u64,
+            weight_max: (n.saturating_mul(n)).max(1) as u64,
             capacity: Capacity::default_for(n),
+            model: ModelSpec::Ncc,
             threads: 1,
             source: 0,
         }
@@ -156,9 +164,26 @@ impl ScenarioSpec {
         self
     }
 
-    /// One-line label for tables: `gnp n=256 seed=7`.
+    /// Selects the execution model. For
+    /// [`ModelSpec::CongestedClique`] the node capacity is switched to
+    /// [`Capacity::unbounded`] in the same stroke — the Congested Clique
+    /// has no node caps, and capacity-adaptive protocols must see that.
+    pub fn with_model(mut self, model: ModelSpec) -> Self {
+        if matches!(model, ModelSpec::CongestedClique { .. }) {
+            self.capacity = Capacity::unbounded();
+        }
+        self.model = model;
+        self
+    }
+
+    /// One-line label for tables: `gnp n=256 seed=7` (non-default models
+    /// append `model=...`).
     pub fn label(&self) -> String {
-        format!("{} n={} seed={}", self.family.name(), self.n, self.seed)
+        let mut l = format!("{} n={} seed={}", self.family.name(), self.n, self.seed);
+        if self.model != ModelSpec::Ncc {
+            l.push_str(&format!(" model={}", self.model.name()));
+        }
+        l
     }
 
     /// Deterministically regenerates the input graph from the spec.
@@ -237,17 +262,42 @@ impl Scenario {
         }
     }
 
-    /// A fresh engine configured per the spec. Each call returns an
-    /// identical engine, so repeated runs reproduce exactly.
+    /// Instantiates the spec's [`ModelSpec`] into a live network model.
+    /// Deterministic: the k-machine partition is keyed by the spec seed and
+    /// the hybrid adjacency is the scenario's own input graph.
+    pub fn build_model(&self) -> Box<dyn NetworkModel> {
+        match self.spec.model {
+            ModelSpec::Ncc => Box::new(Ncc),
+            ModelSpec::CongestedClique { edge_cap } => Box::new(CongestedClique::new(edge_cap)),
+            ModelSpec::KMachine { k, link_capacity } => Box::new(KMachineModel::new(
+                self.spec.n,
+                k.max(1),
+                self.spec.seed,
+                link_capacity.max(1),
+            )),
+            ModelSpec::HybridLocal { local_edge_cap } => Box::new(HybridLocal::from_edges(
+                self.spec.n,
+                self.graph.edges(),
+                local_edge_cap,
+            )),
+        }
+    }
+
+    /// A fresh engine configured per the spec (capacity, seed, threads,
+    /// network model). Each call returns an identical engine, so repeated
+    /// runs reproduce exactly.
     pub fn engine(&self) -> Engine {
-        Engine::new(self.spec.net_config())
+        Engine::with_model(self.spec.net_config(), self.build_model())
     }
 
     /// Like [`Self::engine`] but with the thread count overridden — an
     /// execution-layout knob that by construction cannot change results
     /// (and is therefore *not* echoed into [`crate::RunRecord`]s).
     pub fn engine_with_threads(&self, threads: usize) -> Engine {
-        Engine::new(self.spec.net_config().with_threads(threads.max(1)))
+        Engine::with_model(
+            self.spec.net_config().with_threads(threads.max(1)),
+            self.build_model(),
+        )
     }
 
     /// Clamped BFS source (a spec written for a larger `n` stays usable).
@@ -308,5 +358,68 @@ mod tests {
         assert_eq!(scn.engine().config().seed, 9);
         assert_eq!(scn.engine_with_threads(8).config().threads, 8);
         assert_eq!(scn.engine_with_threads(8).config().seed, 9);
+    }
+
+    #[test]
+    fn model_field_instantiates_every_model() {
+        let base = ScenarioSpec::new(FamilySpec::Gnp { p: 0.1 }, 32, 4);
+        for (model, name) in [
+            (ModelSpec::Ncc, "ncc"),
+            (
+                ModelSpec::CongestedClique { edge_cap: 4 },
+                "congested-clique",
+            ),
+            (
+                ModelSpec::KMachine {
+                    k: 4,
+                    link_capacity: 1,
+                },
+                "kmachine",
+            ),
+            (ModelSpec::HybridLocal { local_edge_cap: 2 }, "hybrid"),
+        ] {
+            let spec = base.clone().with_model(model);
+            let scn = spec.build().unwrap();
+            assert_eq!(scn.build_model().name(), name);
+            assert_eq!(scn.engine().model().name(), name);
+        }
+    }
+
+    #[test]
+    fn congested_clique_model_unbinds_capacity() {
+        let spec = ScenarioSpec::new(FamilySpec::Path, 16, 1)
+            .with_model(ModelSpec::CongestedClique { edge_cap: 8 });
+        assert_eq!(spec.capacity, Capacity::unbounded());
+        assert!(spec.label().contains("model=congested-clique"));
+        // Ncc specs keep the default capacity and an unsuffixed label
+        let ncc = ScenarioSpec::new(FamilySpec::Path, 16, 1);
+        assert_eq!(ncc.capacity, Capacity::default_for(16));
+        assert!(!ncc.label().contains("model="));
+    }
+
+    #[test]
+    fn hybrid_model_uses_scenario_adjacency() {
+        let spec = ScenarioSpec::new(FamilySpec::Path, 8, 2)
+            .with_model(ModelSpec::HybridLocal { local_edge_cap: 1 });
+        let scn = spec.build().unwrap();
+        let model = scn.build_model();
+        let hybrid = model
+            .as_any()
+            .downcast_ref::<HybridLocal>()
+            .expect("hybrid model");
+        assert_eq!(hybrid.local_edges(), scn.graph.m());
+        assert!(hybrid.is_local(0, 1));
+        assert!(!hybrid.is_local(0, 7));
+    }
+
+    #[test]
+    fn spec_with_model_json_round_trips() {
+        let spec = ScenarioSpec::new(FamilySpec::Tree, 64, 7).with_model(ModelSpec::KMachine {
+            k: 8,
+            link_capacity: 2,
+        });
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
     }
 }

@@ -44,10 +44,29 @@ impl SuiteOutput {
     }
 }
 
+/// The non-NCC execution models of the standard grid, at network size `n`:
+/// Congested Clique (per-edge bandwidth, honest per-edge counters),
+/// k-machine (Appendix A cost conversion), and the §1 hybrid local+global
+/// setting.
+pub fn standard_models(n: usize) -> Vec<ncc_model::ModelSpec> {
+    vec![
+        ncc_model::ModelSpec::CongestedClique {
+            edge_cap: ncc_model::Capacity::default_for(n).send,
+        },
+        ncc_model::ModelSpec::KMachine {
+            k: 8,
+            link_capacity: 1,
+        },
+        ncc_model::ModelSpec::HybridLocal { local_edge_cap: 8 },
+    ]
+}
+
 /// The default scenario grid for `ncc-cli suite`: the Table-1
 /// bounded-arboricity workload plus a sparse `G(n,p)`, at two sizes — small
 /// enough to gate CI, broad enough that every algorithm sees both a
-/// hub-free and a random topology.
+/// hub-free and a random topology — followed by a **model dimension**: the
+/// `n = 64` `G(n,p)` scenario re-run under every non-NCC model of
+/// [`standard_models`], so the snapshot pins all four execution models.
 pub fn standard_grid() -> Vec<ScenarioSpec> {
     let mut grid = Vec::new();
     for &n in &[64usize, 128] {
@@ -62,7 +81,24 @@ pub fn standard_grid() -> Vec<ScenarioSpec> {
             SUITE_SEED + 1,
         ));
     }
+    let model_base = grid[0].clone();
+    for model in standard_models(model_base.n) {
+        grid.push(model_base.clone().with_model(model));
+    }
     grid
+}
+
+/// The standard grid restricted to one model: NCC keeps the Ncc rows,
+/// any other model re-runs the full family × n sweep under it.
+pub fn standard_grid_for_model(model: ncc_model::ModelSpec) -> Vec<ScenarioSpec> {
+    standard_grid()
+        .into_iter()
+        .filter(|s| s.model == ncc_model::ModelSpec::Ncc)
+        .map(|s| match model {
+            ncc_model::ModelSpec::Ncc => s,
+            m => s.with_model(m),
+        })
+        .collect()
 }
 
 /// Runs one algorithm on one spec with a fresh engine. The `threads`
@@ -119,10 +155,36 @@ mod tests {
     #[test]
     fn standard_grid_is_well_formed() {
         let grid = standard_grid();
-        assert_eq!(grid.len(), 4);
+        // 4 Ncc cells + one cell per non-NCC model
+        assert_eq!(grid.len(), 4 + standard_models(64).len());
         for spec in &grid {
             assert!(spec.build().is_ok(), "unbuildable spec {}", spec.label());
         }
+        // the model dimension covers all four execution models
+        let mut models: Vec<&str> = grid.iter().map(|s| s.model.name()).collect();
+        models.sort_unstable();
+        models.dedup();
+        assert_eq!(
+            models,
+            vec!["congested-clique", "hybrid", "kmachine", "ncc"]
+        );
+        // the Ncc prefix of the grid is unchanged by the model dimension
+        assert!(grid[..4]
+            .iter()
+            .all(|s| s.model == ncc_model::ModelSpec::Ncc));
+    }
+
+    #[test]
+    fn grid_for_model_rebinds_every_cell() {
+        let km = ncc_model::ModelSpec::KMachine {
+            k: 4,
+            link_capacity: 1,
+        };
+        let grid = standard_grid_for_model(km);
+        assert_eq!(grid.len(), 4);
+        assert!(grid.iter().all(|s| s.model == km));
+        let ncc = standard_grid_for_model(ncc_model::ModelSpec::Ncc);
+        assert!(ncc.iter().all(|s| s.model == ncc_model::ModelSpec::Ncc));
     }
 
     #[test]

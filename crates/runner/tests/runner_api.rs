@@ -7,9 +7,10 @@
 //! * `RunRecord` JSON is byte-identical across thread counts (execution
 //!   layout must never leak into results).
 
-use ncc_model::Capacity;
+use ncc_model::{Capacity, Engine, ModelSpec};
 use ncc_runner::{
-    algorithms, find_algorithm, run_named, run_named_threads, FamilySpec, ScenarioSpec, Verdict,
+    algorithms, find_algorithm, run_named, run_named_threads, standard_grid, FamilySpec,
+    ScenarioSpec, Verdict,
 };
 use proptest::prelude::*;
 
@@ -40,6 +41,16 @@ fn capacity_strategy() -> impl Strategy<Value = Capacity> {
     ]
 }
 
+fn model_strategy() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        Just(ModelSpec::Ncc),
+        (1usize..64).prop_map(|edge_cap| ModelSpec::CongestedClique { edge_cap }),
+        (1usize..32, 1u64..8)
+            .prop_map(|(k, link_capacity)| ModelSpec::KMachine { k, link_capacity }),
+        (1usize..16).prop_map(|local_edge_cap| ModelSpec::HybridLocal { local_edge_cap }),
+    ]
+}
+
 fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
     (
         family_strategy(),
@@ -47,22 +58,27 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
         any::<u64>(),
         1u64..1_000_000,
         capacity_strategy(),
+        model_strategy(),
         1usize..9,
         0u32..512,
     )
-        .prop_map(|(family, n, seed, weight_max, capacity, threads, source)| {
-            let mut spec = ScenarioSpec::new(family, n, seed)
-                .with_weight_max(weight_max)
-                .with_capacity(capacity)
-                .with_threads(threads)
-                .with_source(source);
-            // grids derive n from their sides, like ScenarioSpec::grid
-            if let FamilySpec::Grid { rows, cols } | FamilySpec::TGrid { rows, cols } = spec.family
-            {
-                spec.n = rows * cols;
-            }
-            spec
-        })
+        .prop_map(
+            |(family, n, seed, weight_max, capacity, model, threads, source)| {
+                let mut spec = ScenarioSpec::new(family, n, seed)
+                    .with_weight_max(weight_max)
+                    .with_capacity(capacity)
+                    .with_model(model)
+                    .with_threads(threads)
+                    .with_source(source);
+                // grids derive n from their sides, like ScenarioSpec::grid
+                if let FamilySpec::Grid { rows, cols } | FamilySpec::TGrid { rows, cols } =
+                    spec.family
+                {
+                    spec.n = rows * cols;
+                }
+                spec
+            },
+        )
 }
 
 proptest! {
@@ -151,4 +167,95 @@ fn find_algorithm_round_trips_names() {
         let found = find_algorithm(algo.name()).expect("registered name resolves");
         assert_eq!(found.name(), algo.name());
     }
+}
+
+/// Byte-identity oracle for the model refactor: on every Ncc cell of the
+/// standard suite grid, the model-dispatched runner path produces exactly
+/// the record an engine built the pre-refactor way (`Engine::new` on the
+/// spec's `NetConfig`, no explicit model) produces. The Ncc model is the
+/// default, so any divergence here means the pluggable-model layer leaked
+/// into NCC semantics.
+#[test]
+fn ncc_suite_grid_identical_to_legacy_engine_construction() {
+    for spec in standard_grid()
+        .into_iter()
+        .filter(|s| s.model == ModelSpec::Ncc)
+    {
+        let scn = spec.build().expect("buildable spec");
+        for name in ["bfs", "gossip", "butterfly-aggregation"] {
+            let algo = find_algorithm(name).unwrap();
+            let via_runner = run_named(name, &spec).unwrap();
+            let mut legacy_engine = Engine::new(spec.net_config());
+            let via_legacy = algo.run(&mut legacy_engine, &scn).unwrap();
+            assert_eq!(
+                via_runner.to_json(),
+                via_legacy.to_json(),
+                "{name} on {} diverged from the pre-refactor engine path",
+                spec.label()
+            );
+        }
+    }
+}
+
+/// Model scenarios stay deterministic across thread counts too: the full
+/// RunRecord JSON (km_rounds, edge loads, drops) is byte-identical for 1
+/// and 4 workers under every execution model.
+#[test]
+fn model_records_identical_across_thread_counts() {
+    let base = ScenarioSpec::new(FamilySpec::Gnp { p: 0.08 }, 160, 11);
+    for model in [
+        ModelSpec::CongestedClique { edge_cap: 4 },
+        ModelSpec::KMachine {
+            k: 8,
+            link_capacity: 1,
+        },
+        ModelSpec::HybridLocal { local_edge_cap: 2 },
+    ] {
+        let spec = base.clone().with_model(model);
+        for name in ["bfs", "gossip"] {
+            let seq = run_named_threads(name, &spec, 1).unwrap();
+            let par = run_named_threads(name, &spec, 4).unwrap();
+            assert_eq!(
+                seq.to_json(),
+                par.to_json(),
+                "{name} under {} diverged across thread counts",
+                model.name()
+            );
+        }
+    }
+}
+
+/// The scenario echo carries the model, and model-specific counters land
+/// in the record: km_rounds under KMachine, max_edge_load under the
+/// pairwise-budget models.
+#[test]
+fn model_counters_surface_in_records() {
+    let base = ScenarioSpec::new(FamilySpec::Gnp { p: 0.1 }, 64, 3);
+    let km = run_named(
+        "bfs",
+        &base.clone().with_model(ModelSpec::KMachine {
+            k: 4,
+            link_capacity: 1,
+        }),
+    )
+    .unwrap();
+    assert!(
+        km.km_rounds >= km.rounds,
+        "every round charges ≥ 1 km round"
+    );
+    assert_eq!(km.scenario.model.name(), "kmachine");
+
+    let cc = run_named(
+        "gossip",
+        &base
+            .clone()
+            .with_model(ModelSpec::CongestedClique { edge_cap: 8 }),
+    )
+    .unwrap();
+    assert_eq!(cc.km_rounds, 0);
+    assert!(cc.report.total.max_edge_load >= 1);
+    assert_eq!(cc.scenario.capacity, Capacity::unbounded());
+
+    let ncc = run_named("gossip", &base).unwrap();
+    assert_eq!(ncc.report.total.max_edge_load, 0, "ncc measures no edges");
 }

@@ -3,7 +3,8 @@
 //! A graph too large for one server is vertex-partitioned over `k`
 //! machines; inter-machine links carry `O(log n)` bits per round. Appendix
 //! A shows any NCC algorithm transfers at `Õ(n·T/k²)` cost — this example
-//! attaches the conversion sink to a live MIS computation and prints the
+//! runs a live MIS computation under the first-class `KMachine` execution
+//! model (one `with_model` line on the scenario spec) and prints the
 //! charged k-machine rounds for a sweep of cluster sizes.
 //!
 //! ```text
@@ -13,12 +14,13 @@
 use ncc::core::{build_broadcast_trees, mis};
 use ncc::graph::check;
 use ncc::hashing::SharedRandomness;
-use ncc::kmachine::{KMachineCost, SharedSink};
+use ncc::kmachine::KMachineModel;
+use ncc::model::ModelSpec;
 use ncc::runner::{FamilySpec, ScenarioSpec};
 
 pub fn main() {
     // the workload as data: a sparse G(n,p) scenario; seed 13 drives the
-    // engine, seed-derived weights are unused here
+    // engine and the random vertex partition
     let spec = ScenarioSpec::new(FamilySpec::Gnp { p: 0.04 }, 256, 13);
     let scenario = spec.build().expect("buildable spec");
     let g = &scenario.graph;
@@ -29,16 +31,30 @@ pub fn main() {
 
     for k in [2usize, 4, 8, 16] {
         // one fresh engine per cluster size — identical each time by spec
+        let scenario = spec
+            .clone()
+            .with_model(ModelSpec::KMachine {
+                k,
+                link_capacity: 1,
+            })
+            .build()
+            .expect("buildable spec");
         let mut engine = scenario.engine();
-        let (sink, handle) = SharedSink::new(KMachineCost::with_random_assignment(n, k, 99, 1));
-        engine.set_sink(Box::new(sink));
 
         let shared = SharedRandomness::new(0xDC);
         let (bt, _) = build_broadcast_trees(&mut engine, &shared, g).unwrap();
         let r = mis(&mut engine, &shared, &bt, g).unwrap();
         check::check_mis(g, &r.in_mis).expect("mis invalid");
 
-        let rep = handle.lock().unwrap().report();
+        // the model charged km_rounds into the engine's running stats;
+        // the full link-load report is a downcast away
+        let rep = engine
+            .model()
+            .as_any()
+            .downcast_ref::<KMachineModel>()
+            .expect("kmachine model")
+            .report();
+        assert_eq!(rep.km_rounds, engine.total.km_rounds);
         println!(
             "{:>2} | {:>10} | {:>16} | {:>18} | {:>15}",
             k, rep.ncc_rounds, rep.km_rounds, rep.cross_messages, rep.max_pair_load

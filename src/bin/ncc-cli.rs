@@ -4,26 +4,30 @@
 //! ncc-cli gen <family> --n <N> [--param <x>] [--seed <s>] [--out <file>]
 //! ncc-cli run <algo> (--graph <file> | --family <f> --n <N> [--param <x>])
 //!               [--seed <s>] [--weights <W>] [--src <v>] [--threads <t>]
-//!               [--json <file>]
-//! ncc-cli suite [--out <file>] [--threads <t>]
+//!               [--model <m>] [--edge-cap <c>] [--machines <k>]
+//!               [--link-cap <c>] [--local-cap <c>] [--json <file>]
+//! ncc-cli suite [--out <file>] [--threads <t>] [--model <m>]
 //! ncc-cli list
 //! ncc-cli info --n <N>
 //! ```
 //!
 //! Every algorithm dispatches through the `ncc-runner` registry: `run`
 //! builds a [`ScenarioSpec`] from the flags, looks the algorithm up by
-//! name, and prints the typed [`RunRecord`] (optionally as JSON). `suite`
-//! runs the whole registry over the standard scenario grid and writes
-//! `BENCH_suite.json` — the deterministic snapshot the CI bench gate
-//! diffs.
+//! name, and prints the typed [`RunRecord`] (optionally as JSON). `--model`
+//! selects the execution model (`ncc` default, `cc`/`congested-clique`,
+//! `kmachine`, `hybrid`). `suite` runs the whole registry over the
+//! standard scenario grid — which includes a model dimension — and writes
+//! `BENCH_suite.json`, the deterministic snapshot the CI bench gate diffs;
+//! `suite --model <m>` re-runs the full family × n sweep under one model
+//! instead.
 
 use std::collections::HashMap;
 
 use ncc::graph::{analysis, io};
-use ncc::model::NetConfig;
+use ncc::model::{Capacity, ModelSpec, NetConfig};
 use ncc::runner::{
-    algorithms, find_algorithm, run_suite, standard_grid, FamilySpec, RunRecord, Scenario,
-    ScenarioSpec,
+    algorithms, find_algorithm, run_suite, standard_grid, standard_grid_for_model, FamilySpec,
+    RunRecord, Scenario, ScenarioSpec,
 };
 
 fn main() {
@@ -86,12 +90,16 @@ USAGE:
   ncc-cli gen <family> --n <N> [--param <x>] [--seed <s>] [--out <file>]
   ncc-cli run <algo> (--graph <file> | --family <f> --n <N> [--param <x>])
                 [--seed <s>] [--weights <W>] [--src <v>] [--threads <t>]
-                [--json <file>]
-  ncc-cli suite [--out <file>] [--threads <t>]
+                [--model <m>] [--edge-cap <c>] [--machines <k>]
+                [--link-cap <c>] [--local-cap <c>] [--json <file>]
+  ncc-cli suite [--out <file>] [--threads <t>] [--model <m>]
   ncc-cli list
   ncc-cli info --n <N>
 
 FAMILIES   path cycle star complete grid tgrid tree forests gnp gnm ba geometric
+MODELS     ncc (default) · cc|congested-clique [--edge-cap <msgs>]
+           · kmachine [--machines <k>] [--link-cap <msgs>]
+           · hybrid [--local-cap <msgs>]
 ALGORITHMS {}
 
 EXAMPLES
@@ -99,6 +107,8 @@ EXAMPLES
   ncc-cli run mst --graph g.txt --weights 1000
   ncc-cli run mis --family ba --n 256 --param 3
   ncc-cli run bfs --family grid --n 256 --src 0 --json bfs.json
+  ncc-cli run bfs --family gnp --n 256 --model kmachine --machines 16
+  ncc-cli run gossip --family gnp --n 256 --model cc
   ncc-cli suite --out BENCH_suite.json",
         algo_names.join(" ")
     );
@@ -187,6 +197,26 @@ fn family_spec(family: &str, n: usize, flags: &HashMap<String, String>) -> (Fami
     }
 }
 
+/// Maps the `--model` vocabulary (plus its parameter flags) onto a
+/// [`ModelSpec`]. `None` when no `--model` flag was given (NCC default).
+fn model_from_flags(n: usize, flags: &HashMap<String, String>) -> Option<ModelSpec> {
+    let name = flags.get("model")?;
+    Some(match name.as_str() {
+        "" | "ncc" => ModelSpec::Ncc,
+        "cc" | "clique" | "congested-clique" => ModelSpec::CongestedClique {
+            edge_cap: get_usize(flags, "edge-cap", Capacity::default_for(n).send),
+        },
+        "kmachine" | "k-machine" => ModelSpec::KMachine {
+            k: get_usize(flags, "machines", 8).max(1),
+            link_capacity: get_u64(flags, "link-cap", 1).max(1),
+        },
+        "hybrid" => ModelSpec::HybridLocal {
+            local_edge_cap: get_usize(flags, "local-cap", 8).max(1),
+        },
+        other => usage_and_exit(Some(&format!("unknown model '{other}'"))),
+    })
+}
+
 /// Builds the scenario spec described by the `run` flags (graph family
 /// path; `--graph` files go through [`Scenario::from_graph`] instead).
 fn spec_from_flags(family: &str, flags: &HashMap<String, String>) -> ScenarioSpec {
@@ -198,6 +228,9 @@ fn spec_from_flags(family: &str, flags: &HashMap<String, String>) -> ScenarioSpe
         .with_threads(get_usize(flags, "threads", 1));
     if let Some(w) = flags.get("weights") {
         spec = spec.with_weight_max(w.parse().unwrap_or_else(|_| panic!("bad --weights")));
+    }
+    if let Some(model) = model_from_flags(n, flags) {
+        spec = spec.with_model(model);
     }
     spec
 }
@@ -240,6 +273,9 @@ fn cmd_run(positional: &[String], flags: &HashMap<String, String>) {
             .with_threads(get_usize(flags, "threads", 1));
         if let Some(w) = flags.get("weights") {
             spec = spec.with_weight_max(w.parse().unwrap_or_else(|_| panic!("bad --weights")));
+        }
+        if let Some(model) = model_from_flags(g.n(), flags) {
+            spec = spec.with_model(model);
         }
         Scenario::from_graph(spec, g)
     } else if let Some(f) = flags.get("family") {
@@ -285,10 +321,35 @@ fn print_record(r: &RunRecord, send_cap: usize) {
         ncc::runner::Verdict::Failed => "VERIFICATION FAILED ✗",
     };
     println!("{}: {} — {verdict}", r.algorithm, r.summary);
+    let cap_str = if send_cap == usize::MAX {
+        "unbounded".to_string()
+    } else {
+        send_cap.to_string()
+    };
     println!(
-        "totals: {} rounds, {} msgs, peak load {}/{} per node-round, {} drops, {} truncated",
-        r.rounds, r.sent, r.max_load, send_cap, r.dropped, r.truncated
+        "totals: {} rounds, {} msgs, peak load {}/{cap_str} per node-round, {} drops, {} truncated",
+        r.rounds, r.sent, r.max_load, r.dropped, r.truncated
     );
+    // Only the counters the active model actually produces: km charge for
+    // the k-machine conversion, per-edge loads for the pairwise-budget
+    // models.
+    match r.scenario.model {
+        ModelSpec::Ncc => {}
+        ModelSpec::KMachine { .. } => {
+            println!(
+                "model {}: {} charged k-machine rounds",
+                r.scenario.model.name(),
+                r.km_rounds
+            );
+        }
+        ModelSpec::CongestedClique { .. } | ModelSpec::HybridLocal { .. } => {
+            println!(
+                "model {}: peak edge load {}",
+                r.scenario.model.name(),
+                r.report.total.max_edge_load
+            );
+        }
+    }
     for (label, s) in &r.report.stages {
         println!(
             "  stage {label:<24} {:>6} rounds {:>9} msgs",
@@ -303,7 +364,21 @@ fn cmd_suite(flags: &HashMap<String, String>) {
         Some(p) if !p.is_empty() => p.clone(),
         _ => "BENCH_suite.json".to_string(),
     };
-    let grid = standard_grid();
+    // Default: the standard grid, which already carries a model dimension.
+    // `--model <m>` instead re-runs the whole family × n sweep under one
+    // model, resolving defaulted model parameters (e.g. the
+    // congested-clique edge cap) against each cell's own n.
+    let grid: Vec<ScenarioSpec> = if flags.contains_key("model") {
+        standard_grid_for_model(ModelSpec::Ncc)
+            .into_iter()
+            .map(|s| {
+                let model = model_from_flags(s.n, flags).expect("--model present");
+                s.with_model(model)
+            })
+            .collect()
+    } else {
+        standard_grid()
+    };
     eprintln!(
         "suite: {} algorithms × {} scenarios",
         algorithms().len(),
@@ -357,7 +432,7 @@ fn cmd_info(flags: &HashMap<String, String>) {
     );
     println!(
         "  network budget: ≈ {} messages per round network-wide",
-        n * c.send
+        n.saturating_mul(c.send)
     );
 }
 
@@ -426,5 +501,65 @@ mod tests {
         assert_eq!(spec.n, 32);
         assert_eq!(spec.threads, 4);
         assert_eq!(spec.weight_max, 100);
+        assert_eq!(spec.model, ModelSpec::Ncc);
+    }
+
+    #[test]
+    fn model_flags_cover_the_vocabulary() {
+        let with = |pairs: &[(&str, &str)]| -> HashMap<String, String> {
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect()
+        };
+        assert_eq!(model_from_flags(64, &with(&[])), None);
+        assert_eq!(
+            model_from_flags(64, &with(&[("model", "ncc")])),
+            Some(ModelSpec::Ncc)
+        );
+        assert_eq!(
+            model_from_flags(64, &with(&[("model", "cc"), ("edge-cap", "5")])),
+            Some(ModelSpec::CongestedClique { edge_cap: 5 })
+        );
+        // default edge cap tracks the NCC per-node constant at that n
+        assert_eq!(
+            model_from_flags(64, &with(&[("model", "congested-clique")])),
+            Some(ModelSpec::CongestedClique {
+                edge_cap: Capacity::default_for(64).send
+            })
+        );
+        assert_eq!(
+            model_from_flags(
+                64,
+                &with(&[("model", "kmachine"), ("machines", "16"), ("link-cap", "2")])
+            ),
+            Some(ModelSpec::KMachine {
+                k: 16,
+                link_capacity: 2
+            })
+        );
+        assert_eq!(
+            model_from_flags(64, &with(&[("model", "hybrid"), ("local-cap", "3")])),
+            Some(ModelSpec::HybridLocal { local_edge_cap: 3 })
+        );
+    }
+
+    #[test]
+    fn spec_from_flags_applies_model() {
+        let mut flags = HashMap::new();
+        flags.insert("n".to_string(), "32".to_string());
+        flags.insert("model".to_string(), "kmachine".to_string());
+        let spec = spec_from_flags("gnp", &flags);
+        assert_eq!(
+            spec.model,
+            ModelSpec::KMachine {
+                k: 8,
+                link_capacity: 1
+            }
+        );
+        // cc switches the node capacity off in the same stroke
+        flags.insert("model".to_string(), "cc".to_string());
+        let spec = spec_from_flags("gnp", &flags);
+        assert_eq!(spec.capacity, Capacity::unbounded());
     }
 }
