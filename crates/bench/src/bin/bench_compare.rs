@@ -161,26 +161,69 @@ fn main() -> ExitCode {
         ));
     }
 
-    println!("\n| record                                   | fields drifted |  Δ?   |");
-    println!("|------------------------------------------|----------------|-------|");
+    // `rounds` is the headline metric: per record, a *decrease* is an
+    // improvement (allowed — refresh the snapshot with `./bench.sh --bless`
+    // to adopt it), an *increase* is a perf regression and fails the gate,
+    // and at unchanged rounds every other deterministic field must be
+    // byte-stable. Correctness verdicts may never degrade either way.
+    let mut improved = 0usize;
+    println!(
+        "\n| record                                   | rounds base→fresh  |    Δ    | status |"
+    );
+    println!(
+        "|------------------------------------------|--------------------|---------|--------|"
+    );
     for (i, (b, f)) in base_records.iter().zip(fresh_records.iter()).enumerate() {
-        let mut local: Vec<String> = Vec::new();
-        diff(b, f, &record_label(b, i), &mut local);
+        let label = record_label(b, i);
+        if let Some(bad) = verdict_degraded(b, f) {
+            drifted.push(format!("{label}: {bad}"));
+        }
+        let (rb, rf) = (rounds_of(b), rounds_of(f));
+        let (delta_col, status) = match (rb, rf) {
+            (Some(rb), Some(rf)) if rf < rb => {
+                improved += 1;
+                let pct = 100.0 * (rf as f64 - rb as f64) / rb as f64;
+                (format!("{pct:+6.1}%"), "faster")
+            }
+            (Some(rb), Some(rf)) if rf > rb => {
+                drifted.push(format!(
+                    "{label}: rounds regressed {rb} -> {rf} (+{})",
+                    rf - rb
+                ));
+                (format!("+{}", rf - rb), "REGR")
+            }
+            _ => {
+                // equal rounds (or no rounds field): full structural diff
+                let mut local: Vec<String> = Vec::new();
+                diff(b, f, &label, &mut local);
+                let status = if local.is_empty() { "=" } else { "DRIFT" };
+                drifted.extend(local);
+                ("=".to_string(), status)
+            }
+        };
         println!(
-            "| {:<40} | {:>14} | {} |",
-            record_label(b, i),
-            local.len(),
-            if local.is_empty() { "  =  " } else { "DRIFT" }
+            "| {:<40} | {:>8} → {:>7} | {:>7} | {:<6} |",
+            label,
+            rb.map_or("-".into(), |r| r.to_string()),
+            rf.map_or("-".into(), |r| r.to_string()),
+            delta_col,
+            status
         );
-        drifted.extend(local);
     }
 
     if drifted.is_empty() {
-        println!("\nOK: all deterministic metrics identical.");
+        if improved > 0 {
+            println!(
+                "\nOK: {improved} record(s) improved (rounds dropped), none regressed.\n\
+                 Adopt the new numbers with `./bench.sh --bless` and commit the refreshed snapshots."
+            );
+        } else {
+            println!("\nOK: all deterministic metrics identical.");
+        }
         ExitCode::SUCCESS
     } else {
         println!(
-            "\nFAIL: {} field(s) drifted from the committed snapshot:",
+            "\nFAIL: {} regression(s)/drift(s) against the committed snapshot:",
             drifted.len()
         );
         for line in drifted.iter().take(25) {
@@ -189,7 +232,38 @@ fn main() -> ExitCode {
         if drifted.len() > 25 {
             println!("  ... and {} more", drifted.len() - 25);
         }
-        println!("If the change is intentional, regenerate with ./bench.sh and commit the new snapshots.");
+        println!("If the change is intentional, regenerate with `./bench.sh --bless` and commit the new snapshots.");
         ExitCode::FAILURE
+    }
+}
+
+/// The record's headline `rounds` counter, if it has one.
+fn rounds_of(rec: &Value) -> Option<u64> {
+    match get(rec, "rounds") {
+        Some(Value::U64(r)) => Some(*r),
+        Some(Value::I64(r)) if *r >= 0 => Some(*r as u64),
+        _ => None,
+    }
+}
+
+/// Checks that a record's correctness verdict did not degrade: `verdict`
+/// (RunRecord) may not become `Failed`, nor drop from `Verified` to
+/// anything weaker; `verified` (exp01) may not become `false`. Checked on
+/// every record regardless of the rounds delta. Returns a description of
+/// the degradation, if any.
+fn verdict_degraded(base: &Value, fresh: &Value) -> Option<String> {
+    match (get(base, "verdict"), get(fresh, "verdict")) {
+        (Some(Value::Str(b)), Some(Value::Str(f)))
+            if f != b && (f == "Failed" || b == "Verified") =>
+        {
+            return Some(format!("verdict degraded: {b} -> {f}"));
+        }
+        _ => {}
+    }
+    match (get(base, "verified"), get(fresh, "verified")) {
+        (Some(Value::Bool(true)), Some(Value::Bool(false))) => {
+            Some("verified degraded: true -> false".to_string())
+        }
+        _ => None,
     }
 }

@@ -20,7 +20,7 @@
 
 use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeProgram, Payload};
 
-use crate::aggregate::{Aggregate, MinU64};
+use crate::combine::{Aggregate, MinU64};
 use crate::topology::Butterfly;
 
 /// Wire format. Discriminant + payload; levels are implied by the round.
@@ -163,7 +163,7 @@ pub fn aggregate_and_broadcast<V: Payload, A: Aggregate<V>>(
         agg,
         _pd: std::marker::PhantomData,
     };
-    let mut states: Vec<AbState<V>> = inputs
+    let states: Vec<AbState<V>> = inputs
         .into_iter()
         .map(|input| AbState {
             input,
@@ -171,11 +171,72 @@ pub fn aggregate_and_broadcast<V: Payload, A: Aggregate<V>>(
             result: None,
         })
         .collect();
-    let stats = engine.execute(&prog, &mut states)?;
+    let (states, stats) = crate::compose::run_single(engine, prog, states)?;
     // degenerate d = 0 (n = 2..3 has d = 1, so this only matters if the
     // butterfly had a single column; d ≥ 1 always holds for n ≥ 2)
     let results = states.into_iter().map(|s| s.result).collect();
     Ok((results, stats))
+}
+
+/// Aggregate-and-Broadcast as a composable lane: a single stage that rides
+/// alongside heavier lanes (the paper's ubiquitous "agree on a global
+/// value" step, at zero extra stage cost when composed). Build with
+/// [`ab_sub`], run under [`crate::compose::run_composed`], read with
+/// [`AbSub::into_results`].
+pub struct AbSub<'a, V: Payload, A: Aggregate<V>> {
+    stage: crate::compose::Stage<AbProgram<'a, V, A>, AbState<V>>,
+    out: Option<Vec<Option<V>>>,
+}
+
+/// Builds the Aggregate-and-Broadcast sub-protocol. Arguments mirror
+/// [`aggregate_and_broadcast`] (which stays the blocking adapter).
+pub fn ab_sub<'a, V: Payload, A: Aggregate<V>>(
+    n: usize,
+    inputs: Vec<Option<V>>,
+    agg: &'a A,
+) -> AbSub<'a, V, A> {
+    assert_eq!(inputs.len(), n);
+    assert!(n >= 2, "composable A&B needs n ≥ 2");
+    let bf = Butterfly::for_n(n);
+    let states: Vec<AbState<V>> = inputs
+        .into_iter()
+        .map(|input| AbState {
+            input,
+            acc: None,
+            result: None,
+        })
+        .collect();
+    AbSub {
+        stage: Some((
+            AbProgram {
+                bf,
+                agg,
+                _pd: std::marker::PhantomData,
+            },
+            states,
+        )),
+        out: None,
+    }
+}
+
+impl<V: Payload, A: Aggregate<V>> AbSub<'_, V, A> {
+    /// Per node: the broadcast aggregate (`None` iff no node held an
+    /// input). Panics before the composition finished.
+    pub fn into_results(self) -> Vec<Option<V>> {
+        self.out.expect("A&B sub-protocol not finished")
+    }
+}
+
+impl<'a, V: Payload, A: Aggregate<V>> crate::compose::LaneSub<'a> for AbSub<'a, V, A> {
+    fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
+        let (prog, states) = self.stage.take()?;
+        Some(b.lane(prog, states))
+    }
+
+    fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
+        let st: Vec<AbState<V>> = ncc_model::take_lane_states(states, lane);
+        self.out = Some(st.into_iter().map(|s| s.result).collect());
+    }
 }
 
 /// The synchronisation barrier used between phases of larger primitives:

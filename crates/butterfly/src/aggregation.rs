@@ -31,7 +31,8 @@ use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeProgram, Paylo
 use rand::Rng;
 
 use crate::agg_bcast::sync_barrier;
-use crate::aggregate::Aggregate;
+use crate::combine::Aggregate;
+use crate::compose::run_single;
 use crate::topology::{Butterfly, GroupId};
 
 /// Per-node delivery lists: for each node, the `(group, value)` pairs it
@@ -206,9 +207,88 @@ pub(crate) struct CombineProgram<'a, V, A> {
     pub _pd: std::marker::PhantomData<V>,
 }
 
+/// Inserts a packet at `(level, α)`, combining with a same-group packet
+/// already queued there.
+#[allow(clippy::too_many_arguments)] // mirrors the packet coordinates
+pub(crate) fn combine_insert<V: Payload, A: Aggregate<V>>(
+    bf: &Butterfly,
+    hashes: &RouteHashes,
+    agg: &A,
+    st: &mut CombineState<V>,
+    alpha: u32,
+    level: u32,
+    group: u64,
+    value: V,
+) {
+    let d = bf.d();
+    if level == d {
+        match st.arrived.entry(group) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let merged = agg.combine(e.get(), &value);
+                e.insert(merged);
+            }
+        }
+        return;
+    }
+    let target = hashes.target_column(group);
+    let dir = bf.route_is_cross(alpha, level, target) as usize;
+    let key = (hashes.rank(group), group);
+    match st.queues[level as usize][dir].entry(key) {
+        std::collections::btree_map::Entry::Vacant(e) => {
+            e.insert(value);
+        }
+        std::collections::btree_map::Entry::Occupied(mut e) => {
+            let merged = agg.combine(e.get(), &value);
+            e.insert(merged);
+        }
+    }
+}
+
+/// One routing step at column `alpha`: every queue forwards its
+/// minimum-rank packet. Levels are processed top-down so a locally
+/// forwarded packet cannot advance twice in one round; cross-edge traffic
+/// goes through `emit`.
+pub(crate) fn combine_step<V: Payload, A: Aggregate<V>>(
+    bf: &Butterfly,
+    hashes: &RouteHashes,
+    agg: &A,
+    st: &mut CombineState<V>,
+    alpha: u32,
+    emit: &mut impl FnMut(ncc_model::NodeId, LevelMsg<V>),
+) {
+    let d = bf.d();
+    for level in (0..d).rev() {
+        for dir in 0..2usize {
+            let popped = st.queues[level as usize][dir].pop_first();
+            if let Some(((_rank, group), value)) = popped {
+                let next_col = if dir == 0 {
+                    alpha
+                } else {
+                    alpha ^ (1 << level)
+                };
+                if next_col == alpha {
+                    // straight edge: stays on this node
+                    combine_insert(bf, hashes, agg, st, alpha, level + 1, group, value);
+                } else {
+                    emit(
+                        bf.emulator(next_col),
+                        LevelMsg {
+                            level: (level + 1) as u8,
+                            group,
+                            value,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
 impl<V: Payload, A: Aggregate<V>> CombineProgram<'_, V, A> {
-    /// Inserts a packet at `(level, α)`, combining with a same-group packet
-    /// already queued there.
+    /// Inserts a packet at `(level, α)` (see [`combine_insert`]).
     pub(crate) fn insert(
         &self,
         st: &mut CombineState<V>,
@@ -217,63 +297,28 @@ impl<V: Payload, A: Aggregate<V>> CombineProgram<'_, V, A> {
         group: u64,
         value: V,
     ) {
-        let d = self.bf.d();
-        if level == d {
-            match st.arrived.entry(group) {
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(value);
-                }
-                std::collections::btree_map::Entry::Occupied(mut e) => {
-                    let merged = self.agg.combine(e.get(), &value);
-                    e.insert(merged);
-                }
-            }
-            return;
-        }
-        let target = self.hashes.target_column(group);
-        let dir = self.bf.route_is_cross(alpha, level, target) as usize;
-        let key = (self.hashes.rank(group), group);
-        match st.queues[level as usize][dir].entry(key) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(value);
-            }
-            std::collections::btree_map::Entry::Occupied(mut e) => {
-                let merged = self.agg.combine(e.get(), &value);
-                e.insert(merged);
-            }
-        }
+        combine_insert(
+            &self.bf,
+            &self.hashes,
+            self.agg,
+            st,
+            alpha,
+            level,
+            group,
+            value,
+        );
     }
 
-    /// One routing step: every queue forwards its minimum-rank packet.
-    /// Levels are processed top-down so a locally forwarded packet cannot
-    /// advance twice in one round.
+    /// One routing step (see [`combine_step`]); stays awake while busy.
     fn step(&self, st: &mut CombineState<V>, alpha: u32, ctx: &mut Ctx<'_, LevelMsg<V>>) {
-        let d = self.bf.d();
-        for level in (0..d).rev() {
-            for dir in 0..2usize {
-                let popped = st.queues[level as usize][dir].pop_first();
-                if let Some(((_rank, group), value)) = popped {
-                    let next_col = if dir == 0 {
-                        alpha
-                    } else {
-                        alpha ^ (1 << level)
-                    };
-                    if next_col == alpha {
-                        // straight edge: stays on this node
-                        self.insert(st, alpha, level + 1, group, value);
-                    } else {
-                        ctx.send(
-                            self.bf.emulator(next_col),
-                            LevelMsg {
-                                level: (level + 1) as u8,
-                                group,
-                                value,
-                            },
-                        );
-                    }
-                }
-            }
-        }
+        combine_step(
+            &self.bf,
+            &self.hashes,
+            self.agg,
+            st,
+            alpha,
+            &mut |dst, msg| ctx.send(dst, msg),
+        );
         if st.busy() {
             ctx.stay_awake();
         }
@@ -433,7 +478,7 @@ pub fn aggregate_opt<V: Payload, A: Aggregate<V>>(
         columns: bf.columns() as u32,
         _pd: std::marker::PhantomData,
     };
-    let mut inj_states: Vec<InjectState<V>> = spec
+    let inj_states: Vec<InjectState<V>> = spec
         .memberships
         .into_iter()
         .map(|ms| InjectState {
@@ -441,7 +486,8 @@ pub fn aggregate_opt<V: Payload, A: Aggregate<V>>(
             landed: Vec::new(),
         })
         .collect();
-    total.merge(&engine.execute(&inject, &mut inj_states)?);
+    let (inj_states, s) = run_single(engine, inject, inj_states)?;
+    total.merge(&s);
     total.merge(&sync_barrier(engine)?);
 
     // --- phase 2: combine --------------------------------------------------
@@ -457,7 +503,8 @@ pub fn aggregate_opt<V: Payload, A: Aggregate<V>>(
             combine.insert(&mut comb_states[col], col as u32, 0, group, value);
         }
     }
-    total.merge(&engine.execute(&combine, &mut comb_states)?);
+    let (comb_states, s) = run_single(engine, combine, comb_states)?;
+    total.merge(&s);
     total.merge(&sync_barrier(engine)?);
 
     // --- phase 3: deliver --------------------------------------------------
@@ -466,14 +513,15 @@ pub fn aggregate_opt<V: Payload, A: Aggregate<V>>(
         spread,
         _pd: std::marker::PhantomData,
     };
-    let mut del_states: Vec<DeliverState<V>> = comb_states
+    let del_states: Vec<DeliverState<V>> = comb_states
         .into_iter()
         .map(|cs| DeliverState {
             scheduled: cs.arrived.into_iter().map(|(g, v)| (0, g, v)).collect(),
             received: Vec::new(),
         })
         .collect();
-    total.merge(&engine.execute(&deliver, &mut del_states)?);
+    let (del_states, s) = run_single(engine, deliver, del_states)?;
+    total.merge(&s);
     total.merge(&sync_barrier(engine)?);
 
     let out = del_states.into_iter().map(|s| s.received).collect();
@@ -639,5 +687,636 @@ mod tests {
         let b = run_sum(n, mems, 1);
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-Aggregation (Theorem 2.6, Appendix B.5)
+// ---------------------------------------------------------------------------
+
+/// Sub-identifier namespace for the re-keyed member groups.
+const MA_SUB: u32 = 0x4D41;
+
+/// Runs Multi-Aggregation (Theorem 2.6): every source `s_i` multicasts
+/// `p_i` down its tree; each leaf `l(i, u)` re-keys its packet to
+/// `(id(u), map(p_i))` — optionally transforming it with leaf-local
+/// randomness, which is how the matching algorithm of §5.3 annotates
+/// packets with uniform ranks — then the re-keyed packets are scattered,
+/// aggregated toward `h(id(u))` exactly as in the Aggregation Algorithm,
+/// and delivered to `u`. Runs in `O(C + log n)` rounds over trees of
+/// congestion `C`.
+///
+/// `messages[u] = Some((group, payload))` iff `u` sources `group`; `agg`
+/// combines the mapped packets per destination. Returns per node `u` the
+/// aggregate `f({map(p_i) | u ∈ A_i})`, or `None` if no group reaches `u`.
+pub fn multi_aggregate<V, W, A, F>(
+    engine: &mut Engine,
+    shared: &SharedRandomness,
+    trees: &crate::mctree::MulticastTrees,
+    messages: Vec<Option<(GroupId, V)>>,
+    leaf_map: F,
+    agg: &A,
+) -> Result<(Vec<Option<W>>, ExecStats), ModelError>
+where
+    V: Payload,
+    W: Payload,
+    A: Aggregate<W>,
+    F: Fn(&mut rand::rngs::SmallRng, GroupId, ncc_model::NodeId, &V) -> W + Sync,
+{
+    use crate::multicast::{spread_states, SpreadProgram};
+
+    let n = engine.n();
+    assert_eq!(messages.len(), n);
+    let bf = Butterfly::for_n(n);
+    let hashes = RouteHashes::new(shared, &bf, n);
+    let logn = ncc_model::ilog2_ceil(n).max(1) as usize;
+    let mut total = ExecStats::default();
+
+    // --- spread down the multicast trees to the leaves ---------------------
+    let spread_prog = SpreadProgram::<V> {
+        bf,
+        hashes: hashes.clone(),
+        _pd: std::marker::PhantomData,
+    };
+    let sstates = spread_states(trees, messages, bf.d());
+    let (mut sstates, s) = run_single(engine, spread_prog, sstates)?;
+    total.merge(&s);
+    total.merge(&sync_barrier(engine)?);
+
+    // --- leaf re-keying + random scatter ------------------------------------
+    // Each leaf l(i, u) maps p_i to (id(u), map(p_i)). The mapping uses the
+    // leaf column's private RNG stream, mirroring the paper's leaf-chosen
+    // annotations (§5.3). The scatter is the standard batched injection.
+    let inject = InjectProgram::<W> {
+        batch: logn,
+        columns: bf.columns() as u32,
+        _pd: std::marker::PhantomData,
+    };
+    let inj_states: Vec<InjectState<W>> = sstates
+        .iter_mut()
+        .enumerate()
+        .map(|(col, s)| {
+            let mut rng = ncc_model::rng::node_rng(
+                engine.config().seed ^ 0x6d61_7070, // "mapp": leaf-map stream
+                col as u32,
+            );
+            InjectState {
+                to_send: s
+                    .at_leaves
+                    .drain(..)
+                    .map(|(g, member, v)| {
+                        let mapped = leaf_map(&mut rng, GroupId(g), member, &v);
+                        (GroupId::new(member, MA_SUB).raw(), mapped)
+                    })
+                    .collect(),
+                landed: Vec::new(),
+            }
+        })
+        .collect();
+    let (inj_states, s) = run_single(engine, inject, inj_states)?;
+    total.merge(&s);
+    total.merge(&sync_barrier(engine)?);
+
+    // --- aggregate toward h(id(u)) ------------------------------------------
+    let combine = CombineProgram {
+        bf,
+        hashes: hashes.clone(),
+        agg,
+        _pd: std::marker::PhantomData,
+    };
+    let mut comb_states: Vec<CombineState<W>> = (0..n).map(|_| CombineState::new(bf.d())).collect();
+    for (col, inj) in inj_states.into_iter().enumerate() {
+        for (group, value) in inj.landed {
+            combine.insert(&mut comb_states[col], col as u32, 0, group, value);
+        }
+    }
+    let (comb_states, s) = run_single(engine, combine, comb_states)?;
+    total.merge(&s);
+    total.merge(&sync_barrier(engine)?);
+
+    // --- deliver to the member nodes ----------------------------------------
+    let deliver = DeliverProgram::<W> {
+        spread: 1, // each node is target of at most one re-keyed group
+        _pd: std::marker::PhantomData,
+    };
+    let del_states: Vec<DeliverState<W>> = comb_states
+        .into_iter()
+        .map(|cs| DeliverState {
+            scheduled: cs.arrived.into_iter().map(|(g, v)| (0, g, v)).collect(),
+            received: Vec::new(),
+        })
+        .collect();
+    let (del_states, s) = run_single(engine, deliver, del_states)?;
+    total.merge(&s);
+    total.merge(&sync_barrier(engine)?);
+
+    let out = del_states
+        .into_iter()
+        .map(|s| s.received.into_iter().next().map(|(_, v)| v))
+        .collect();
+    Ok((out, total))
+}
+
+// ---------------------------------------------------------------------------
+// Fused pipelines + lane-composable sub-protocols
+// ---------------------------------------------------------------------------
+
+/// The fused Aggregation pipeline, stage 1: injection and combining in the
+/// same rounds. Nodes scatter their packets in batches of `⌈log n⌉` as
+/// level-0 arrivals while the random-rank routing already moves earlier
+/// packets toward `h(group)` — the streamed form of Thm 2.3's first two
+/// phases (the routing analysis \[1, 57\] covers continuous injection).
+/// Used by the composed (lane) path; the blocking [`aggregate`] keeps the
+/// classic phase structure.
+pub(crate) struct ScatterCombineProgram<'a, V, A> {
+    pub bf: Butterfly,
+    pub hashes: RouteHashes,
+    pub agg: &'a A,
+    pub batch: usize,
+    pub columns: u32,
+    pub _pd: std::marker::PhantomData<V>,
+}
+
+pub(crate) struct ScatterCombineState<V> {
+    pub to_send: Vec<(u64, V)>,
+    pub comb: CombineState<V>,
+}
+
+impl<V: Payload, A: Aggregate<V>> ScatterCombineProgram<'_, V, A> {
+    fn scatter(&self, st: &mut ScatterCombineState<V>, ctx: &mut Ctx<'_, LevelMsg<V>>) {
+        let take = st.to_send.len().min(self.batch);
+        for (group, value) in st.to_send.drain(..take) {
+            let col = ctx.rng.gen_range(0..self.columns);
+            ctx.send(
+                self.bf.emulator(col),
+                LevelMsg {
+                    level: 0,
+                    group,
+                    value,
+                },
+            );
+        }
+        if !st.to_send.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+impl<V: Payload, A: Aggregate<V>> NodeProgram for ScatterCombineProgram<'_, V, A> {
+    type State = ScatterCombineState<V>;
+    type Payload = LevelMsg<V>;
+
+    fn init(&self, st: &mut ScatterCombineState<V>, ctx: &mut Ctx<'_, LevelMsg<V>>) {
+        self.scatter(st, ctx);
+    }
+
+    fn round(
+        &self,
+        st: &mut ScatterCombineState<V>,
+        inbox: &[Envelope<LevelMsg<V>>],
+        ctx: &mut Ctx<'_, LevelMsg<V>>,
+    ) {
+        if self.bf.emulates(ctx.id) {
+            let alpha = self.bf.column_of(ctx.id);
+            for env in inbox {
+                combine_insert(
+                    &self.bf,
+                    &self.hashes,
+                    self.agg,
+                    &mut st.comb,
+                    alpha,
+                    env.payload.level as u32,
+                    env.payload.group,
+                    env.payload.value.clone(),
+                );
+            }
+            self.scatter(st, ctx);
+            combine_step(
+                &self.bf,
+                &self.hashes,
+                self.agg,
+                &mut st.comb,
+                alpha,
+                &mut |dst, msg| ctx.send(dst, msg),
+            );
+            if st.comb.busy() {
+                ctx.stay_awake();
+            }
+        } else {
+            // non-emulating nodes only scatter; routing stays on columns
+            self.scatter(st, ctx);
+        }
+    }
+}
+
+/// The Aggregation Algorithm as a composable lane: stage 1 is the fused
+/// scatter+combine pipeline, stage 2 the randomized delivery. Build with
+/// [`aggregation_sub`], run under [`crate::compose::run_composed`], read
+/// with [`AggregationSub::into_deliveries`].
+pub struct AggregationSub<'a, V: Payload, A: Aggregate<V>> {
+    stage: usize,
+    lane_seed: u64,
+    logn: usize,
+    ell2_hat: usize,
+    sc: crate::compose::Stage<ScatterCombineProgram<'a, V, A>, ScatterCombineState<V>>,
+    del: crate::compose::Stage<DeliverProgram<V>, DeliverState<V>>,
+    out: Option<GroupedDeliveries<V>>,
+}
+
+/// Builds the aggregation sub-protocol. Arguments mirror [`aggregate`];
+/// `lane_seed` keys the lane's private randomness (scatter columns,
+/// delivery rounds).
+pub fn aggregation_sub<'a, V: Payload, A: Aggregate<V>>(
+    n: usize,
+    shared: &SharedRandomness,
+    spec: AggregationSpec<V>,
+    agg: &'a A,
+    lane_seed: u64,
+) -> AggregationSub<'a, V, A> {
+    assert_eq!(spec.memberships.len(), n);
+    let bf = Butterfly::for_n(n);
+    let hashes = RouteHashes::new(shared, &bf, n);
+    let logn = ncc_model::ilog2_ceil(n).max(1) as usize;
+    let states: Vec<ScatterCombineState<V>> = spec
+        .memberships
+        .into_iter()
+        .map(|ms| ScatterCombineState {
+            to_send: ms.into_iter().map(|(g, v)| (g.raw(), v)).collect(),
+            comb: CombineState::new(bf.d()),
+        })
+        .collect();
+    AggregationSub {
+        stage: 0,
+        lane_seed,
+        logn,
+        ell2_hat: spec.ell2_hat,
+        sc: Some((
+            ScatterCombineProgram {
+                bf,
+                hashes,
+                agg,
+                batch: logn,
+                columns: bf.columns() as u32,
+                _pd: std::marker::PhantomData,
+            },
+            states,
+        )),
+        del: None,
+        out: None,
+    }
+}
+
+impl<V: Payload, A: Aggregate<V>> AggregationSub<'_, V, A> {
+    /// The per-node `(group, aggregate)` deliveries. Panics before the
+    /// composition ran to completion.
+    pub fn into_deliveries(self) -> GroupedDeliveries<V> {
+        self.out.expect("aggregation sub-protocol not finished")
+    }
+}
+
+impl<'a, V: Payload, A: Aggregate<V>> crate::compose::LaneSub<'a> for AggregationSub<'a, V, A> {
+    fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
+        match self.stage {
+            0 => {
+                let (prog, states) = self.sc.take()?;
+                Some(b.lane_seeded(
+                    prog,
+                    states,
+                    ncc_model::rng::derive_seed(&[self.lane_seed, 0]),
+                ))
+            }
+            1 => {
+                let (prog, states) = self.del.take()?;
+                Some(b.lane_seeded(
+                    prog,
+                    states,
+                    ncc_model::rng::derive_seed(&[self.lane_seed, 1]),
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
+        match self.stage {
+            0 => {
+                let sc: Vec<ScatterCombineState<V>> = ncc_model::take_lane_states(states, lane);
+                let spread = (self.ell2_hat.div_ceil(self.logn)).max(1) as u64;
+                let del_states: Vec<DeliverState<V>> = sc
+                    .into_iter()
+                    .map(|s| DeliverState {
+                        scheduled: s.comb.arrived.into_iter().map(|(g, v)| (0, g, v)).collect(),
+                        received: Vec::new(),
+                    })
+                    .collect();
+                self.del = Some((
+                    DeliverProgram {
+                        spread,
+                        _pd: std::marker::PhantomData,
+                    },
+                    del_states,
+                ));
+            }
+            _ => {
+                let del: Vec<DeliverState<V>> = ncc_model::take_lane_states(states, lane);
+                self.out = Some(del.into_iter().map(|s| s.received).collect());
+            }
+        }
+        self.stage += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused Multi-Aggregation pipeline
+// ---------------------------------------------------------------------------
+
+/// Wire format of the fused Multi-Aggregation pipeline: tree spreading
+/// (payload `V`) and re-keyed aggregation routing (payload `W`) share the
+/// rounds.
+#[derive(Debug, Clone)]
+pub(crate) enum MaMsg<V, W> {
+    Spread(LevelMsg<V>),
+    Agg(LevelMsg<W>),
+}
+
+impl<V: Payload, W: Payload> Payload for MaMsg<V, W> {
+    fn bit_size(&self) -> u32 {
+        1 + match self {
+            MaMsg::Spread(m) => m.bit_size(),
+            MaMsg::Agg(m) => m.bit_size(),
+        }
+    }
+}
+
+pub(crate) struct MaPipelineState<V, W> {
+    pub spread: crate::multicast::SpreadState<V>,
+    pub to_send: Vec<(u64, W)>,
+    pub comb: CombineState<W>,
+}
+
+/// The fused Multi-Aggregation pipeline (Theorem 2.6, streamed): packets
+/// spread down the trees, each leaf arrival is re-keyed through `leaf_map`
+/// (with the lane's private randomness — the §5.3 annotation hook) and
+/// immediately scattered as a level-0 arrival of the combining network,
+/// which routes toward `h(id(u))` in the same rounds. Stage 2 delivers.
+pub(crate) struct MaPipelineProgram<'a, V, W, A, F> {
+    pub bf: Butterfly,
+    pub hashes: RouteHashes,
+    pub agg: &'a A,
+    pub leaf_map: F,
+    pub batch: usize,
+    pub columns: u32,
+    pub _pd: std::marker::PhantomData<(V, W)>,
+}
+
+impl<V, W, A, F> MaPipelineProgram<'_, V, W, A, F>
+where
+    V: Payload,
+    W: Payload,
+    A: Aggregate<W>,
+    F: Fn(&mut rand::rngs::SmallRng, GroupId, ncc_model::NodeId, &V) -> W + Sync,
+{
+    fn scatter(&self, st: &mut MaPipelineState<V, W>, ctx: &mut Ctx<'_, MaMsg<V, W>>) {
+        let take = st.to_send.len().min(self.batch);
+        for (group, value) in st.to_send.drain(..take) {
+            let col = ctx.rng.gen_range(0..self.columns);
+            ctx.send(
+                self.bf.emulator(col),
+                MaMsg::Agg(LevelMsg {
+                    level: 0,
+                    group,
+                    value,
+                }),
+            );
+        }
+    }
+}
+
+impl<V, W, A, F> NodeProgram for MaPipelineProgram<'_, V, W, A, F>
+where
+    V: Payload,
+    W: Payload,
+    A: Aggregate<W>,
+    F: Fn(&mut rand::rngs::SmallRng, GroupId, ncc_model::NodeId, &V) -> W + Sync,
+{
+    type State = MaPipelineState<V, W>;
+    type Payload = MaMsg<V, W>;
+
+    fn init(&self, st: &mut MaPipelineState<V, W>, ctx: &mut Ctx<'_, MaMsg<V, W>>) {
+        if let Some((group, value)) = st.spread.source_packet.take() {
+            let root = self.hashes.target_column(group);
+            ctx.send(
+                self.bf.emulator(root),
+                MaMsg::Spread(LevelMsg {
+                    level: self.bf.d() as u8,
+                    group,
+                    value,
+                }),
+            );
+        }
+    }
+
+    fn round(
+        &self,
+        st: &mut MaPipelineState<V, W>,
+        inbox: &[Envelope<MaMsg<V, W>>],
+        ctx: &mut Ctx<'_, MaMsg<V, W>>,
+    ) {
+        if !self.bf.emulates(ctx.id) {
+            return; // sources fired at init; all traffic stays on columns
+        }
+        let alpha = self.bf.column_of(ctx.id);
+        for env in inbox {
+            match &env.payload {
+                MaMsg::Spread(m) => crate::multicast::spread_arrive(
+                    &self.hashes,
+                    &mut st.spread,
+                    m.level as u32,
+                    m.group,
+                    m.value.clone(),
+                ),
+                MaMsg::Agg(m) => combine_insert(
+                    &self.bf,
+                    &self.hashes,
+                    self.agg,
+                    &mut st.comb,
+                    alpha,
+                    m.level as u32,
+                    m.group,
+                    m.value.clone(),
+                ),
+            }
+        }
+        crate::multicast::spread_step(
+            &self.bf,
+            &self.hashes,
+            &mut st.spread,
+            alpha,
+            &mut |dst, msg| ctx.send(dst, MaMsg::Spread(msg)),
+        );
+        // re-key fresh leaf arrivals and queue them for scattering
+        for (group, member, value) in st.spread.at_leaves.drain(..) {
+            let mapped = (self.leaf_map)(ctx.rng, GroupId(group), member, &value);
+            st.to_send
+                .push((GroupId::new(member, MA_SUB).raw(), mapped));
+        }
+        self.scatter(st, ctx);
+        combine_step(
+            &self.bf,
+            &self.hashes,
+            self.agg,
+            &mut st.comb,
+            alpha,
+            &mut |dst, msg| ctx.send(dst, MaMsg::Agg(msg)),
+        );
+        if st.spread.busy() || !st.to_send.is_empty() || st.comb.busy() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+/// Multi-Aggregation as a composable lane: stage 1 is the fused
+/// spread→re-key→scatter→combine pipeline, stage 2 the delivery. Build
+/// with [`multi_aggregate_sub`], run under
+/// [`crate::compose::run_composed`], read with
+/// [`MultiAggSub::into_results`].
+pub struct MultiAggSub<'a, V, W, A, F>
+where
+    V: Payload,
+    W: Payload,
+    A: Aggregate<W>,
+    F: Fn(&mut rand::rngs::SmallRng, GroupId, ncc_model::NodeId, &V) -> W + Sync,
+{
+    stage: usize,
+    lane_seed: u64,
+    pipe: crate::compose::Stage<MaPipelineProgram<'a, V, W, A, F>, MaPipelineState<V, W>>,
+    del: crate::compose::Stage<DeliverProgram<W>, DeliverState<W>>,
+    out: Option<Vec<Option<W>>>,
+}
+
+/// Builds the multi-aggregation sub-protocol. Arguments mirror
+/// [`multi_aggregate`]; `lane_seed` keys the lane's private randomness
+/// (leaf-map draws, scatter columns).
+pub fn multi_aggregate_sub<'a, V, W, A, F>(
+    n: usize,
+    shared: &SharedRandomness,
+    trees: &crate::mctree::MulticastTrees,
+    messages: Vec<Option<(GroupId, V)>>,
+    leaf_map: F,
+    agg: &'a A,
+    lane_seed: u64,
+) -> MultiAggSub<'a, V, W, A, F>
+where
+    V: Payload,
+    W: Payload,
+    A: Aggregate<W>,
+    F: Fn(&mut rand::rngs::SmallRng, GroupId, ncc_model::NodeId, &V) -> W + Sync,
+{
+    assert_eq!(messages.len(), n);
+    let bf = Butterfly::for_n(n);
+    let hashes = RouteHashes::new(shared, &bf, n);
+    let logn = ncc_model::ilog2_ceil(n).max(1) as usize;
+    let states: Vec<MaPipelineState<V, W>> =
+        crate::multicast::spread_states(trees, messages, bf.d())
+            .into_iter()
+            .map(|spread| MaPipelineState {
+                spread,
+                to_send: Vec::new(),
+                comb: CombineState::new(bf.d()),
+            })
+            .collect();
+    MultiAggSub {
+        stage: 0,
+        lane_seed,
+        pipe: Some((
+            MaPipelineProgram {
+                bf,
+                hashes,
+                agg,
+                leaf_map,
+                batch: logn,
+                columns: bf.columns() as u32,
+                _pd: std::marker::PhantomData,
+            },
+            states,
+        )),
+        del: None,
+        out: None,
+    }
+}
+
+impl<V, W, A, F> MultiAggSub<'_, V, W, A, F>
+where
+    V: Payload,
+    W: Payload,
+    A: Aggregate<W>,
+    F: Fn(&mut rand::rngs::SmallRng, GroupId, ncc_model::NodeId, &V) -> W + Sync,
+{
+    /// Per node `u`: the aggregate over packets multicast to `u`, or `None`
+    /// if no group reached it. Panics before the composition finished.
+    pub fn into_results(self) -> Vec<Option<W>> {
+        self.out
+            .expect("multi-aggregation sub-protocol not finished")
+    }
+}
+
+impl<'a, V, W, A, F> crate::compose::LaneSub<'a> for MultiAggSub<'a, V, W, A, F>
+where
+    V: Payload,
+    W: Payload,
+    A: Aggregate<W>,
+    F: Fn(&mut rand::rngs::SmallRng, GroupId, ncc_model::NodeId, &V) -> W + Sync + 'a,
+{
+    fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
+        match self.stage {
+            0 => {
+                let (prog, states) = self.pipe.take()?;
+                Some(b.lane_seeded(
+                    prog,
+                    states,
+                    ncc_model::rng::derive_seed(&[self.lane_seed, 0]),
+                ))
+            }
+            1 => {
+                let (prog, states) = self.del.take()?;
+                Some(b.lane_seeded(
+                    prog,
+                    states,
+                    ncc_model::rng::derive_seed(&[self.lane_seed, 1]),
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
+        match self.stage {
+            0 => {
+                let pipe: Vec<MaPipelineState<V, W>> = ncc_model::take_lane_states(states, lane);
+                let del_states: Vec<DeliverState<W>> = pipe
+                    .into_iter()
+                    .map(|s| DeliverState {
+                        scheduled: s.comb.arrived.into_iter().map(|(g, v)| (0, g, v)).collect(),
+                        received: Vec::new(),
+                    })
+                    .collect();
+                self.del = Some((
+                    DeliverProgram {
+                        spread: 1, // each node is target of ≤ 1 re-keyed group
+                        _pd: std::marker::PhantomData,
+                    },
+                    del_states,
+                ));
+            }
+            _ => {
+                let del: Vec<DeliverState<W>> = ncc_model::take_lane_states(states, lane);
+                self.out = Some(
+                    del.into_iter()
+                        .map(|s| s.received.into_iter().next().map(|(_, v)| v))
+                        .collect(),
+                );
+            }
+        }
+        self.stage += 1;
     }
 }

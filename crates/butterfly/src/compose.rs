@@ -1,0 +1,244 @@
+//! Composing primitives as concurrent mux lanes.
+//!
+//! The paper's complexity arguments run *many* primitive instances in the
+//! same rounds (§2: "run O(log n) instances of the Aggregation Algorithm in
+//! parallel"), sharing the per-node `O(log n)` budget. This module is the
+//! driver for that style of composition over [`ncc_model::Mux`]:
+//!
+//! * a primitive decomposed for composition is a [`LaneSub`]: a sequence of
+//!   *stages*, each an ordinary `NodeProgram` plus a node-local transition
+//!   that carries its per-node states into the next stage;
+//! * [`run_composed`] aligns the current stages of all sub-protocols as
+//!   lanes of one mux execution, so concurrent primitives share rounds,
+//!   capacity and drop sampling exactly as one program — then charges **one**
+//!   [`sync_barrier`] for the whole stage (instead of one per primitive, the
+//!   cost model of App. B.1's phase synchronisation);
+//! * sub-protocols with fewer stages simply contribute nothing to the later
+//!   executions; outputs are collected from the final states.
+//!
+//! The blocking single-primitive entry points (`aggregate`, `multicast`, …)
+//! are one-lane adapters over the same machinery ([`run_single`]); a
+//! one-lane mux is bit-identical to direct execution, so the classic paths
+//! keep their exact round/bit/drop numbers.
+
+use ncc_model::{Engine, ExecStats, LaneId, ModelError, MuxBuilder, MuxState, NodeProgram};
+
+use crate::agg_bcast::sync_barrier;
+
+/// A primitive decomposed into mux-lane stages.
+///
+/// The driver repeatedly calls [`LaneSub::install`] (returning `None` once
+/// the protocol is finished) and, after the shared execution quiesces,
+/// [`LaneSub::collect`] with the same lane id so the protocol can pull its
+/// states back out and perform its node-local stage transition.
+pub trait LaneSub<'a> {
+    /// Installs the current stage's program and per-node states as a mux
+    /// lane, or `None` if all stages are done.
+    fn install(&mut self, b: &mut MuxBuilder<'a>) -> Option<LaneId>;
+
+    /// Collects the states of the stage installed under `lane` and advances
+    /// to the next stage (node-local work only — no communication).
+    fn collect(&mut self, lane: LaneId, states: &mut [MuxState]);
+}
+
+/// A pending stage of a sub-protocol: its program plus per-node states,
+/// consumed by [`LaneSub::install`].
+pub(crate) type Stage<Prog, St> = Option<(Prog, Vec<St>)>;
+
+/// Round/lane accounting of one [`run_composed`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComposeReport {
+    /// Shared stage executions performed.
+    pub stages: u32,
+    /// Max lanes that ran concurrently in any stage.
+    pub max_lanes: u32,
+    /// Sum over stages of the lanes installed (lane-stages of work).
+    pub lane_stages: u32,
+}
+
+/// Runs a set of sub-protocols to completion, stage by stage: the current
+/// stage of every unfinished protocol becomes one lane of a shared mux
+/// execution, followed by a single [`sync_barrier`]. Returns the total
+/// statistics (executions + barriers) and the lane accounting.
+pub fn run_composed<'a>(
+    engine: &mut Engine,
+    subs: &mut [&mut (dyn LaneSub<'a> + 'a)],
+) -> Result<(ExecStats, ComposeReport), ModelError> {
+    let n = engine.n();
+    let mut total = ExecStats::default();
+    let mut report = ComposeReport::default();
+    loop {
+        let mut b = MuxBuilder::new(n);
+        let mut installed: Vec<(usize, LaneId)> = Vec::new();
+        for (i, sub) in subs.iter_mut().enumerate() {
+            if let Some(id) = sub.install(&mut b) {
+                installed.push((i, id));
+            }
+        }
+        if installed.is_empty() {
+            break;
+        }
+        report.stages += 1;
+        report.max_lanes = report.max_lanes.max(installed.len() as u32);
+        report.lane_stages += installed.len() as u32;
+        let (mux, mut states) = b.build();
+        total.merge(&engine.execute(&mux, &mut states)?);
+        for (i, id) in installed {
+            subs[i].collect(id, &mut states);
+        }
+        total.merge(&sync_barrier(engine)?);
+    }
+    Ok((total, report))
+}
+
+/// Executes one program as a one-lane mux (no barrier): the transparent
+/// adapter the blocking primitives use. Bit-identical to
+/// `engine.execute(&prog, &mut states)` — the lane header is zero bits and
+/// the lane draws from the node's own RNG stream.
+pub fn run_single<Prog>(
+    engine: &mut Engine,
+    prog: Prog,
+    states: Vec<Prog::State>,
+) -> Result<(Vec<Prog::State>, ExecStats), ModelError>
+where
+    Prog: NodeProgram,
+    Prog::State: 'static,
+{
+    let mut b = MuxBuilder::new(engine.n());
+    let id = b.lane(prog, states);
+    let (mux, mut mstates) = b.build();
+    let stats = engine.execute(&mux, &mut mstates)?;
+    Ok((ncc_model::take_lane_states(&mut mstates, id), stats))
+}
+
+/// Derives a deterministic lane seed from the engine seed and a composition
+/// label — so composed lanes have reproducible, composition-independent
+/// randomness streams keyed by `(engine seed, label, index)`.
+pub fn lane_seed(engine: &Engine, label: u64, index: u64) -> u64 {
+    ncc_model::rng::derive_seed(&[
+        engine.config().seed,
+        0x6c61_6e65, /* "lane" */
+        label,
+        index,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncc_model::{Ctx, Envelope, NetConfig};
+
+    /// Minimal 2-stage sub-protocol for driver tests: stage 1 relays a token
+    /// around the ring `hops` times, stage 2 broadcasts a completion flag to
+    /// node 0.
+    struct TwoStage {
+        n: usize,
+        hops: u64,
+        stage: usize,
+        seen: u64,
+        done_count: Option<u64>,
+    }
+
+    struct Relay {
+        hops: u64,
+    }
+    impl NodeProgram for Relay {
+        type State = u64;
+        type Payload = u64;
+        fn init(&self, _st: &mut u64, ctx: &mut Ctx<'_, u64>) {
+            ctx.send((ctx.id + 1) % ctx.n as u32, 1);
+        }
+        fn round(&self, st: &mut u64, inbox: &[Envelope<u64>], ctx: &mut Ctx<'_, u64>) {
+            *st += inbox.len() as u64;
+            if ctx.round < self.hops {
+                ctx.send((ctx.id + 1) % ctx.n as u32, 1);
+            }
+        }
+    }
+
+    struct Report;
+    impl NodeProgram for Report {
+        type State = u64;
+        type Payload = u64;
+        fn init(&self, st: &mut u64, ctx: &mut Ctx<'_, u64>) {
+            ctx.send(0, *st);
+        }
+        fn round(&self, st: &mut u64, inbox: &[Envelope<u64>], ctx: &mut Ctx<'_, u64>) {
+            if ctx.id == 0 {
+                *st += inbox.iter().map(|e| e.payload).sum::<u64>();
+            }
+        }
+    }
+
+    impl<'a> LaneSub<'a> for TwoStage {
+        fn install(&mut self, b: &mut MuxBuilder<'a>) -> Option<LaneId> {
+            match self.stage {
+                0 => Some(b.lane_seeded(Relay { hops: self.hops }, vec![0u64; self.n], 1)),
+                1 => Some(b.lane_seeded(Report, vec![self.seen; self.n], 2)),
+                _ => None,
+            }
+        }
+        fn collect(&mut self, lane: LaneId, states: &mut [MuxState]) {
+            let st: Vec<u64> = ncc_model::take_lane_states(states, lane);
+            match self.stage {
+                0 => self.seen = st[0],
+                _ => self.done_count = Some(st[0]),
+            }
+            self.stage += 1;
+        }
+    }
+
+    #[test]
+    fn composed_stages_share_barriers() {
+        let n = 16;
+        let mut eng = Engine::new(NetConfig::new(n, 3));
+        let mut a = TwoStage {
+            n,
+            hops: 4,
+            stage: 0,
+            seen: 0,
+            done_count: None,
+        };
+        let mut c = TwoStage {
+            n,
+            hops: 9,
+            stage: 0,
+            seen: 0,
+            done_count: None,
+        };
+        let (stats, rep) = run_composed(&mut eng, &mut [&mut a, &mut c]).unwrap();
+        assert_eq!(rep.stages, 2, "stages align across lanes");
+        assert_eq!(rep.max_lanes, 2);
+        assert_eq!(rep.lane_stages, 4);
+        assert_eq!(a.seen, 4);
+        assert_eq!(c.seen, 9);
+        // node 0's counter starts at its own count and absorbs every
+        // node's report (its own included)
+        assert_eq!(a.done_count, Some(4 + 4 * n as u64));
+        assert_eq!(c.done_count, Some(9 + 9 * n as u64));
+        // stage 1 is bounded by the slowest lane, not the sum
+        assert!(stats.rounds < (10 + 2) + 2 * 20, "rounds {}", stats.rounds);
+    }
+
+    #[test]
+    fn run_single_matches_direct_execution() {
+        let n = 12;
+        let mut eng = Engine::new(NetConfig::new(n, 8));
+        let mut direct = vec![0u64; n];
+        let s1 = eng.execute(&Relay { hops: 3 }, &mut direct).unwrap();
+        let mut eng = Engine::new(NetConfig::new(n, 8));
+        let (muxed, s2) = run_single(&mut eng, Relay { hops: 3 }, vec![0u64; n]).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(direct, muxed);
+    }
+
+    #[test]
+    fn lane_seed_is_engine_and_label_keyed() {
+        let eng_a = Engine::new(NetConfig::new(4, 1));
+        let eng_b = Engine::new(NetConfig::new(4, 2));
+        assert_ne!(lane_seed(&eng_a, 7, 0), lane_seed(&eng_b, 7, 0));
+        assert_ne!(lane_seed(&eng_a, 7, 0), lane_seed(&eng_a, 7, 1));
+        assert_ne!(lane_seed(&eng_a, 7, 0), lane_seed(&eng_a, 8, 0));
+        assert_eq!(lane_seed(&eng_a, 7, 0), lane_seed(&eng_a, 7, 0));
+    }
+}

@@ -27,6 +27,18 @@
 //! every phase boundary** so round totals include the synchronisation cost,
 //! exactly as the paper's bounds do.
 //!
+//! ## Concurrent composition
+//!
+//! Every primitive also exists as a *composable sub-protocol*
+//! ([`ab_sub`], [`aggregation_sub`], [`multicast_setup_sub`],
+//! [`multicast_sub`], [`multi_aggregate_sub`]): fused pipeline stages that
+//! run as lanes of one [`ncc_model::Mux`] under [`run_composed`], so
+//! concurrent primitive instances **share rounds, capacity and one
+//! barrier per stage** instead of queuing — the §2 "run many instances in
+//! parallel" argument, executable (see [`compose`]). The blocking
+//! functions above stay byte-stable: they are one-lane adapters with the
+//! classic phase structure.
+//!
 //! # Example: global minimum in `O(log n)` rounds
 //!
 //! ```
@@ -44,19 +56,22 @@
 pub mod agg_bcast;
 pub mod aggregate;
 pub mod aggregation;
+pub mod combine;
+pub mod compose;
 pub mod mctree;
 pub mod multi_agg;
 pub mod multicast;
 pub mod seed;
 pub mod topology;
 
-pub use agg_bcast::{aggregate_and_broadcast, sync_barrier};
-pub use aggregate::{
-    Aggregate, MaxU64, MinByKey, MinU64, SumPair, SumU64, XorPair, XorSum, XorU64,
+pub use agg_bcast::{ab_sub, aggregate_and_broadcast, sync_barrier, AbSub};
+pub use aggregation::{
+    aggregate, aggregate_opt, aggregation_sub, multi_aggregate, multi_aggregate_sub,
+    AggregationSpec, AggregationSub, GroupedDeliveries, MultiAggSub,
 };
-pub use aggregation::{aggregate, aggregate_opt, AggregationSpec, GroupedDeliveries};
-pub use mctree::{multicast_setup, self_joins, MulticastTrees};
-pub use multi_agg::multi_aggregate;
-pub use multicast::multicast;
+pub use combine::{Aggregate, MaxU64, MinByKey, MinU64, SumPair, SumU64, XorPair, XorSum, XorU64};
+pub use compose::{lane_seed, run_composed, run_single, ComposeReport, LaneSub};
+pub use mctree::{multicast_setup, multicast_setup_sub, self_joins, McSetupSub, MulticastTrees};
+pub use multicast::{multicast, multicast_sub, MulticastSub};
 pub use seed::broadcast_seed;
 pub use topology::{Butterfly, GroupId};

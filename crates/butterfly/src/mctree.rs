@@ -16,9 +16,11 @@ use std::collections::BTreeMap;
 
 use ncc_hashing::{FxHashMap, SharedRandomness};
 use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeId, NodeProgram};
+use rand::Rng;
 
 use crate::agg_bcast::sync_barrier;
 use crate::aggregation::{InjectProgram, InjectState, LevelMsg, RouteHashes};
+use crate::compose::run_single;
 use crate::topology::{Butterfly, GroupId};
 
 /// The recorded forest of multicast trees, indexed by column.
@@ -124,6 +126,30 @@ impl RecordProgram {
     }
 }
 
+impl RecordProgram {
+    /// One recording-routing step at column `alpha`; cross-edge traffic
+    /// goes through `emit` as `(next level, group)`.
+    fn step(&self, st: &mut RecordState, alpha: u32, emit: &mut impl FnMut(NodeId, u8, u64)) {
+        let d = self.bf.d();
+        for level in (0..d).rev() {
+            for dir in 0..2usize {
+                if let Some(((_rank, group), ())) = st.queues[level as usize][dir].pop_first() {
+                    let next_col = if dir == 0 {
+                        alpha
+                    } else {
+                        alpha ^ (1 << level)
+                    };
+                    if next_col == alpha {
+                        self.insert(st, alpha, level + 1, group, false);
+                    } else {
+                        emit(self.bf.emulator(next_col), (level + 1) as u8, group);
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl NodeProgram for RecordProgram {
     type State = RecordState;
     type Payload = LevelMsg<u64>;
@@ -144,30 +170,16 @@ impl NodeProgram for RecordProgram {
         for env in inbox {
             self.insert(st, alpha, env.payload.level as u32, env.payload.group, true);
         }
-        let d = self.bf.d();
-        for level in (0..d).rev() {
-            for dir in 0..2usize {
-                if let Some(((_rank, group), ())) = st.queues[level as usize][dir].pop_first() {
-                    let next_col = if dir == 0 {
-                        alpha
-                    } else {
-                        alpha ^ (1 << level)
-                    };
-                    if next_col == alpha {
-                        self.insert(st, alpha, level + 1, group, false);
-                    } else {
-                        ctx.send(
-                            self.bf.emulator(next_col),
-                            LevelMsg {
-                                level: (level + 1) as u8,
-                                group,
-                                value: 0,
-                            },
-                        );
-                    }
-                }
-            }
-        }
+        self.step(st, alpha, &mut |dst, level, group| {
+            ctx.send(
+                dst,
+                LevelMsg {
+                    level,
+                    group,
+                    value: 0,
+                },
+            )
+        });
         if st.busy() {
             ctx.stay_awake();
         }
@@ -202,14 +214,15 @@ pub fn multicast_setup(
         columns: bf.columns() as u32,
         _pd: std::marker::PhantomData,
     };
-    let mut inj_states: Vec<InjectState<u64>> = joins
+    let inj_states: Vec<InjectState<u64>> = joins
         .into_iter()
         .map(|gs| InjectState {
             to_send: gs.into_iter().map(|(g, m)| (g.raw(), m as u64)).collect(),
             landed: Vec::new(),
         })
         .collect();
-    total.merge(&engine.execute(&inject, &mut inj_states)?);
+    let (inj_states, s) = run_single(engine, inject, inj_states)?;
+    total.merge(&s);
     total.merge(&sync_barrier(engine)?);
 
     // phase 2: route join packets to the roots, recording tree edges.
@@ -225,11 +238,17 @@ pub fn multicast_setup(
             record.insert(&mut rec_states[col], col as u32, 0, group, false);
         }
     }
-    total.merge(&engine.execute(&record, &mut rec_states)?);
+    let (rec_states, s) = run_single(engine, record, rec_states)?;
+    total.merge(&s);
     total.merge(&sync_barrier(engine)?);
 
+    Ok((trees_from_states(n, bf.d(), rec_states), total))
+}
+
+/// Assembles the recorded forest from the per-column recording states.
+fn trees_from_states(n: usize, d: u32, rec_states: Vec<RecordState>) -> MulticastTrees {
     let mut trees = MulticastTrees {
-        d: bf.d(),
+        d,
         n,
         leaves: Vec::with_capacity(n),
         in_edges: Vec::with_capacity(n),
@@ -248,7 +267,180 @@ pub fn multicast_setup(
         trees.in_edges.push(st.in_edges);
         trees.roots.push(roots);
     }
-    Ok((trees, total))
+    trees
+}
+
+// ---------------------------------------------------------------------------
+// Fused setup pipeline + lane-composable sub-protocol
+// ---------------------------------------------------------------------------
+
+/// Wire format of the fused tree setup: join-packet scattering and
+/// recording routing share the rounds.
+#[derive(Debug, Clone)]
+pub(crate) enum SetupMsg {
+    /// A registration landing on a random level-0 column.
+    Join { group: u64, member: u64 },
+    /// A join packet climbing the butterfly (recorded as a tree edge).
+    Route { level: u8, group: u64 },
+}
+
+impl ncc_model::Payload for SetupMsg {
+    fn bit_size(&self) -> u32 {
+        1 + match self {
+            SetupMsg::Join { group, member } => {
+                ncc_model::payload::min_bits(*group) + ncc_model::payload::min_bits(*member)
+            }
+            SetupMsg::Route { group, .. } => 6 + ncc_model::payload::min_bits(*group),
+        }
+    }
+}
+
+pub(crate) struct RecordScatterState {
+    pub to_send: Vec<(u64, u64)>,
+    pub rec: RecordState,
+}
+
+/// The fused Multicast Tree Setup (Theorem 2.4, streamed): registrations
+/// scatter to random level-0 columns in batches of `⌈log n⌉` while earlier
+/// join packets already route toward their roots, recording in-edges.
+/// Used by the composed (lane) path; the blocking [`multicast_setup`]
+/// keeps the classic phase structure.
+pub(crate) struct RecordScatterProgram {
+    pub record: RecordProgram,
+    pub batch: usize,
+    pub columns: u32,
+}
+
+impl RecordScatterProgram {
+    fn scatter(&self, st: &mut RecordScatterState, ctx: &mut Ctx<'_, SetupMsg>) {
+        let take = st.to_send.len().min(self.batch);
+        for (group, member) in st.to_send.drain(..take) {
+            let col = ctx.rng.gen_range(0..self.columns);
+            ctx.send(col, SetupMsg::Join { group, member });
+        }
+        if !st.to_send.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+impl NodeProgram for RecordScatterProgram {
+    type State = RecordScatterState;
+    type Payload = SetupMsg;
+
+    fn init(&self, st: &mut RecordScatterState, ctx: &mut Ctx<'_, SetupMsg>) {
+        self.scatter(st, ctx);
+    }
+
+    fn round(
+        &self,
+        st: &mut RecordScatterState,
+        inbox: &[Envelope<SetupMsg>],
+        ctx: &mut Ctx<'_, SetupMsg>,
+    ) {
+        if self.record.bf.emulates(ctx.id) {
+            let alpha = self.record.bf.column_of(ctx.id);
+            for env in inbox {
+                match env.payload {
+                    SetupMsg::Join { group, member } => {
+                        st.rec
+                            .leaves
+                            .entry(group)
+                            .or_default()
+                            .push(member as NodeId);
+                        self.record.insert(&mut st.rec, alpha, 0, group, false);
+                    }
+                    SetupMsg::Route { level, group } => {
+                        self.record
+                            .insert(&mut st.rec, alpha, level as u32, group, true);
+                    }
+                }
+            }
+            self.scatter(st, ctx);
+            self.record
+                .step(&mut st.rec, alpha, &mut |dst, level, group| {
+                    ctx.send(dst, SetupMsg::Route { level, group })
+                });
+            if st.rec.busy() {
+                ctx.stay_awake();
+            }
+        } else {
+            // non-emulating nodes only scatter registrations
+            self.scatter(st, ctx);
+        }
+    }
+}
+
+/// Multicast Tree Setup as a composable lane: one fused stage
+/// (scatter + recording routing). Build with [`multicast_setup_sub`], run
+/// under [`crate::compose::run_composed`], read with
+/// [`McSetupSub::into_trees`].
+pub struct McSetupSub {
+    stage: Option<(RecordScatterProgram, Vec<RecordScatterState>)>,
+    lane_seed: u64,
+    n: usize,
+    d: u32,
+    out: Option<MulticastTrees>,
+}
+
+/// Builds the tree-setup sub-protocol. Arguments mirror
+/// [`multicast_setup`]; `lane_seed` keys the lane's private randomness
+/// (leaf columns).
+pub fn multicast_setup_sub(
+    n: usize,
+    shared: &SharedRandomness,
+    joins: Vec<Vec<(GroupId, NodeId)>>,
+    lane_seed: u64,
+) -> McSetupSub {
+    assert_eq!(joins.len(), n);
+    assert!(n >= 2, "multicast trees need n ≥ 2");
+    let bf = Butterfly::for_n(n);
+    let hashes = RouteHashes::new(shared, &bf, n);
+    let logn = ncc_model::ilog2_ceil(n).max(1) as usize;
+    let states: Vec<RecordScatterState> = joins
+        .into_iter()
+        .map(|gs| RecordScatterState {
+            to_send: gs.into_iter().map(|(g, m)| (g.raw(), m as u64)).collect(),
+            rec: RecordState::new(bf.d()),
+        })
+        .collect();
+    McSetupSub {
+        stage: Some((
+            RecordScatterProgram {
+                record: RecordProgram { bf, hashes },
+                batch: logn,
+                columns: bf.columns() as u32,
+            },
+            states,
+        )),
+        lane_seed,
+        n,
+        d: bf.d(),
+        out: None,
+    }
+}
+
+impl McSetupSub {
+    /// The recorded forest. Panics before the composition finished.
+    pub fn into_trees(self) -> MulticastTrees {
+        self.out.expect("tree-setup sub-protocol not finished")
+    }
+}
+
+impl<'a> crate::compose::LaneSub<'a> for McSetupSub {
+    fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
+        let (prog, states) = self.stage.take()?;
+        Some(b.lane_seeded(prog, states, self.lane_seed))
+    }
+
+    fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
+        let rec: Vec<RecordScatterState> = ncc_model::take_lane_states(states, lane);
+        self.out = Some(trees_from_states(
+            self.n,
+            self.d,
+            rec.into_iter().map(|s| s.rec).collect(),
+        ));
+    }
 }
 
 /// Convenience: turns per-node group lists into self-registrations

@@ -1,296 +1,8 @@
-//! The Multi-Aggregation Algorithm (Theorem 2.6, Appendix B.5).
+//! Historic module path for Multi-Aggregation (Theorem 2.6).
 //!
-//! Combines multicast and aggregation: every source `s_i` multicasts `p_i`
-//! to its group; every node `u` then receives `f({p_i | u ∈ A_i})` — the
-//! aggregate over all packets multicast *to* it. Runs in `O(C + log n)`
-//! rounds over trees of congestion `C`.
-//!
-//! Pipeline: spread packets down the multicast trees to the leaves
-//! `l(i, u)`; each leaf re-keys its packet to `(id(u), p_i)` — optionally
-//! transforming it with leaf-local randomness, which is how the matching
-//! algorithm of §5.3 annotates packets with uniform ranks — then the
-//! re-keyed packets are scattered to random level-0 columns and aggregated
-//! toward `h(id(u))` exactly as in the Aggregation Algorithm, and finally
-//! delivered to `u`.
-//!
-//! Corollary 1: with the precomputed *broadcast trees* (groups
-//! `A_{id(u)} = N(u)`), any subset `S` of sources can message their entire
-//! neighborhoods in `O(Σ_{u∈S} d(u)/n + log n)` rounds.
+//! The driver lives in [`crate::aggregation`] now — one unified module for
+//! every aggregation-style entry point (`aggregate`, `aggregate_opt`,
+//! `multi_aggregate`) over the one combiner trait in [`crate::combine`].
+//! This module re-exports the old name so existing imports keep compiling.
 
-use ncc_hashing::SharedRandomness;
-use ncc_model::{Engine, ExecStats, ModelError, NodeId, Payload};
-use rand::rngs::SmallRng;
-
-use crate::agg_bcast::sync_barrier;
-use crate::aggregate::Aggregate;
-use crate::aggregation::{
-    CombineProgram, CombineState, DeliverProgram, DeliverState, InjectProgram, InjectState,
-    RouteHashes,
-};
-use crate::mctree::MulticastTrees;
-use crate::multicast::{spread_states, SpreadProgram};
-use crate::topology::{Butterfly, GroupId};
-
-/// Sub-identifier namespace for the re-keyed member groups.
-const MA_SUB: u32 = 0x4D41;
-
-/// Runs Multi-Aggregation. `messages[u] = Some((group, payload))` iff `u`
-/// sources `group`; `leaf_map` is applied at each leaf `l(i, u)` with that
-/// leaf's private randomness (identity for plain multi-aggregation);
-/// `agg` combines the mapped packets per destination.
-///
-/// Returns per node `u` the aggregate `f({map(p_i) | u ∈ A_i})`, or `None`
-/// if no group reaches `u`.
-pub fn multi_aggregate<V, W, A, F>(
-    engine: &mut Engine,
-    shared: &SharedRandomness,
-    trees: &MulticastTrees,
-    messages: Vec<Option<(GroupId, V)>>,
-    leaf_map: F,
-    agg: &A,
-) -> Result<(Vec<Option<W>>, ExecStats), ModelError>
-where
-    V: Payload,
-    W: Payload,
-    A: Aggregate<W>,
-    F: Fn(&mut SmallRng, GroupId, NodeId, &V) -> W + Sync,
-{
-    let n = engine.n();
-    assert_eq!(messages.len(), n);
-    let bf = Butterfly::for_n(n);
-    let hashes = RouteHashes::new(shared, &bf, n);
-    let logn = ncc_model::ilog2_ceil(n).max(1) as usize;
-    let mut total = ExecStats::default();
-
-    // --- spread down the multicast trees to the leaves ---------------------
-    let spread_prog = SpreadProgram::<V> {
-        bf,
-        hashes: hashes.clone(),
-        _pd: std::marker::PhantomData,
-    };
-    let mut sstates = spread_states(trees, messages, bf.d());
-    total.merge(&engine.execute(&spread_prog, &mut sstates)?);
-    total.merge(&sync_barrier(engine)?);
-
-    // --- leaf re-keying + random scatter ------------------------------------
-    // Each leaf l(i, u) maps p_i to (id(u), map(p_i)). The mapping uses the
-    // leaf column's private RNG stream, mirroring the paper's leaf-chosen
-    // annotations (§5.3). The scatter is the standard batched injection.
-    let inject = InjectProgram::<W> {
-        batch: logn,
-        columns: bf.columns() as u32,
-        _pd: std::marker::PhantomData,
-    };
-    let mut inj_states: Vec<InjectState<W>> = sstates
-        .iter_mut()
-        .enumerate()
-        .map(|(col, s)| {
-            let mut rng = ncc_model::rng::node_rng(
-                engine.config().seed ^ 0x6d61_7070, // "mapp": leaf-map stream
-                col as u32,
-            );
-            InjectState {
-                to_send: s
-                    .at_leaves
-                    .drain(..)
-                    .map(|(g, member, v)| {
-                        let mapped = leaf_map(&mut rng, GroupId(g), member, &v);
-                        (GroupId::new(member, MA_SUB).raw(), mapped)
-                    })
-                    .collect(),
-                landed: Vec::new(),
-            }
-        })
-        .collect();
-    total.merge(&engine.execute(&inject, &mut inj_states)?);
-    total.merge(&sync_barrier(engine)?);
-
-    // --- aggregate toward h(id(u)) ------------------------------------------
-    let combine = CombineProgram {
-        bf,
-        hashes: hashes.clone(),
-        agg,
-        _pd: std::marker::PhantomData,
-    };
-    let mut comb_states: Vec<CombineState<W>> = (0..n).map(|_| CombineState::new(bf.d())).collect();
-    for (col, inj) in inj_states.into_iter().enumerate() {
-        for (group, value) in inj.landed {
-            combine.insert(&mut comb_states[col], col as u32, 0, group, value);
-        }
-    }
-    total.merge(&engine.execute(&combine, &mut comb_states)?);
-    total.merge(&sync_barrier(engine)?);
-
-    // --- deliver to the member nodes ----------------------------------------
-    let deliver = DeliverProgram::<W> {
-        spread: 1, // each node is target of at most one re-keyed group
-        _pd: std::marker::PhantomData,
-    };
-    let mut del_states: Vec<DeliverState<W>> = comb_states
-        .into_iter()
-        .map(|cs| DeliverState {
-            scheduled: cs.arrived.into_iter().map(|(g, v)| (0, g, v)).collect(),
-            received: Vec::new(),
-        })
-        .collect();
-    total.merge(&engine.execute(&deliver, &mut del_states)?);
-    total.merge(&sync_barrier(engine)?);
-
-    let out = del_states
-        .into_iter()
-        .map(|s| s.received.into_iter().next().map(|(_, v)| v))
-        .collect();
-    Ok((out, total))
-}
-
-#[cfg(test)]
-#[allow(clippy::needless_range_loop)] // tests index several parallel per-node arrays
-mod tests {
-    use super::*;
-    use crate::aggregate::{MinByKey, MinU64, SumU64};
-    use crate::mctree::{multicast_setup, self_joins};
-    use ncc_model::NetConfig;
-
-    /// Builds broadcast-tree-style groups over an explicit neighborhood map.
-    fn setup_neighborhoods(
-        n: usize,
-        neighbors: &[Vec<u32>],
-    ) -> (Engine, SharedRandomness, MulticastTrees) {
-        let mut eng = Engine::new(NetConfig::new(n, 5));
-        let shared = SharedRandomness::new(61);
-        // group A_{id(u)} = N(u): v joins group of every neighbor u
-        let mut joins = vec![Vec::new(); n];
-        for (u, ns) in neighbors.iter().enumerate() {
-            for &v in ns {
-                joins[v as usize].push(GroupId::new(u as u32, 0));
-            }
-        }
-        let (trees, _) = multicast_setup(&mut eng, &shared, self_joins(joins)).unwrap();
-        (eng, shared, trees)
-    }
-
-    #[test]
-    fn neighborhood_min_on_a_cycle() {
-        // cycle: N(u) = {u−1, u+1}; each u multicasts a value; every node
-        // should receive min over its two neighbors' values
-        let n = 32;
-        let neighbors: Vec<Vec<u32>> = (0..n as u32)
-            .map(|u| vec![(u + n as u32 - 1) % n as u32, (u + 1) % n as u32])
-            .collect();
-        let (mut eng, shared, trees) = setup_neighborhoods(n, &neighbors);
-        let messages: Vec<Option<(GroupId, u64)>> = (0..n as u32)
-            .map(|u| Some((GroupId::new(u, 0), 100 + ((u as u64 * 37) % 50))))
-            .collect();
-        let (out, stats) = multi_aggregate(
-            &mut eng,
-            &shared,
-            &trees,
-            messages,
-            |_, _, _, v| *v,
-            &MinU64,
-        )
-        .unwrap();
-        for u in 0..n as u32 {
-            let l = (u + n as u32 - 1) % n as u32;
-            let r = (u + 1) % n as u32;
-            let expect = (100 + (l as u64 * 37) % 50).min(100 + (r as u64 * 37) % 50);
-            assert_eq!(out[u as usize], Some(expect), "node {u}");
-        }
-        assert!(stats.clean());
-    }
-
-    #[test]
-    fn star_center_receives_sum_of_leaves() {
-        // star: center 0 adjacent to all; leaves adjacent to 0 only.
-        let n = 64;
-        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
-        neighbors[0] = (1..n as u32).collect();
-        for v in 1..n as u32 {
-            neighbors[v as usize] = vec![0];
-        }
-        let (mut eng, shared, trees) = setup_neighborhoods(n, &neighbors);
-        let messages: Vec<Option<(GroupId, u64)>> = (0..n as u32)
-            .map(|u| Some((GroupId::new(u, 0), u as u64)))
-            .collect();
-        let (out, stats) = multi_aggregate(
-            &mut eng,
-            &shared,
-            &trees,
-            messages,
-            |_, _, _, v| *v,
-            &SumU64,
-        )
-        .unwrap();
-        // center receives sum over leaves 1..n; leaves receive center's 0
-        assert_eq!(out[0], Some((1..n as u64).sum()));
-        for v in 1..n {
-            assert_eq!(out[v], Some(0), "leaf {v}");
-        }
-        // the star is the capacity adversary; this must still be clean
-        assert!(stats.clean());
-        // O(C + log n) with C = O(a + log n) = O(log n) here
-        assert!(stats.rounds < 40 * 6, "rounds {}", stats.rounds);
-    }
-
-    #[test]
-    fn leaf_map_annotates_with_randomness() {
-        // the §5.3 use: leaves annotate with random ranks, MinByKey keeps a
-        // uniformly random neighbor — here we just verify exactly one of
-        // the two candidate sources survives per node.
-        let n = 16;
-        let neighbors: Vec<Vec<u32>> = (0..n as u32)
-            .map(|u| vec![(u + 1) % n as u32, (u + 2) % n as u32])
-            .collect();
-        let (mut eng, shared, trees) = setup_neighborhoods(n, &neighbors);
-        let messages: Vec<Option<(GroupId, u64)>> = (0..n as u32)
-            .map(|u| Some((GroupId::new(u, 0), u as u64)))
-            .collect();
-        let (out, _) = multi_aggregate(
-            &mut eng,
-            &shared,
-            &trees,
-            messages,
-            |rng, _g, _member, v| {
-                use rand::Rng;
-                (rng.gen::<u64>() >> 8, *v)
-            },
-            &MinByKey,
-        )
-        .unwrap();
-        for u in 0..n as u32 {
-            let (_, winner) = out[u as usize].expect("every node has in-groups");
-            let a = (u + n as u32 - 1) % n as u32; // u ∈ N(a)?  u = a+1 ✓
-            let b = (u + n as u32 - 2) % n as u32; // u = b+2 ✓
-            assert!(
-                winner == a as u64 || winner == b as u64,
-                "node {u}: winner {winner} not in {{{a},{b}}}"
-            );
-        }
-    }
-
-    #[test]
-    fn nodes_outside_all_groups_get_none() {
-        let n = 16;
-        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
-        neighbors[0] = vec![1];
-        neighbors[1] = vec![0];
-        let (mut eng, shared, trees) = setup_neighborhoods(n, &neighbors);
-        let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
-        messages[0] = Some((GroupId::new(0, 0), 9));
-        messages[1] = Some((GroupId::new(1, 0), 8));
-        let (out, _) = multi_aggregate(
-            &mut eng,
-            &shared,
-            &trees,
-            messages,
-            |_, _, _, v| *v,
-            &MinU64,
-        )
-        .unwrap();
-        assert_eq!(out[0], Some(8));
-        assert_eq!(out[1], Some(9));
-        for v in 2..n {
-            assert_eq!(out[v], None);
-        }
-    }
-}
+pub use crate::aggregation::multi_aggregate;

@@ -21,6 +21,7 @@ use rand::Rng;
 
 use crate::agg_bcast::sync_barrier;
 use crate::aggregation::{LevelMsg, RouteHashes};
+use crate::compose::run_single;
 use crate::mctree::MulticastTrees;
 use crate::topology::{Butterfly, GroupId};
 
@@ -46,10 +47,75 @@ pub(crate) struct SpreadState<V> {
 }
 
 impl<V> SpreadState<V> {
-    fn busy(&self) -> bool {
+    pub(crate) fn busy(&self) -> bool {
         self.queues
             .iter()
             .any(|q| !q[0].is_empty() || !q[1].is_empty())
+    }
+}
+
+/// A packet arrives at `(level, α)`: copy it onto every recorded child
+/// edge, or register leaf arrivals at level 0 (pushed to `at_leaves`).
+pub(crate) fn spread_arrive<V: Payload>(
+    hashes: &RouteHashes,
+    st: &mut SpreadState<V>,
+    level: u32,
+    group: u64,
+    value: V,
+) {
+    if level == 0 {
+        if let Some(members) = st.leaves.get(&group) {
+            for &m in members {
+                st.at_leaves.push((group, m, value.clone()));
+            }
+        }
+        return;
+    }
+    let Some(&(straight, cross)) = st.in_edges[level as usize - 1].get(&group) else {
+        return; // no members below this tree node
+    };
+    let key = (hashes.rank(group), group);
+    if straight {
+        st.queues[level as usize - 1][0].insert(key, value.clone());
+    }
+    if cross {
+        st.queues[level as usize - 1][1].insert(key, value);
+    }
+}
+
+/// One spreading step at column `alpha`: forward one packet per down-edge
+/// (ascending level order, so a locally advanced packet is not advanced
+/// twice in one round); cross-edge traffic goes through `emit`.
+pub(crate) fn spread_step<V: Payload>(
+    bf: &Butterfly,
+    hashes: &RouteHashes,
+    st: &mut SpreadState<V>,
+    alpha: u32,
+    emit: &mut impl FnMut(NodeId, LevelMsg<V>),
+) {
+    let d = bf.d();
+    for level in 1..=d {
+        for dir in 0..2usize {
+            if let Some(((_r, group), value)) = st.queues[level as usize - 1][dir].pop_first() {
+                let child = if dir == 0 {
+                    alpha
+                } else {
+                    alpha ^ (1 << (level - 1))
+                };
+                if child == alpha {
+                    spread_arrive(hashes, st, level - 1, group, value);
+                } else {
+                    emit(
+                        bf.emulator(child),
+                        LevelMsg {
+                            level: (level - 1) as u8,
+                            group,
+                            value,
+                        },
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -57,31 +123,6 @@ pub(crate) struct SpreadProgram<V> {
     pub bf: Butterfly,
     pub hashes: RouteHashes,
     pub _pd: std::marker::PhantomData<V>,
-}
-
-impl<V: Payload> SpreadProgram<V> {
-    /// A packet arrives at `(level, α)`: copy it onto every recorded child
-    /// edge, or register leaf arrivals at level 0.
-    fn arrive(&self, st: &mut SpreadState<V>, _alpha: u32, level: u32, group: u64, value: V) {
-        if level == 0 {
-            if let Some(members) = st.leaves.get(&group) {
-                for &m in members {
-                    st.at_leaves.push((group, m, value.clone()));
-                }
-            }
-            return;
-        }
-        let Some(&(straight, cross)) = st.in_edges[level as usize - 1].get(&group) else {
-            return; // no members below this tree node
-        };
-        let key = (self.hashes.rank(group), group);
-        if straight {
-            st.queues[level as usize - 1][0].insert(key, value.clone());
-        }
-        if cross {
-            st.queues[level as usize - 1][1].insert(key, value);
-        }
-    }
 }
 
 impl<V: Payload> NodeProgram for SpreadProgram<V> {
@@ -110,40 +151,17 @@ impl<V: Payload> NodeProgram for SpreadProgram<V> {
     ) {
         let alpha = self.bf.column_of(ctx.id);
         for env in inbox {
-            self.arrive(
+            spread_arrive(
+                &self.hashes,
                 st,
-                alpha,
                 env.payload.level as u32,
                 env.payload.group,
                 env.payload.value.clone(),
             );
         }
-        // forward one packet per down-edge; ascending level order so a
-        // packet advanced locally is not advanced twice in one round
-        let d = self.bf.d();
-        for level in 1..=d {
-            for dir in 0..2usize {
-                if let Some(((_r, group), value)) = st.queues[level as usize - 1][dir].pop_first() {
-                    let child = if dir == 0 {
-                        alpha
-                    } else {
-                        alpha ^ (1 << (level - 1))
-                    };
-                    if child == alpha {
-                        self.arrive(st, alpha, level - 1, group, value);
-                    } else {
-                        ctx.send(
-                            self.bf.emulator(child),
-                            LevelMsg {
-                                level: (level - 1) as u8,
-                                group,
-                                value,
-                            },
-                        );
-                    }
-                }
-            }
-        }
+        spread_step(&self.bf, &self.hashes, st, alpha, &mut |dst, msg| {
+            ctx.send(dst, msg)
+        });
         if st.busy() {
             ctx.stay_awake();
         }
@@ -244,6 +262,197 @@ impl<V: Payload> NodeProgram for McDeliverProgram<V> {
 }
 
 // ---------------------------------------------------------------------------
+// Fused pipeline + lane-composable sub-protocol
+// ---------------------------------------------------------------------------
+
+/// Wire format of the fused multicast pipeline: tree routing + leaf
+/// delivery in one program.
+#[derive(Debug, Clone)]
+pub(crate) enum McMsg<V> {
+    Route(LevelMsg<V>),
+    Deliver(crate::aggregation::PacketMsg<V>),
+}
+
+impl<V: Payload> Payload for McMsg<V> {
+    fn bit_size(&self) -> u32 {
+        1 + match self {
+            McMsg::Route(m) => m.bit_size(),
+            McMsg::Deliver(m) => m.bit_size(),
+        }
+    }
+}
+
+pub(crate) struct SpreadDeliverState<V> {
+    pub spread: SpreadState<V>,
+    /// `(due round, member, group, value)` — leaf deliveries in flight.
+    pub scheduled: Vec<(u64, NodeId, u64, V)>,
+    pub received: Vec<(GroupId, V)>,
+}
+
+/// The fused Multicast pipeline (Theorem 2.5, streamed): packets spread
+/// down the recorded trees and every leaf arrival is *immediately*
+/// scheduled for delivery in a uniformly random round of the next
+/// `window = ⌈ℓ̂/log n⌉` rounds — the same load-smoothing rule as the
+/// phase-separated variant, without the intermediate barrier. Used by the
+/// composed (lane) path; the blocking [`multicast`] keeps the classic
+/// phase structure.
+pub(crate) struct SpreadDeliverProgram<V> {
+    pub bf: Butterfly,
+    pub hashes: RouteHashes,
+    pub window: u64,
+    pub _pd: std::marker::PhantomData<V>,
+}
+
+impl<V: Payload> NodeProgram for SpreadDeliverProgram<V> {
+    type State = SpreadDeliverState<V>;
+    type Payload = McMsg<V>;
+
+    fn init(&self, st: &mut SpreadDeliverState<V>, ctx: &mut Ctx<'_, McMsg<V>>) {
+        if let Some((group, value)) = st.spread.source_packet.take() {
+            let root = self.hashes.target_column(group);
+            ctx.send(
+                self.bf.emulator(root),
+                McMsg::Route(LevelMsg {
+                    level: self.bf.d() as u8,
+                    group,
+                    value,
+                }),
+            );
+        }
+    }
+
+    fn round(
+        &self,
+        st: &mut SpreadDeliverState<V>,
+        inbox: &[Envelope<McMsg<V>>],
+        ctx: &mut Ctx<'_, McMsg<V>>,
+    ) {
+        for env in inbox {
+            match &env.payload {
+                McMsg::Deliver(p) => st.received.push((GroupId(p.group), p.value.clone())),
+                McMsg::Route(m) => {
+                    debug_assert!(self.bf.emulates(ctx.id), "routing reaches emulators only");
+                    spread_arrive(
+                        &self.hashes,
+                        &mut st.spread,
+                        m.level as u32,
+                        m.group,
+                        m.value.clone(),
+                    );
+                }
+            }
+        }
+        if !self.bf.emulates(ctx.id) {
+            return; // members only ever receive Deliver messages
+        }
+        let alpha = self.bf.column_of(ctx.id);
+        spread_step(
+            &self.bf,
+            &self.hashes,
+            &mut st.spread,
+            alpha,
+            &mut |dst, msg| ctx.send(dst, McMsg::Route(msg)),
+        );
+        // schedule fresh leaf arrivals: deliver in a uniform round of the
+        // next `window` rounds (delay 1 = this round's send)
+        for (group, member, value) in st.spread.at_leaves.drain(..) {
+            let due = ctx.round + ctx.rng.gen_range(1..=self.window) - 1;
+            st.scheduled.push((due, member, group, value));
+        }
+        // flush due deliveries in scheduling order (deterministic), one
+        // O(k) pass — sends move out, survivors are re-collected in order
+        let now = ctx.round;
+        let pending = std::mem::take(&mut st.scheduled);
+        st.scheduled = pending
+            .into_iter()
+            .filter_map(|(due, member, group, value)| {
+                if due <= now {
+                    ctx.send(
+                        member,
+                        McMsg::Deliver(crate::aggregation::PacketMsg { group, value }),
+                    );
+                    None
+                } else {
+                    Some((due, member, group, value))
+                }
+            })
+            .collect();
+        if st.spread.busy() || !st.scheduled.is_empty() {
+            ctx.stay_awake();
+        }
+    }
+}
+
+/// Multicast as a composable lane: one fused stage (spread + smoothed leaf
+/// delivery). Build with [`multicast_sub`], run under
+/// [`crate::compose::run_composed`], read with
+/// [`MulticastSub::into_deliveries`].
+pub struct MulticastSub<V: Payload> {
+    stage: Option<(SpreadDeliverProgram<V>, Vec<SpreadDeliverState<V>>)>,
+    lane_seed: u64,
+    out: Option<crate::aggregation::GroupedDeliveries<V>>,
+}
+
+/// Builds the multicast sub-protocol over previously set-up trees.
+/// Arguments mirror [`multicast`]; `lane_seed` keys the lane's private
+/// randomness stream (delivery-round draws).
+pub fn multicast_sub<V: Payload>(
+    n: usize,
+    shared: &SharedRandomness,
+    trees: &MulticastTrees,
+    messages: Vec<Option<(GroupId, V)>>,
+    ell_hat: usize,
+    lane_seed: u64,
+) -> MulticastSub<V> {
+    assert_eq!(messages.len(), n);
+    let bf = Butterfly::for_n(n);
+    let hashes = RouteHashes::new(shared, &bf, n);
+    let logn = ncc_model::ilog2_ceil(n).max(1) as usize;
+    let window = (ell_hat.div_ceil(logn)).max(1) as u64;
+    let states: Vec<SpreadDeliverState<V>> = spread_states(trees, messages, bf.d())
+        .into_iter()
+        .map(|spread| SpreadDeliverState {
+            spread,
+            scheduled: Vec::new(),
+            received: Vec::new(),
+        })
+        .collect();
+    MulticastSub {
+        stage: Some((
+            SpreadDeliverProgram {
+                bf,
+                hashes,
+                window,
+                _pd: std::marker::PhantomData,
+            },
+            states,
+        )),
+        lane_seed,
+        out: None,
+    }
+}
+
+impl<V: Payload> MulticastSub<V> {
+    /// The per-node `(group, payload)` deliveries. Panics before the
+    /// composition ran to completion.
+    pub fn into_deliveries(self) -> crate::aggregation::GroupedDeliveries<V> {
+        self.out.expect("multicast sub-protocol not finished")
+    }
+}
+
+impl<'a, V: Payload> crate::compose::LaneSub<'a> for MulticastSub<V> {
+    fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
+        let (prog, states) = self.stage.take()?;
+        Some(b.lane_seeded(prog, states, self.lane_seed))
+    }
+
+    fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
+        let st: Vec<SpreadDeliverState<V>> = ncc_model::take_lane_states(states, lane);
+        self.out = Some(st.into_iter().map(|s| s.received).collect());
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -272,8 +481,9 @@ pub fn multicast<V: Payload>(
         hashes,
         _pd: std::marker::PhantomData,
     };
-    let mut sstates = spread_states(trees, messages, bf.d());
-    total.merge(&engine.execute(&spread_prog, &mut sstates)?);
+    let sstates = spread_states(trees, messages, bf.d());
+    let (sstates, s) = run_single(engine, spread_prog, sstates)?;
+    total.merge(&s);
     total.merge(&sync_barrier(engine)?);
 
     // phase 3: leaf delivery
@@ -282,7 +492,7 @@ pub fn multicast<V: Payload>(
         spread,
         _pd: std::marker::PhantomData,
     };
-    let mut dstates: Vec<McDeliverState<V>> = sstates
+    let dstates: Vec<McDeliverState<V>> = sstates
         .into_iter()
         .map(|s| McDeliverState {
             scheduled: s
@@ -293,7 +503,8 @@ pub fn multicast<V: Payload>(
             received: Vec::new(),
         })
         .collect();
-    total.merge(&engine.execute(&deliver, &mut dstates)?);
+    let (dstates, s) = run_single(engine, deliver, dstates)?;
+    total.merge(&s);
     total.merge(&sync_barrier(engine)?);
 
     Ok((dstates.into_iter().map(|s| s.received).collect(), total))

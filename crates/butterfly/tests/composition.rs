@@ -1,0 +1,217 @@
+//! Composed (fused, lane-multiplexed) primitives against their blocking
+//! classic counterparts: same outputs, fewer rounds.
+
+use ncc_butterfly::{
+    ab_sub, aggregate, aggregation_sub, multi_aggregate, multi_aggregate_sub, multicast,
+    multicast_setup, multicast_setup_sub, multicast_sub, run_composed, AggregationSpec, GroupId,
+    LaneSub, MaxU64, MinU64, SumU64,
+};
+use ncc_hashing::SharedRandomness;
+use ncc_model::{Engine, NetConfig};
+
+fn engine(n: usize, seed: u64) -> Engine {
+    Engine::new(NetConfig::new(n, seed))
+}
+
+fn sorted<V: Ord + Clone>(mut v: Vec<V>) -> Vec<V> {
+    v.sort();
+    v
+}
+
+#[test]
+fn fused_aggregation_matches_blocking_outputs() {
+    let n = 64;
+    let shared = SharedRandomness::new(7);
+    // group t collects from members {t, t+1, t+2 mod n}
+    let mut memberships: Vec<Vec<(GroupId, u64)>> = vec![Vec::new(); n];
+    for t in 0..n as u32 {
+        for off in 0..3u32 {
+            let member = ((t + off) % n as u32) as usize;
+            memberships[member].push((GroupId::new(t, 1), 10 + off as u64));
+        }
+    }
+    let spec = AggregationSpec {
+        memberships,
+        ell2_hat: 1,
+    };
+
+    let mut eng = engine(n, 3);
+    let (blocking, blocking_stats) = aggregate(&mut eng, &shared, spec.clone(), &SumU64).unwrap();
+
+    let mut eng = engine(n, 3);
+    let mut sub = aggregation_sub(n, &shared, spec, &SumU64, 99);
+    let (stats, rep) = run_composed(&mut eng, &mut [&mut sub]).unwrap();
+    let fused = sub.into_deliveries();
+
+    assert_eq!(rep.stages, 2, "fused aggregation is two stages");
+    for t in 0..n {
+        assert_eq!(
+            sorted(fused[t].clone()),
+            sorted(blocking[t].clone()),
+            "node {t}"
+        );
+    }
+    assert!(stats.clean());
+    assert!(
+        stats.rounds < blocking_stats.rounds,
+        "fused {} !< blocking {}",
+        stats.rounds,
+        blocking_stats.rounds
+    );
+}
+
+#[test]
+fn fused_setup_and_multicast_match_blocking_deliveries() {
+    let n = 48;
+    let shared = SharedRandomness::new(21);
+    // every node sources a group; node u joins groups of u−1, u+1 (ring)
+    let mut joins = vec![Vec::new(); n];
+    let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
+    for u in 0..n {
+        joins[u].push(GroupId::new(((u + n - 1) % n) as u32, 4));
+        joins[u].push(GroupId::new(((u + 1) % n) as u32, 4));
+        messages[u] = Some((GroupId::new(u as u32, 4), 1000 + u as u64));
+    }
+
+    let mut eng = engine(n, 11);
+    let (trees, _) =
+        multicast_setup(&mut eng, &shared, ncc_butterfly::self_joins(joins.clone())).unwrap();
+    let (blocking, _) = multicast(&mut eng, &shared, &trees, messages.clone(), 2).unwrap();
+
+    let mut eng = engine(n, 11);
+    let mut setup = multicast_setup_sub(n, &shared, ncc_butterfly::self_joins(joins), 5);
+    let (setup_stats, _) = run_composed(&mut eng, &mut [&mut setup]).unwrap();
+    let fused_trees = setup.into_trees();
+    let mut mc = multicast_sub(n, &shared, &fused_trees, messages, 2, 6);
+    let (mc_stats, rep) = run_composed(&mut eng, &mut [&mut mc]).unwrap();
+    let fused = mc.into_deliveries();
+
+    assert_eq!(rep.stages, 1, "fused multicast is one stage");
+    for u in 0..n {
+        assert_eq!(
+            sorted(fused[u].clone()),
+            sorted(blocking[u].clone()),
+            "node {u}"
+        );
+    }
+    assert!(setup_stats.clean() && mc_stats.clean());
+}
+
+#[test]
+fn fused_multi_aggregation_matches_blocking_semantics() {
+    // neighborhood min on a cycle, identity leaf map: fused and blocking
+    // must deliver identical per-node aggregates (deterministic inputs).
+    let n = 32;
+    let shared = SharedRandomness::new(61);
+    let mut joins = vec![Vec::new(); n];
+    for u in 0..n as u32 {
+        let l = (u + n as u32 - 1) % n as u32;
+        let r = (u + 1) % n as u32;
+        joins[l as usize].push(GroupId::new(u, 0));
+        joins[r as usize].push(GroupId::new(u, 0));
+    }
+    let messages: Vec<Option<(GroupId, u64)>> = (0..n as u32)
+        .map(|u| Some((GroupId::new(u, 0), 100 + ((u as u64 * 37) % 50))))
+        .collect();
+
+    let mut eng = engine(n, 5);
+    let (trees, _) = multicast_setup(&mut eng, &shared, ncc_butterfly::self_joins(joins)).unwrap();
+    let (blocking, blocking_stats) = multi_aggregate(
+        &mut eng,
+        &shared,
+        &trees,
+        messages.clone(),
+        |_, _, _, v| *v,
+        &MinU64,
+    )
+    .unwrap();
+
+    let mut eng2 = engine(n, 5);
+    let (trees2, _) = {
+        let mut joins2 = vec![Vec::new(); n];
+        for u in 0..n as u32 {
+            let l = (u + n as u32 - 1) % n as u32;
+            let r = (u + 1) % n as u32;
+            joins2[l as usize].push(GroupId::new(u, 0));
+            joins2[r as usize].push(GroupId::new(u, 0));
+        }
+        multicast_setup(&mut eng2, &shared, ncc_butterfly::self_joins(joins2)).unwrap()
+    };
+    let mut sub = multi_aggregate_sub(n, &shared, &trees2, messages, |_, _, _, v| *v, &MinU64, 8);
+    let (stats, rep) = run_composed(&mut eng2, &mut [&mut sub]).unwrap();
+    let fused = sub.into_results();
+
+    assert_eq!(rep.stages, 2, "fused multi-aggregation is two stages");
+    assert_eq!(fused, blocking);
+    assert!(stats.clean());
+    assert!(
+        stats.rounds < blocking_stats.rounds,
+        "fused {} !< blocking {}",
+        stats.rounds,
+        blocking_stats.rounds
+    );
+}
+
+#[test]
+fn heterogeneous_lanes_share_rounds() {
+    // 4 aggregation lanes + one A&B lane in a single composition: every
+    // lane's output is what it would produce alone, and the whole bundle
+    // costs far less than running the five primitives back-to-back.
+    let n = 64;
+    let shared = SharedRandomness::new(13);
+    let make_spec = |sub: u32| -> AggregationSpec<u64> {
+        AggregationSpec {
+            memberships: (0..n)
+                .map(|u| vec![(GroupId::new((u as u32 + sub) % n as u32, sub), u as u64)])
+                .collect(),
+            ell2_hat: 1,
+        }
+    };
+
+    // sequential baseline
+    let mut eng = engine(n, 17);
+    let mut seq_rounds = 0;
+    let mut seq_out = Vec::new();
+    for sub in 0..4u32 {
+        let (out, s) = aggregate(&mut eng, &shared, make_spec(sub), &SumU64).unwrap();
+        seq_rounds += s.rounds;
+        seq_out.push(out);
+    }
+    let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
+    let (ab_seq, s) =
+        ncc_butterfly::aggregate_and_broadcast(&mut eng, inputs.clone(), &MaxU64).unwrap();
+    seq_rounds += s.rounds;
+
+    // composed
+    let mut eng = engine(n, 17);
+    let mut lanes: Vec<_> = (0..4u32)
+        .map(|sub| aggregation_sub(n, &shared, make_spec(sub), &SumU64, 40 + sub as u64))
+        .collect();
+    let mut ab = ab_sub(n, inputs, &MaxU64);
+    {
+        let mut refs: Vec<&mut dyn LaneSub> =
+            lanes.iter_mut().map(|l| l as &mut dyn LaneSub).collect();
+        refs.push(&mut ab);
+        let (stats, rep) = run_composed(&mut eng, &mut refs).unwrap();
+        assert_eq!(rep.max_lanes, 5);
+        assert_eq!(rep.stages, 2);
+        assert!(
+            stats.rounds * 2 < seq_rounds,
+            "composed {} rounds vs sequential {seq_rounds}",
+            stats.rounds
+        );
+    }
+    assert_eq!(ab.into_results(), ab_seq);
+    for (sub, lane) in lanes.into_iter().enumerate() {
+        let got = lane.into_deliveries();
+        // per-group sums must match the sequential run's (delivery order
+        // within a node may differ)
+        for u in 0..n {
+            assert_eq!(
+                sorted(got[u].clone()),
+                sorted(seq_out[sub][u].clone()),
+                "lane {sub} node {u}"
+            );
+        }
+    }
+}

@@ -7,7 +7,9 @@
 //! received — the paper's tie-breaking rule. An Aggregate-and-Broadcast per
 //! phase decides termination, after at most `D + 1` phases.
 
-use ncc_butterfly::{aggregate_and_broadcast, multi_aggregate, MaxU64, MinU64};
+use ncc_butterfly::{
+    aggregate_and_broadcast, lane_seed, multi_aggregate_sub, run_composed, MaxU64, MinU64,
+};
 use ncc_graph::Graph;
 use ncc_hashing::SharedRandomness;
 use ncc_model::{Engine, ModelError, NodeId};
@@ -39,6 +41,7 @@ pub fn bfs(
     let n = engine.n();
     assert_eq!(n, g.n());
     let mut report = AlgoReport::default();
+    let min_agg = MinU64;
 
     let mut dist = vec![UNREACHABLE; n];
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
@@ -54,15 +57,18 @@ pub fn bfs(
         for &u in &frontier {
             messages[u as usize] = Some((neighborhood_group(u), u as u64));
         }
-        let (mins, s) = multi_aggregate(
-            engine,
+        let mut spread = multi_aggregate_sub(
+            n,
             shared,
             &bt.trees,
             messages,
             |_, _, _, v| *v,
-            &MinU64,
-        )?;
+            &min_agg,
+            lane_seed(engine, 0x6266_7301, phase as u64),
+        );
+        let (s, _) = run_composed(engine, &mut [&mut spread])?;
         report.push(format!("phase{phase}:spread"), s);
+        let mins = spread.into_results();
 
         let mut next = Vec::new();
         for v in 0..n {

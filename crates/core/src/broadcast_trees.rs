@@ -13,7 +13,7 @@
 //! these trees: any source set `S` reaches all neighborhoods in
 //! `O(Σ_{u∈S} d(u)/n + log n)` rounds.
 
-use ncc_butterfly::{multicast_setup, GroupId, MulticastTrees};
+use ncc_butterfly::{lane_seed, multicast_setup_sub, run_composed, GroupId, MulticastTrees};
 use ncc_graph::Graph;
 use ncc_hashing::SharedRandomness;
 use ncc_model::{Engine, ModelError, NodeId};
@@ -78,17 +78,14 @@ pub fn build_broadcast_trees(
             regs
         })
         .collect();
-    let (trees, s) = multicast_setup(engine, shared, joins)?;
+    let mut setup = multicast_setup_sub(g.n(), shared, joins, lane_seed(engine, 0x6274_7265, 0));
+    let (s, _) = run_composed(engine, &mut [&mut setup])?;
     report.push("tree-setup", s);
+    let trees = setup.into_trees();
 
-    // agree on Δ (the ℓ̂ bound for neighborhood multicasts)
-    let inputs: Vec<Option<u64>> = (0..g.n())
-        .map(|u| Some(g.degree(u as NodeId) as u64))
-        .collect();
-    let (dmax, s) = ncc_butterfly::aggregate_and_broadcast(engine, inputs, &ncc_butterfly::MaxU64)?;
-    report.push("delta-agree", s);
-    let max_degree = dmax[0].unwrap_or(0) as usize;
-
+    // Δ (the ℓ̂ bound for neighborhood multicasts) was already agreed
+    // in-model during the orientation's first composed stage.
+    let max_degree = orientation.max_degree;
     let a_hat = orientation.d_star;
     Ok((
         BroadcastTrees {

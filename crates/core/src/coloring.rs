@@ -19,8 +19,9 @@
 //! the guarantee is non-vacuous at `â = 1` as well.
 
 use ncc_butterfly::{
-    aggregate, aggregate_and_broadcast, multicast, multicast_setup, AggregationSpec, GroupId,
-    MaxU64, MulticastTrees, SumU64,
+    ab_sub, aggregate_and_broadcast, aggregation_sub, lane_seed, multicast_setup_sub,
+    multicast_sub, run_composed, AggregationSpec, GroupId, LaneSub, MaxU64, MulticastSub,
+    MulticastTrees, SumU64,
 };
 use ncc_graph::Graph;
 use ncc_hashing::{FxHashSet, SharedRandomness};
@@ -55,9 +56,13 @@ pub fn coloring(
     assert_eq!(n, g.n());
     let logn = ncc_model::ilog2_ceil(n).max(1);
     let mut report = AlgoReport::default();
+    let max_agg = MaxU64;
+    let sum_agg = SumU64;
 
-    // --- agree on â = max(d_L(u), d_out(u)) and T -------------------------
-    let inputs: Vec<Option<u64>> = (0..n)
+    // --- setup, composed: the â and T agreements and the N_in tree build
+    // all depend only on the finished orientation, so they run as three
+    // lanes of one execution instead of three queued primitives.
+    let ahat_inputs: Vec<Option<u64>> = (0..n)
         .map(|u| {
             let d_l = orientation.neighbor_class[u]
                 .values()
@@ -67,19 +72,8 @@ pub fn coloring(
             Some(d_l.max(d_out) as u64)
         })
         .collect();
-    let (ahat_out, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
-    report.push("agree-ahat", s);
-    let a_hat = ahat_out[0].unwrap_or(0) as usize;
-
-    let inputs: Vec<Option<u64>> = (0..n).map(|u| Some(orientation.levels[u] as u64)).collect();
-    let (tmax, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
-    report.push("agree-levels", s);
-    let t_max = tmax[0].unwrap_or(0) as u32;
-
-    // palette [2(1+ε)â] with ε = ¼, padded so â = 1 stays feasible
-    let palette = (2 * a_hat + a_hat.div_ceil(2) + 2) as u32;
-
-    // --- build N_in trees: u joins the group of each out-neighbor --------
+    let level_inputs: Vec<Option<u64>> =
+        (0..n).map(|u| Some(orientation.levels[u] as u64)).collect();
     let joins: Vec<Vec<(GroupId, NodeId)>> = orientation
         .out_neighbors
         .iter()
@@ -90,8 +84,20 @@ pub fn coloring(
                 .collect()
         })
         .collect();
-    let (in_trees, s) = multicast_setup(engine, shared, joins)?;
-    report.push("in-trees", s);
+    let mut trees_sub = multicast_setup_sub(n, shared, joins, lane_seed(engine, 0x636c_7201, 0));
+    let mut ahat_sub = ab_sub(n, ahat_inputs, &max_agg);
+    let mut level_sub = ab_sub(n, level_inputs, &max_agg);
+    let (s, _) = {
+        let mut refs: [&mut dyn LaneSub; 3] = [&mut trees_sub, &mut ahat_sub, &mut level_sub];
+        run_composed(engine, &mut refs)?
+    };
+    report.push("in-trees+agree", s);
+    let in_trees = trees_sub.into_trees();
+    let a_hat = ahat_sub.into_results()[0].unwrap_or(0) as usize;
+    let t_max = level_sub.into_results()[0].unwrap_or(0) as u32;
+
+    // palette [2(1+ε)â] with ε = ¼, padded so â = 1 stays feasible
+    let palette = (2 * a_hat + a_hat.div_ceil(2) + 2) as u32;
 
     let mut colors: Vec<Option<u32>> = vec![None; n];
     let mut forbidden: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
@@ -131,8 +137,17 @@ pub fn coloring(
                     messages[u] = Some((GroupId::new(u as u32, IN_SUB), c as u64));
                 }
             }
-            let (heard, s) = run_in_multicast(engine, shared, &in_trees, messages, a_hat)?;
+            let mut tent_sub = in_multicast_sub(
+                n,
+                shared,
+                &in_trees,
+                messages,
+                a_hat,
+                lane_seed(engine, 0x636c_7202, ((level as u64) << 16) | rep as u64),
+            );
+            let (s, _) = run_composed(engine, &mut [&mut tent_sub])?;
             report.push(format!("l{li}:r{rep}:tentative"), s);
+            let heard = tent_sub.into_deliveries();
 
             // u defers iff some same-level uncolored out-neighbor announced
             // u's own candidate (u receives announcements of all x with
@@ -158,10 +173,10 @@ pub fn coloring(
                     messages[u] = Some((GroupId::new(u as u32, IN_SUB), cand[u].unwrap() as u64));
                 }
             }
-            let (perm_in, s) = run_in_multicast(engine, shared, &in_trees, messages, a_hat)?;
-            report.push(format!("l{li}:r{rep}:perm-mc"), s);
-
-            // to out-neighbors: aggregation over groups A_{id(v) ∘ c}
+            // to out-neighbors: aggregation over groups A_{id(v) ∘ c}.
+            // Both permanent announcements depend only on `keeps`, so the
+            // in-neighbor multicast and the out-neighbor aggregation share
+            // rounds as lanes of one composition.
             let memberships: Vec<Vec<(GroupId, u64)>> = (0..n)
                 .map(|u| {
                     if keeps[u] {
@@ -175,16 +190,31 @@ pub fn coloring(
                     }
                 })
                 .collect();
-            let (perm_out, s) = aggregate(
-                engine,
+            let mut perm_in_sub = in_multicast_sub(
+                n,
+                shared,
+                &in_trees,
+                messages,
+                a_hat,
+                lane_seed(engine, 0x636c_7203, ((level as u64) << 16) | rep as u64),
+            );
+            let mut perm_out_sub = aggregation_sub(
+                n,
                 shared,
                 AggregationSpec {
                     memberships,
                     ell2_hat: palette as usize,
                 },
-                &SumU64,
-            )?;
-            report.push(format!("l{li}:r{rep}:perm-agg"), s);
+                &sum_agg,
+                lane_seed(engine, 0x636c_7204, ((level as u64) << 16) | rep as u64),
+            );
+            let (s, _) = {
+                let mut refs: [&mut dyn LaneSub; 2] = [&mut perm_in_sub, &mut perm_out_sub];
+                run_composed(engine, &mut refs)?
+            };
+            report.push(format!("l{li}:r{rep}:perm-mc+agg"), s);
+            let perm_in = perm_in_sub.into_deliveries();
+            let perm_out = perm_out_sub.into_deliveries();
 
             // apply: winners fix their colors; everyone strikes heard colors
             for u in 0..n {
@@ -227,16 +257,17 @@ pub fn coloring(
     })
 }
 
-/// Multicast over the `N_in` trees: thin wrapper fixing the `ℓ̂` bound
-/// (members per node ≤ outdegree ≤ â).
-fn run_in_multicast(
-    engine: &mut Engine,
+/// Multicast lane over the `N_in` trees: thin wrapper fixing the `ℓ̂`
+/// bound (members per node ≤ outdegree ≤ â).
+fn in_multicast_sub(
+    n: usize,
     shared: &SharedRandomness,
     in_trees: &MulticastTrees,
     messages: Vec<Option<(GroupId, u64)>>,
     a_hat: usize,
-) -> Result<(ncc_butterfly::GroupedDeliveries<u64>, ncc_model::ExecStats), ModelError> {
-    multicast(engine, shared, in_trees, messages, a_hat.max(1))
+    seed: u64,
+) -> MulticastSub<u64> {
+    multicast_sub(n, shared, in_trees, messages, a_hat.max(1), seed)
 }
 
 #[cfg(test)]

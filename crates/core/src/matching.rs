@@ -16,8 +16,8 @@
 //! `O(log n)` phases suffice w.h.p. (Corollary 3.5 of \[31\] + Chernoff).
 
 use ncc_butterfly::{
-    aggregate, aggregate_and_broadcast, multi_aggregate, AggregationSpec, GroupId, MaxU64,
-    MinByKey, MinU64,
+    ab_sub, aggregation_sub, lane_seed, multi_aggregate_sub, run_composed, AggregationSpec,
+    GroupId, LaneSub, MaxU64, MinByKey, MinU64,
 };
 use ncc_graph::Graph;
 use ncc_hashing::SharedRandomness;
@@ -48,6 +48,9 @@ pub fn maximal_matching(
     assert_eq!(n, g.n());
     let logn = ncc_model::ilog2_ceil(n).max(1);
     let mut report = AlgoReport::default();
+    let min_by_key = MinByKey;
+    let min_agg = MinU64;
+    let max_agg = MaxU64;
 
     let mut mate: Vec<Option<NodeId>> = vec![None; n];
     let max_phases = 8 * logn + 24;
@@ -67,17 +70,20 @@ pub fn maximal_matching(
                 messages[u] = Some((neighborhood_group(u as NodeId), u as u64));
             }
         }
-        let (picks, s) = multi_aggregate(
-            engine,
+        let mut pick_sub = multi_aggregate_sub(
+            n,
             shared,
             &bt.trees,
             messages,
             // the leaf l(i,u) annotates with r ∈ [0,1] (here: 24 random
             // bits), exactly as §5.3 prescribes
             |rng, _g, _member, v| ((rng.gen::<u64>() >> 40), *v),
-            &MinByKey,
-        )?;
+            &min_by_key,
+            lane_seed(engine, 0x6d6d_0001, phase as u64),
+        );
+        let (s, _) = run_composed(engine, &mut [&mut pick_sub])?;
         report.push(format!("phase{phase}:pick"), s);
+        let picks = pick_sub.into_results();
 
         // pick(u): a uniformly random unmatched neighbor (None if no
         // unmatched neighbor remains). Matched nodes ignore deliveries.
@@ -91,33 +97,40 @@ pub fn maximal_matching(
             })
             .collect();
 
-        // --- termination: anyone still pairable? ---------------------------
-        let inputs: Vec<Option<u64>> = (0..n)
-            .map(|u| if pick[u].is_some() { Some(1) } else { None })
-            .collect();
-        let (any, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
-        report.push(format!("phase{phase}:check"), s);
-        if any[0].is_none() {
-            break;
-        }
-
-        // --- step 2: accept one chooser (MIN id), notify it ----------------
+        // --- step 2 ∥ termination: accept one chooser (MIN id) while the
+        // "anyone still pairable?" consensus rides the same rounds — both
+        // depend only on `pick`, so they compose as lanes. When the check
+        // comes back empty the accept output is empty too (no picks, no
+        // memberships) and the phase ends.
         let memberships: Vec<Vec<(GroupId, u64)>> = (0..n)
             .map(|u| match pick[u] {
                 Some(v) => vec![(GroupId::new(v, 9), u as u64)],
                 None => Vec::new(),
             })
             .collect();
-        let (accepted_in, s) = aggregate(
-            engine,
+        let check_inputs: Vec<Option<u64>> = (0..n)
+            .map(|u| if pick[u].is_some() { Some(1) } else { None })
+            .collect();
+        let mut accept_sub = aggregation_sub(
+            n,
             shared,
             AggregationSpec {
                 memberships,
                 ell2_hat: 1,
             },
-            &MinU64,
-        )?;
-        report.push(format!("phase{phase}:accept"), s);
+            &min_agg,
+            lane_seed(engine, 0x6d6d_0002, phase as u64),
+        );
+        let mut check_sub = ab_sub(n, check_inputs, &max_agg);
+        let (s, _) = {
+            let mut refs: [&mut dyn LaneSub; 2] = [&mut accept_sub, &mut check_sub];
+            run_composed(engine, &mut refs)?
+        };
+        report.push(format!("phase{phase}:accept+check"), s);
+        if check_sub.into_results()[0].is_none() {
+            break;
+        }
+        let accepted_in = accept_sub.into_deliveries();
         // acc(v): the chooser v accepts (only meaningful for unmatched v)
         let acc: Vec<Option<NodeId>> = (0..n)
             .map(|v| {

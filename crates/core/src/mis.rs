@@ -8,7 +8,9 @@
 //! `O(log n)` phases suffice w.h.p. \[48\]; each phase is `O(a + log n)` by
 //! Corollary 1.
 
-use ncc_butterfly::{aggregate_and_broadcast, multi_aggregate, GroupId, MaxU64, MinU64};
+use ncc_butterfly::{
+    aggregate_and_broadcast, lane_seed, multi_aggregate_sub, run_composed, GroupId, MaxU64, MinU64,
+};
 use ncc_graph::Graph;
 use ncc_hashing::SharedRandomness;
 use ncc_model::{Engine, ModelError, NodeId};
@@ -37,6 +39,8 @@ pub fn mis(
     let logn = ncc_model::ilog2_ceil(n).max(1);
     let idb = crate::support::node_id_bits(n);
     let mut report = AlgoReport::default();
+    let min_agg = MinU64;
+    let max_agg = MaxU64;
 
     let mut in_mis = vec![false; n];
     let mut active = vec![true; n];
@@ -66,15 +70,18 @@ pub fn mis(
                 messages[u] = Some((neighborhood_group(u as NodeId), rvals[u]));
             }
         }
-        let (mins, s) = multi_aggregate(
-            engine,
+        let mut draw = multi_aggregate_sub(
+            n,
             shared,
             &bt.trees,
             messages,
             |_, _, _, v| *v,
-            &MinU64,
-        )?;
+            &min_agg,
+            lane_seed(engine, 0x6d69_7301, phase as u64),
+        );
+        let (s, _) = run_composed(engine, &mut [&mut draw])?;
         report.push(format!("phase{phase}:draw"), s);
+        let mins = draw.into_results();
 
         // a node joins if strictly below the minimum over its *active*
         // neighbors (only active nodes sent, so the delivered MIN is it)
@@ -98,15 +105,18 @@ pub fn mis(
                 messages[u] = Some((neighborhood_group(u as NodeId), 1));
             }
         }
-        let (hit, s) = multi_aggregate(
-            engine,
+        let mut announce = multi_aggregate_sub(
+            n,
             shared,
             &bt.trees,
             messages,
             |_, _, _, v| *v,
-            &MaxU64,
-        )?;
+            &max_agg,
+            lane_seed(engine, 0x6d69_7302, phase as u64),
+        );
+        let (s, _) = run_composed(engine, &mut [&mut announce])?;
         report.push(format!("phase{phase}:announce"), s);
+        let hit = announce.into_results();
 
         for u in 0..n {
             if joined[u] {

@@ -6,13 +6,19 @@
 //!
 //! 1. the leader flips Heads/Tails and multicasts the coin;
 //! 2. **FindMin** (King–Kutten–Thorup \[35\] adapted): the component finds its
-//!    minimum outgoing edge by binary search over the combined
-//!    `(weight ∘ arc id)` key space. Each probe asks "does the component
-//!    have an outgoing arc with key in `[lo, mid)`?", answered by comparing
-//!    the XOR sketches `h↑(C)` and `h↓(C)` (§3): internal edges contribute
-//!    the same arc ids to both sums and cancel; outgoing arcs survive. One
-//!    Multicast (the range) plus one Aggregation (the packed multi-trial
-//!    sketch pair, see `ncc_hashing::XorSketch`) per probe;
+//!    minimum outgoing edge by search over the combined `(weight ∘ arc id)`
+//!    key space. Each step splits the live range into `B = 4` buckets and
+//!    asks, **concurrently**, "does the component have an outgoing arc with
+//!    key in bucket `j`?" — one Aggregation *lane* per bucket, multiplexed
+//!    into the same rounds (the §2 "run many instances in parallel"
+//!    argument, executed literally). A bucket's answer compares the XOR
+//!    sketches `h↑(C)` and `h↓(C)` (§3): internal edges contribute the same
+//!    arc ids to both sums and cancel; outgoing arcs survive. The leader
+//!    descends into the smallest non-empty bucket, so the search takes
+//!    `⌈log₄ range⌉` steps instead of `⌈log₂ range⌉` — the composition
+//!    halves the dominant round cost. One range multicast precedes each
+//!    step (step 0 needs none: the initial range is common knowledge, and
+//!    the coin multicast rides the step-0 lanes instead);
 //! 3. the inside endpoint of the minimum outgoing edge joins the outside
 //!    endpoint's multicast group and learns its component's coin and
 //!    leader (Theorem 2.4 + 2.5);
@@ -23,8 +29,9 @@
 //! `O(log n)` phases merge everything w.h.p. \[23, 24\].
 
 use ncc_butterfly::{
-    aggregate, aggregate_and_broadcast, multicast, multicast_setup, AggregationSpec, GroupId,
-    MaxU64, XorPair,
+    ab_sub, aggregate_and_broadcast, aggregation_sub, lane_seed, multicast_setup_sub,
+    multicast_sub, run_composed, AggregationSpec, AggregationSub, GroupId, LaneSub, MaxU64,
+    XorPair,
 };
 use ncc_graph::{NodeId, WeightedGraph};
 use ncc_hashing::{SharedRandomness, XorSketch};
@@ -43,6 +50,21 @@ const FIND_SUB: u32 = 12; // FindMin sketch aggregation (target = leader)
 /// still `O(log n)` bits.
 const SKETCH_TRIALS: usize = 40;
 
+/// FindMin search arity: buckets probed concurrently per step, one
+/// aggregation lane each. All lanes share the per-node capacity budget
+/// (4 · ⌈log n⌉ scatter messages per round ≤ the κ·⌈log n⌉ cap).
+const FIND_BUCKETS: u64 = 4;
+
+/// Lane-seed labels for the composed sub-protocols.
+const LS_TREES: u64 = 0x6d73_7401;
+const LS_COIN: u64 = 0x6d73_7402;
+const LS_RANGE: u64 = 0x6d73_7403;
+const LS_AGG: u64 = 0x6d73_7404;
+const LS_ANNOUNCE: u64 = 0x6d73_7405;
+const LS_LINK_TREES: u64 = 0x6d73_7406;
+const LS_LINK_MC: u64 = 0x6d73_7407;
+const LS_ADOPT_MC: u64 = 0x6d73_7408;
+
 /// Output of the distributed MST.
 #[derive(Debug, Clone)]
 pub struct MstResult {
@@ -50,7 +72,26 @@ pub struct MstResult {
     /// locally learned edges (each edge is known to exactly one endpoint).
     pub edges: Vec<(NodeId, NodeId)>,
     pub phases: u32,
+    /// Total FindMin search steps across all phases (each step probes
+    /// `FIND_BUCKETS` buckets concurrently).
+    pub findmin_steps: u32,
+    /// Total lane-stages executed by composed (multiplexed) runs — the
+    /// per-lane accounting echoed into `RunRecord.metrics`.
+    pub lane_stages: u32,
     pub report: AlgoReport,
+}
+
+/// Splits `[lo, hi)` into at most `b` contiguous integer buckets of
+/// near-equal width (every bucket non-empty).
+fn bucket_bounds(lo: u64, hi: u64, b: u64) -> Vec<(u64, u64)> {
+    let width = hi.saturating_sub(lo);
+    if width == 0 {
+        return Vec::new();
+    }
+    let b = b.min(width);
+    (0..b)
+        .map(|i| (lo + width * i / b, lo + width * (i + 1) / b))
+        .collect()
 }
 
 /// Runs the MST algorithm. Works on disconnected graphs (yields a forest).
@@ -66,18 +107,30 @@ pub fn mst(
     let arc_mask: u64 = (1u64 << (2 * idb)) - 1;
     let logn = ncc_model::ilog2_ceil(n).max(1);
     let mut report = AlgoReport::default();
+    let xor_pair = XorPair;
+    let max_agg = MaxU64;
 
     // agree on W (weights are {1..W}, W = poly(n))
     let inputs: Vec<Option<u64>> = (0..n)
         .map(|u| wg.weighted_neighbors(u as NodeId).map(|(_, w)| w).max())
         .collect();
-    let (wmax, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
+    let (wmax, s) = aggregate_and_broadcast(engine, inputs, &max_agg)?;
     report.push("agree-w", s);
     let w_max = wmax[0].unwrap_or(1);
 
     let key_of = |w: u64, a: NodeId, b: NodeId| -> u64 { (w << (2 * idb)) | arc_id(a, b, idb) };
     let range_hi: u64 = (w_max + 1) << (2 * idb);
-    let probe_count = 64 - (range_hi - 1).leading_zeros(); // ⌈log₂ range⌉
+    // steps until every component's live range has width ≤ 1 (worst-case
+    // bucket width is ⌈width / B⌉)
+    let find_steps = {
+        let mut steps = 0u32;
+        let mut w = range_hi;
+        while w > 1 {
+            w = w.div_ceil(FIND_BUCKETS);
+            steps += 1;
+        }
+        steps
+    };
 
     let sketch = XorSketch::derive(
         shared,
@@ -89,13 +142,16 @@ pub fn mst(
     let mut leader: Vec<NodeId> = (0..n as NodeId).collect();
     let mut mst_edges: Vec<(NodeId, NodeId)> = Vec::new();
     let max_phases = 4 * logn + 16;
+    let mut findmin_steps: u32 = 0;
+    let mut lane_stages: u32 = 0;
 
     let mut phase: u32 = 0;
     loop {
         phase += 1;
         assert!(phase <= max_phases, "Boruvka did not converge");
+        let pl = phase as u64;
 
-        // ---- component trees ------------------------------------------------
+        // ---- component trees (fused setup) ----------------------------------
         let joins: Vec<Vec<(GroupId, NodeId)>> = (0..n)
             .map(|u| {
                 if leader[u] != u as NodeId {
@@ -105,131 +161,217 @@ pub fn mst(
                 }
             })
             .collect();
-        let (trees, s) = multicast_setup(engine, shared, joins)?;
+        let mut tree_sub = multicast_setup_sub(n, shared, joins, lane_seed(engine, LS_TREES, pl));
+        let (s, rep) = run_composed(engine, &mut [&mut tree_sub])?;
         report.push(format!("p{phase}:trees"), s);
+        lane_stages += rep.lane_stages;
+        let trees = tree_sub.into_trees();
 
-        // ---- coin flips ------------------------------------------------------
+        // ---- coin flips (multicast rides the step-0 FindMin lanes) ----------
         let mut coin: Vec<bool> = vec![false; n]; // per node: its component's coin
-        let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
+        let mut coin_msgs: Vec<Option<(GroupId, u64)>> = vec![None; n];
         for u in 0..n {
             if leader[u] == u as NodeId {
                 let mut rng = ncc_model::rng::node_rng(
-                    engine.config().seed ^ 0x6d73_7400 ^ ((phase as u64) << 32),
+                    engine.config().seed ^ 0x6d73_7400 ^ (pl << 32),
                     u as u32,
                 );
                 coin[u] = rng.gen_bool(0.5);
-                messages[u] = Some((GroupId::new(u as NodeId, COMP_SUB), coin[u] as u64));
-            }
-        }
-        let (coins_recv, s) = multicast(engine, shared, &trees, messages, 1)?;
-        report.push(format!("p{phase}:coin"), s);
-        for u in 0..n {
-            if leader[u] != u as NodeId {
-                coin[u] = coins_recv[u]
-                    .first()
-                    .map(|&(_, c)| c == 1)
-                    .expect("member must receive its component's coin");
+                coin_msgs[u] = Some((GroupId::new(u as NodeId, COMP_SUB), coin[u] as u64));
             }
         }
 
-        // ---- FindMin: binary search over (weight ∘ arc id) keys -------------
-        let mut lo: Vec<u64> = vec![0; n]; // per node: its leader's view, mirrored
+        // ---- FindMin: B-ary search over (weight ∘ arc id) keys --------------
+        // The live range [lo, hi) starts as common knowledge and is
+        // re-multicast by the leader after each narrowing; (0, 0) encodes
+        // "no outgoing edge".
+        let mut lo: Vec<u64> = vec![0; n];
         let mut hi: Vec<u64> = vec![range_hi; n];
-        // Only leaders maintain the authoritative [lo, hi); members learn the
-        // probe range from the multicast each step.
-        for step in 0..=probe_count {
-            // leaders announce the probe range [lo, mid) — or the final
-            // existence probe [lo, lo+1) in the last step
-            let mut messages: Vec<Option<(GroupId, (u64, u64))>> = vec![None; n];
-            let mut probe: Vec<(u64, u64)> = vec![(0, 0); n];
-            for u in 0..n {
-                if leader[u] == u as NodeId {
-                    let mid = if step < probe_count {
-                        lo[u] + (hi[u] - lo[u]) / 2
-                    } else {
-                        lo[u] + 1
-                    };
-                    probe[u] = (lo[u], mid);
-                    messages[u] = Some((GroupId::new(u as NodeId, COMP_SUB), (lo[u], mid)));
+        for step in 0..find_steps {
+            findmin_steps += 1;
+            let sl = (pl << 16) | step as u64;
+
+            if step > 0 {
+                // leaders re-announce their narrowed range
+                let mut msgs: Vec<Option<(GroupId, (u64, u64))>> = vec![None; n];
+                for u in 0..n {
+                    if leader[u] == u as NodeId {
+                        msgs[u] = Some((GroupId::new(u as NodeId, COMP_SUB), (lo[u], hi[u])));
+                    }
                 }
-            }
-            let (ranges, s) = multicast(engine, shared, &trees, messages, 1)?;
-            report.push(format!("p{phase}:find{step}:mc"), s);
-            for u in 0..n {
-                if leader[u] != u as NodeId {
-                    probe[u] = ranges[u]
-                        .first()
-                        .map(|&(_, r)| r)
-                        .expect("range reaches members");
+                let mut mc =
+                    multicast_sub(n, shared, &trees, msgs, 1, lane_seed(engine, LS_RANGE, sl));
+                let (s, rep) = run_composed(engine, &mut [&mut mc])?;
+                report.push(format!("p{phase}:find{step}:mc"), s);
+                lane_stages += rep.lane_stages;
+                let ranges = mc.into_deliveries();
+                for u in 0..n {
+                    if leader[u] != u as NodeId {
+                        let (rlo, rhi) = ranges[u]
+                            .first()
+                            .map(|&(_, r)| r)
+                            .expect("range reaches members");
+                        lo[u] = rlo;
+                        hi[u] = rhi;
+                    }
                 }
             }
 
-            // every node sketches its incident arcs with keys in [plo, pmid)
-            let memberships: Vec<Vec<(GroupId, (u64, u64))>> = (0..n)
-                .map(|u| {
-                    let (plo, pmid) = probe[u];
-                    let mut up = 0u64;
-                    let mut down = 0u64;
-                    for (v, w) in wg.weighted_neighbors(u as NodeId) {
-                        let k_up = key_of(w, u as NodeId, v);
-                        if (plo..pmid).contains(&k_up) {
-                            up ^= sketch.element_mask(k_up & arc_mask | (w << (2 * idb)));
-                        }
-                        let k_dn = key_of(w, v, u as NodeId);
-                        if (plo..pmid).contains(&k_dn) {
-                            down ^= sketch.element_mask(k_dn & arc_mask | (w << (2 * idb)));
-                        }
-                    }
-                    vec![(GroupId::new(leader[u], FIND_SUB), (up, down))]
+            // every node sketches its incident arcs, one lane per bucket
+            let bounds: Vec<Vec<(u64, u64)>> = (0..n)
+                .map(|u| bucket_bounds(lo[u], hi[u], FIND_BUCKETS))
+                .collect();
+            let mut lanes: Vec<AggregationSub<'_, (u64, u64), XorPair>> = (0..FIND_BUCKETS
+                as usize)
+                .map(|j| {
+                    let memberships: Vec<Vec<(GroupId, (u64, u64))>> = (0..n)
+                        .map(|u| {
+                            let Some(&(blo, bhi)) = bounds[u].get(j) else {
+                                return Vec::new();
+                            };
+                            let mut up = 0u64;
+                            let mut down = 0u64;
+                            for (v, w) in wg.weighted_neighbors(u as NodeId) {
+                                let k_up = key_of(w, u as NodeId, v);
+                                if (blo..bhi).contains(&k_up) {
+                                    up ^= sketch.element_mask(k_up & arc_mask | (w << (2 * idb)));
+                                }
+                                let k_dn = key_of(w, v, u as NodeId);
+                                if (blo..bhi).contains(&k_dn) {
+                                    down ^= sketch.element_mask(k_dn & arc_mask | (w << (2 * idb)));
+                                }
+                            }
+                            if up == 0 && down == 0 {
+                                Vec::new() // zero contribution: XOR-identity, skip
+                            } else {
+                                vec![(GroupId::new(leader[u], FIND_SUB), (up, down))]
+                            }
+                        })
+                        .collect();
+                    aggregation_sub(
+                        n,
+                        shared,
+                        AggregationSpec {
+                            memberships,
+                            ell2_hat: 1,
+                        },
+                        &xor_pair,
+                        lane_seed(engine, LS_AGG, (sl << 3) | j as u64),
+                    )
                 })
                 .collect();
-            let (sketches, s) = aggregate(
-                engine,
-                shared,
-                AggregationSpec {
-                    memberships,
-                    ell2_hat: 1,
-                },
-                &XorPair,
-            )?;
-            report.push(format!("p{phase}:find{step}:agg"), s);
 
+            let (stats, rep, coin_out) = if step == 0 {
+                let mut coin_mc = multicast_sub(
+                    n,
+                    shared,
+                    &trees,
+                    std::mem::take(&mut coin_msgs),
+                    1,
+                    lane_seed(engine, LS_COIN, pl),
+                );
+                let (stats, rep) = {
+                    let mut refs: Vec<&mut dyn LaneSub> =
+                        lanes.iter_mut().map(|l| l as &mut dyn LaneSub).collect();
+                    refs.push(&mut coin_mc);
+                    run_composed(engine, &mut refs)?
+                };
+                (stats, rep, Some(coin_mc.into_deliveries()))
+            } else {
+                let (stats, rep) = {
+                    let mut refs: Vec<&mut dyn LaneSub> =
+                        lanes.iter_mut().map(|l| l as &mut dyn LaneSub).collect();
+                    run_composed(engine, &mut refs)?
+                };
+                (stats, rep, None)
+            };
+            report.push(
+                if step == 0 {
+                    format!("p{phase}:find{step}:agg+coin")
+                } else {
+                    format!("p{phase}:find{step}:agg")
+                },
+                stats,
+            );
+            lane_stages += rep.lane_stages;
+            if let Some(coins_recv) = coin_out {
+                for u in 0..n {
+                    if leader[u] != u as NodeId {
+                        coin[u] = coins_recv[u]
+                            .first()
+                            .map(|&(_, c)| c == 1)
+                            .expect("member must receive its component's coin");
+                    }
+                }
+            }
+
+            // leaders descend into the smallest non-empty bucket
+            let lane_out: Vec<_> = lanes.into_iter().map(|l| l.into_deliveries()).collect();
             for u in 0..n {
-                if leader[u] == u as NodeId {
-                    let (up, down) = sketches[u].first().map(|&(_, v)| v).unwrap_or((0, 0));
-                    let has_outgoing = up != down;
-                    let (plo, pmid) = probe[u];
-                    if step < probe_count {
-                        if has_outgoing {
-                            hi[u] = pmid;
-                        } else {
-                            lo[u] = pmid;
-                        }
-                    } else {
-                        // final existence probe on the single key lo
-                        if !has_outgoing {
-                            lo[u] = u64::MAX; // sentinel: no outgoing edge
-                        }
-                        let _ = (plo, pmid);
+                if leader[u] != u as NodeId || hi[u] <= lo[u] {
+                    continue;
+                }
+                let mut chosen = None;
+                for (j, &(blo, bhi)) in bounds[u].iter().enumerate() {
+                    let (up, down) = lane_out[j][u].first().map(|&(_, v)| v).unwrap_or((0, 0));
+                    if up != down {
+                        chosen = Some((blo, bhi));
+                        break;
+                    }
+                }
+                match chosen {
+                    Some((blo, bhi)) => {
+                        lo[u] = blo;
+                        hi[u] = bhi;
+                    }
+                    None => {
+                        // no outgoing arc anywhere in the live range
+                        lo[u] = 0;
+                        hi[u] = 0;
                     }
                 }
             }
         }
 
-        // leaders announce the found key (or "none")
-        let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
+        // leaders know the minimum outgoing key (width-1 range) or "none"
         let mut found: Vec<Option<u64>> = vec![None; n];
         for u in 0..n {
-            if leader[u] == u as NodeId {
-                let code = if lo[u] == u64::MAX { 0 } else { lo[u] + 1 };
-                if code > 0 {
-                    found[u] = Some(code - 1);
-                }
-                messages[u] = Some((GroupId::new(u as NodeId, COMP_SUB), code));
+            if leader[u] == u as NodeId && hi[u] > lo[u] {
+                debug_assert_eq!(hi[u] - lo[u], 1, "search must converge to one key");
+                found[u] = Some(lo[u]);
             }
         }
-        let (keys_recv, s) = multicast(engine, shared, &trees, messages, 1)?;
-        report.push(format!("p{phase}:announce"), s);
+
+        // ---- announce the found key ∥ global termination check --------------
+        let mut msgs: Vec<Option<(GroupId, u64)>> = vec![None; n];
+        for u in 0..n {
+            if leader[u] == u as NodeId {
+                let code = found[u].map_or(0, |k| k + 1);
+                msgs[u] = Some((GroupId::new(u as NodeId, COMP_SUB), code));
+            }
+        }
+        let done_inputs: Vec<Option<u64>> = (0..n)
+            .map(|u| {
+                if leader[u] == u as NodeId && found[u].is_some() {
+                    Some(1)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut announce = multicast_sub(
+            n,
+            shared,
+            &trees,
+            msgs,
+            1,
+            lane_seed(engine, LS_ANNOUNCE, pl),
+        );
+        let mut done = ab_sub(n, done_inputs, &max_agg);
+        let (s, rep) = run_composed(engine, &mut [&mut announce, &mut done])?;
+        report.push(format!("p{phase}:announce+done"), s);
+        lane_stages += rep.lane_stages;
+        let keys_recv = announce.into_deliveries();
         for u in 0..n {
             if leader[u] != u as NodeId {
                 let code = keys_recv[u]
@@ -239,20 +381,7 @@ pub fn mst(
                 found[u] = if code > 0 { Some(code - 1) } else { None };
             }
         }
-
-        // ---- global termination: any component with an outgoing edge? -------
-        let inputs: Vec<Option<u64>> = (0..n)
-            .map(|u| {
-                if leader[u] == u as NodeId && found[u].is_some() {
-                    Some(1)
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let (any, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
-        report.push(format!("p{phase}:done?"), s);
-        if any[0].is_none() {
+        if done.into_results()[0].is_none() {
             break;
         }
 
@@ -282,8 +411,13 @@ pub fn mst(
                 _ => Vec::new(),
             })
             .collect();
-        let (link_trees, s) = multicast_setup(engine, shared, joins)?;
+        let mut link_sub =
+            multicast_setup_sub(n, shared, joins, lane_seed(engine, LS_LINK_TREES, pl));
+        let (s, rep) = run_composed(engine, &mut [&mut link_sub])?;
         report.push(format!("p{phase}:link-trees"), s);
+        lane_stages += rep.lane_stages;
+        let link_trees = link_sub.into_trees();
+
         let messages: Vec<Option<(GroupId, (u64, u64))>> = (0..n)
             .map(|y| {
                 Some((
@@ -292,8 +426,18 @@ pub fn mst(
                 ))
             })
             .collect();
-        let (link_info, s) = multicast(engine, shared, &link_trees, messages, 1)?;
+        let mut link_mc = multicast_sub(
+            n,
+            shared,
+            &link_trees,
+            messages,
+            1,
+            lane_seed(engine, LS_LINK_MC, pl),
+        );
+        let (s, rep) = run_composed(engine, &mut [&mut link_mc])?;
         report.push(format!("p{phase}:link-mc"), s);
+        lane_stages += rep.lane_stages;
+        let link_info = link_mc.into_deliveries();
 
         // ---- merge decisions --------------------------------------------------
         // Tails component whose edge leads to Heads: record the MST edge at
@@ -335,8 +479,18 @@ pub fn mst(
                 ));
             }
         }
-        let (adopt_recv, s) = multicast(engine, shared, &trees, messages, 1)?;
+        let mut adopt_mc = multicast_sub(
+            n,
+            shared,
+            &trees,
+            messages,
+            1,
+            lane_seed(engine, LS_ADOPT_MC, pl),
+        );
+        let (s, rep) = run_composed(engine, &mut [&mut adopt_mc])?;
         report.push(format!("p{phase}:adopt-mc"), s);
+        lane_stages += rep.lane_stages;
+        let adopt_recv = adopt_mc.into_deliveries();
         for u in 0..n {
             if leader[u] == u as NodeId {
                 if let Some(nl) = adopted[u] {
@@ -359,6 +513,8 @@ pub fn mst(
     Ok(MstResult {
         edges: mst_edges,
         phases: phase,
+        findmin_steps,
+        lane_stages,
         report,
     })
 }
@@ -460,5 +616,23 @@ mod tests {
         let r = run(&wg, 13);
         assert_valid(&wg, &r);
         assert!(r.phases <= 4 * 6 + 4, "phases {}", r.phases);
+        // lane accounting: every phase ran multi-lane FindMin steps
+        assert!(r.findmin_steps >= r.phases);
+        assert!(r.lane_stages > r.findmin_steps);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_range() {
+        for (lo, hi) in [(0u64, 1u64), (0, 7), (5, 6), (10, 100), (0, 1 << 40)] {
+            let b = bucket_bounds(lo, hi, 4);
+            assert!(!b.is_empty());
+            assert_eq!(b[0].0, lo);
+            assert_eq!(b.last().unwrap().1, hi);
+            for w in b.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "buckets must be contiguous");
+            }
+            assert!(b.iter().all(|&(a, z)| z > a), "no empty buckets");
+        }
+        assert!(bucket_bounds(3, 3, 4).is_empty());
     }
 }

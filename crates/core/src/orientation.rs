@@ -38,8 +38,8 @@
 //! coloring consumes.
 
 use ncc_butterfly::{
-    aggregate, aggregate_and_broadcast, multicast, multicast_setup, sync_barrier, AggregationSpec,
-    GroupId, MaxU64, SumPair, SumU64, XorSum,
+    ab_sub, aggregate_and_broadcast, aggregation_sub, lane_seed, multicast_setup_sub,
+    multicast_sub, run_composed, AggregationSpec, GroupId, MaxU64, SumPair, SumU64, XorSum,
 };
 use ncc_graph::Graph;
 use ncc_hashing::{FxHashMap, FxHashSet, PolyHash, SharedRandomness};
@@ -77,6 +77,12 @@ pub struct OrientationResult {
     /// `d* = maxᵢ d*ᵢ = O(a)` — the residual-degree bound all later stages
     /// use as their common-knowledge `O(a)` estimate.
     pub d_star: usize,
+    /// Maximum degree Δ, agreed in-model at the start (the honest bound on
+    /// sketch groups per learner that keys the identification delivery
+    /// windows; consumers like the broadcast-tree setup reuse it as `ℓ̂`).
+    pub max_degree: usize,
+    /// Total lane-stages executed by composed (multiplexed) runs.
+    pub lane_stages: u32,
     pub report: AlgoReport,
 }
 
@@ -134,7 +140,12 @@ pub fn orient(
     let mut report = AlgoReport::default();
     let mut nodes: Vec<NodeState> = vec![NodeState::default(); n];
     let mut d_star_global: usize = 0;
+    let mut delta: usize = 0; // Δ, agreed during phase 1's first composition
+    let mut lane_stages: u32 = 0;
     let max_phases = 2 * logn as u32 + 10;
+    let sum_agg = SumU64;
+    let max_agg = MaxU64;
+    let xor_sum = XorSum;
 
     let mut phase: u32 = 0;
     loop {
@@ -144,9 +155,12 @@ pub fn orient(
                 limit: max_phases as u64,
             });
         }
+        let pl = phase as u64;
 
         // =================== Stage 1: residual degrees ====================
-        // Inactive nodes report a 1 to every out-neighbor.
+        // Inactive nodes report a 1 to every out-neighbor. In phase 1, the
+        // Δ agreement (max degree — every node's input is local) rides the
+        // same rounds as an extra lane.
         let memberships: Vec<Vec<(GroupId, u64)>> = nodes
             .iter()
             .map(|st| {
@@ -157,16 +171,30 @@ pub fn orient(
                 }
             })
             .collect();
-        let (counts, s) = aggregate(
-            engine,
+        let mut counts_sub = aggregation_sub(
+            n,
             shared,
             AggregationSpec {
                 memberships,
                 ell2_hat: 1,
             },
-            &SumU64,
-        )?;
-        report.push(format!("p{phase}:stage1-agg"), s);
+            &sum_agg,
+            lane_seed(engine, 0x6f72_6901, pl),
+        );
+        if phase == 1 {
+            let delta_inputs: Vec<Option<u64>> =
+                (0..n).map(|u| Some(g.degree(u as NodeId) as u64)).collect();
+            let mut delta_sub = ab_sub(n, delta_inputs, &max_agg);
+            let (s, rep) = run_composed(engine, &mut [&mut counts_sub, &mut delta_sub])?;
+            report.push(format!("p{phase}:stage1-agg+delta"), s);
+            lane_stages += rep.lane_stages;
+            delta = delta_sub.into_results()[0].unwrap_or(0) as usize;
+        } else {
+            let (s, rep) = run_composed(engine, &mut [&mut counts_sub])?;
+            report.push(format!("p{phase}:stage1-agg"), s);
+            lane_stages += rep.lane_stages;
+        }
+        let counts = counts_sub.into_deliveries();
 
         let mut di: Vec<usize> = vec![0; n];
         for u in 0..n {
@@ -214,8 +242,17 @@ pub fn orient(
             .map(|u| !nodes[u].inactive && di[u] > 0 && (di[u] as u64) * cnt <= 2 * sum_di)
             .collect();
 
-        // d*ᵢ = max residual degree among active nodes.
-        let inputs: Vec<Option<u64>> = (0..n)
+        // The exact d*ᵢ = max residual degree among active nodes is still
+        // agreed in-model (stage-3 windows and the exported `d_star` use
+        // it), but the identification below no longer *waits* for it: the
+        // trial-bucket count is keyed by the already-known upper bound
+        // `min(2·d̄ᵢ, Δ) ≥ d*ᵢ` (active ⇒ dᵢ ≤ 2·d̄ᵢ), so the d* agreement
+        // runs as a lane of the identification's own rounds.
+        let d_bound = {
+            let avg_bound = (2 * sum_di).div_ceil(cnt).max(1) as usize;
+            avg_bound.min(delta.max(1))
+        };
+        let dstar_inputs: Vec<Option<u64>> = (0..n)
             .map(|u| {
                 if is_active[u] {
                     Some(di[u] as u64)
@@ -224,14 +261,10 @@ pub fn orient(
                 }
             })
             .collect();
-        let (dmax_out, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
-        report.push(format!("p{phase}:stage1-dstar"), s);
-        let d_star_i = dmax_out[0].expect("active set is non-empty when Σdᵢ > 0") as usize;
-        d_star_global = d_star_global.max(d_star_i);
 
         // ============ Stage 2 step 1: constant-trial identification ========
         let s1 = C_IDENT;
-        let q1 = (4 * E_UP * s1 * d_star_global * logn).max(16);
+        let q1 = (4 * E_UP * s1 * d_bound * logn).max(16);
         let trial_fns: Vec<PolyHash> = shared.family(
             ncc_hashing::shared::labels::IDENT_TRIALS ^ ((phase as u64) << 20),
             s1,
@@ -264,16 +297,30 @@ pub fn orient(
                 ms
             })
             .collect();
-        let (sketches, s) = aggregate(
-            engine,
+        // Honest delivery bound: a learner `w` is target of at most
+        // `s₁ · deg(w) ≤ s₁ · Δ` distinct trial groups (and never more
+        // than q₁) — far tighter than q₁ when Δ ≪ d*·log n, which is what
+        // keeps the randomized delivery window short.
+        let ell2_ident1 = q1.min(s1 * delta.max(1)).max(1);
+        let mut ident_sub = aggregation_sub(
+            n,
             shared,
             AggregationSpec {
                 memberships,
-                ell2_hat: q1,
+                ell2_hat: ell2_ident1,
             },
-            &XorSum,
-        )?;
-        report.push(format!("p{phase}:ident1"), s);
+            &xor_sum,
+            lane_seed(engine, 0x6f72_6902, pl),
+        );
+        let mut dstar_sub = ab_sub(n, dstar_inputs, &max_agg);
+        let (s, rep) = run_composed(engine, &mut [&mut ident_sub, &mut dstar_sub])?;
+        report.push(format!("p{phase}:ident1+dstar"), s);
+        lane_stages += rep.lane_stages;
+        let sketches = ident_sub.into_deliveries();
+        let d_star_i =
+            dstar_sub.into_results()[0].expect("active set is non-empty when Σdᵢ > 0") as usize;
+        debug_assert!(d_star_i <= d_bound, "bound must dominate the exact d*");
+        d_star_global = d_star_global.max(d_star_i);
 
         for u in 0..n {
             if !is_active[u] {
@@ -379,8 +426,12 @@ pub fn orient(
                     }
                 })
                 .collect();
-            let (trees, s) = multicast_setup(engine, shared, joins)?;
+            let mut trees_sub =
+                multicast_setup_sub(n, shared, joins, lane_seed(engine, 0x6f72_6903, pl));
+            let (s, rep) = run_composed(engine, &mut [&mut trees_sub])?;
             report.push(format!("p{phase}:ulow-trees"), s);
+            lane_stages += rep.lane_stages;
+            let trees = trees_sub.into_trees();
             let messages: Vec<Option<(GroupId, u64)>> = (0..n)
                 .map(|u| {
                     if is_active[u] && unsuccessful[u] {
@@ -390,8 +441,18 @@ pub fn orient(
                     }
                 })
                 .collect();
-            let (flagged, s) = multicast(engine, shared, &trees, messages, d_star_global.max(1))?;
+            let mut flagged_sub = multicast_sub(
+                n,
+                shared,
+                &trees,
+                messages,
+                d_star_global.max(1),
+                lane_seed(engine, 0x6f72_6904, pl),
+            );
+            let (s, rep) = run_composed(engine, &mut [&mut flagged_sub])?;
             report.push(format!("p{phase}:ulow-mc"), s);
+            lane_stages += rep.lane_stages;
+            let flagged = flagged_sub.into_deliveries();
             let narrowed: Vec<Vec<NodeId>> = flagged
                 .iter()
                 .map(|f| f.iter().map(|(gid, _)| gid.target()).collect())
@@ -427,16 +488,21 @@ pub fn orient(
                         ms
                     })
                     .collect();
-                let (sketches, s) = aggregate(
-                    engine,
+                let ell2_ident2 = q2.min(s2 * delta.max(1)).max(1);
+                let mut re_sub = aggregation_sub(
+                    n,
                     shared,
                     AggregationSpec {
                         memberships,
-                        ell2_hat: q2,
+                        ell2_hat: ell2_ident2,
                     },
-                    &XorSum,
-                )?;
+                    &xor_sum,
+                    lane_seed(engine, 0x6f72_6905, (pl << 8) | iter as u64),
+                );
+                let (s, rep) = run_composed(engine, &mut [&mut re_sub])?;
                 report.push(format!("p{phase}:ident2.{iter}"), s);
+                lane_stages += rep.lane_stages;
+                let sketches = re_sub.into_deliveries();
 
                 for u in 0..n {
                     if !is_active[u] || !unsuccessful[u] {
@@ -549,16 +615,17 @@ pub fn orient(
         }
     }
 
-    // final barrier so compositions see a synchronised network
-    let s = sync_barrier(engine)?;
-    report.push("final-sync", s);
-
+    // No trailing barrier: both exit paths end with an Aggregate-and-
+    // Broadcast (the avg / continue consensus), which already leaves the
+    // network quiescent and every node synchronised.
     Ok(OrientationResult {
         out_neighbors: nodes.iter().map(|s| s.out.clone()).collect(),
         levels: nodes.iter().map(|s| s.level).collect(),
         neighbor_class: nodes.into_iter().map(|s| s.class).collect(),
         phases: phase,
         d_star: d_star_global.max(1),
+        max_degree: delta,
+        lane_stages,
         report,
     })
 }

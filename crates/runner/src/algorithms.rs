@@ -52,6 +52,12 @@ fn agree(
     Ok(shared)
 }
 
+/// Rounds spent before the algorithm proper (seed agreement + §5 prep) —
+/// echoed into `RunRecord.metrics` so sweeps can split prep from main.
+fn prep_rounds(report: &AlgoReport) -> u64 {
+    report.stage_total("seed-agreement").rounds + report.stage_total("orientation+trees").rounds
+}
+
 /// The shared §5 preparation pipeline: seed agreement + orientation +
 /// broadcast trees, all charged into the report.
 fn prepare(
@@ -81,6 +87,14 @@ impl Algorithm for Mst {
         let mut report = AlgoReport::default();
         let shared = agree(eng, &mut report, scn.spec.seed)?;
         let r = ncc_core::mst(eng, &shared, &scn.weighted)?;
+        // per-phase accounting: where the lane-composed rounds went
+        let rounds_findmin: u64 = r
+            .report
+            .stages
+            .iter()
+            .filter(|(l, _)| l.contains(":find"))
+            .map(|(_, s)| s.rounds)
+            .sum();
         report.push("mst", r.report.total);
         let verdict = Verdict::from_check(check::check_mst(&scn.weighted, &r.edges));
         let weight = scn.weighted.total_weight(&r.edges);
@@ -98,7 +112,10 @@ impl Algorithm for Mst {
             summary,
         )
         .with_metric("edges", r.edges.len() as u64)
-        .with_metric("weight", weight))
+        .with_metric("weight", weight)
+        .with_metric("findmin_steps", r.findmin_steps as u64)
+        .with_metric("rounds_findmin", rounds_findmin)
+        .with_metric("lane_stages", r.lane_stages as u64))
     }
 }
 
@@ -140,7 +157,9 @@ impl Algorithm for Orientation {
             summary,
         )
         .with_metric("max_outdegree", r.max_outdegree() as u64)
-        .with_metric("d_star", r.d_star as u64))
+        .with_metric("d_star", r.d_star as u64)
+        .with_metric("delta", r.max_degree as u64)
+        .with_metric("lane_stages", r.lane_stages as u64))
     }
 }
 
@@ -162,6 +181,8 @@ impl Algorithm for Bfs {
         let src = scn.source();
         let r = ncc_core::bfs(eng, &shared, &bt, &scn.graph, src)?;
         report.push("bfs", r.report.total);
+        let prep = prep_rounds(&report);
+        let main = report.stage_total("bfs").rounds;
         let verdict = Verdict::from_check(check::check_bfs(&scn.graph, src, &r.dist, &r.parent));
         let reached = r.dist.iter().filter(|&&d| d != u32::MAX).count();
         let summary = format!(
@@ -177,7 +198,9 @@ impl Algorithm for Bfs {
             Some(r.phases),
             summary,
         )
-        .with_metric("reached", reached as u64))
+        .with_metric("reached", reached as u64)
+        .with_metric("rounds_prep", prep)
+        .with_metric("rounds_main", main))
     }
 }
 
@@ -195,6 +218,8 @@ impl Algorithm for Mis {
         let (shared, bt) = prepare(eng, scn, &mut report)?;
         let r = ncc_core::mis(eng, &shared, &bt, &scn.graph)?;
         report.push("mis", r.report.total);
+        let prep = prep_rounds(&report);
+        let main = report.stage_total("mis").rounds;
         let verdict = Verdict::from_check(check::check_mis(&scn.graph, &r.in_mis));
         let size = r.in_mis.iter().filter(|&&b| b).count();
         let summary = format!("{size} nodes in the set, {} phases", r.phases);
@@ -206,7 +231,9 @@ impl Algorithm for Mis {
             Some(r.phases),
             summary,
         )
-        .with_metric("mis_size", size as u64))
+        .with_metric("mis_size", size as u64)
+        .with_metric("rounds_prep", prep)
+        .with_metric("rounds_main", main))
     }
 }
 
@@ -224,6 +251,8 @@ impl Algorithm for Matching {
         let (shared, bt) = prepare(eng, scn, &mut report)?;
         let r = ncc_core::maximal_matching(eng, &shared, &bt, &scn.graph)?;
         report.push("matching", r.report.total);
+        let prep = prep_rounds(&report);
+        let main = report.stage_total("matching").rounds;
         let verdict = Verdict::from_check(check::check_matching(&scn.graph, &r.mate));
         let pairs = r.mate.iter().filter(|m| m.is_some()).count() / 2;
         let summary = format!("{pairs} pairs, {} phases", r.phases);
@@ -235,7 +264,9 @@ impl Algorithm for Matching {
             Some(r.phases),
             summary,
         )
-        .with_metric("pairs", pairs as u64))
+        .with_metric("pairs", pairs as u64)
+        .with_metric("rounds_prep", prep)
+        .with_metric("rounds_main", main))
     }
 }
 
@@ -253,13 +284,17 @@ impl Algorithm for Coloring {
         let (shared, bt) = prepare(eng, scn, &mut report)?;
         let r = ncc_core::coloring(eng, &shared, &bt.orientation, &scn.graph)?;
         report.push("coloring", r.report.total);
+        let prep = prep_rounds(&report);
+        let main = report.stage_total("coloring").rounds;
         let verdict = Verdict::from_check(check::check_coloring(&scn.graph, &r.colors, r.palette));
         let used = r.colors.iter().max().map_or(0, |c| c + 1);
         let summary = format!("{used} colors used (palette {})", r.palette);
         Ok(
             RunRecord::new(self.name(), &scn.spec, report, verdict, None, summary)
                 .with_metric("colors_used", used as u64)
-                .with_metric("palette", r.palette as u64),
+                .with_metric("palette", r.palette as u64)
+                .with_metric("rounds_prep", prep)
+                .with_metric("rounds_main", main),
         )
     }
 }

@@ -15,7 +15,7 @@
 //!   algorithm (mst, orientation, bfs, mis, matching, coloring, gossip,
 //!   broadcast, butterfly-aggregation), each owning its full in-model
 //!   pipeline including the centralised correctness check;
-//! * [`algorithms`] / [`find_algorithm`] — the static registry, so callers
+//! * [`algorithms()`] / [`find_algorithm`] — the static registry, so callers
 //!   dispatch by name instead of matching on per-algorithm signatures;
 //! * [`RunRecord`] — the typed, JSON-serializable result: scenario echo,
 //!   per-stage [`AlgoReport`](ncc_core::AlgoReport), drop/load counters and
@@ -51,8 +51,9 @@ pub use ncc_model::ModelSpec;
 pub use record::{RunRecord, Verdict};
 pub use scenario::{FamilySpec, Scenario, ScenarioSpec};
 pub use suite::{
-    run_named, run_named_threads, run_record, run_record_threads, run_suite, standard_grid,
-    standard_grid_for_model, standard_models, SuiteOutput, SUITE_SEED,
+    filter_grid, run_named, run_named_threads, run_record, run_record_threads, run_suite,
+    run_suite_filtered, standard_grid, standard_grid_for_model, standard_models, SuiteOutput,
+    SUITE_SEED,
 };
 
 use std::fmt;

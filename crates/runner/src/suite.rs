@@ -139,13 +139,55 @@ pub fn run_named_threads(
 /// engine. Record order is `grid-major, registry-minor`, so the output is
 /// stable under registry growth per scenario block.
 pub fn run_suite(grid: &[ScenarioSpec], threads: usize) -> Result<SuiteOutput, RunnerError> {
-    let mut records = Vec::with_capacity(grid.len() * algorithms().len());
+    run_suite_filtered(grid, threads, None)
+}
+
+/// [`run_suite`] restricted to algorithms whose registry name contains
+/// `algo_filter` (case-insensitive) — `ncc-cli suite --filter`, the
+/// fast-iteration path when tuning one algorithm against the grid.
+/// Returns [`RunnerError::UnknownAlgorithm`] if nothing matches.
+pub fn run_suite_filtered(
+    grid: &[ScenarioSpec],
+    threads: usize,
+    algo_filter: Option<&str>,
+) -> Result<SuiteOutput, RunnerError> {
+    let selected: Vec<&'static dyn Algorithm> = match algo_filter {
+        None => algorithms().to_vec(),
+        Some(pat) => {
+            let pat = pat.to_lowercase();
+            let hits: Vec<_> = algorithms()
+                .iter()
+                .copied()
+                .filter(|a| a.name().contains(&pat))
+                .collect();
+            if hits.is_empty() {
+                return Err(RunnerError::UnknownAlgorithm(pat));
+            }
+            hits
+        }
+    };
+    let mut records = Vec::with_capacity(grid.len() * selected.len());
     for spec in grid {
-        for algo in algorithms() {
+        for algo in &selected {
             records.push(run_record_threads(*algo, spec, threads)?);
         }
     }
     Ok(SuiteOutput::new("suite", SUITE_SEED, records))
+}
+
+/// Restricts a grid to scenarios whose [`ScenarioSpec::label`] contains
+/// `family_filter` (case-insensitive) — `ncc-cli suite --family`. Matches
+/// the family name, `n=…`, and `model=…` fragments alike.
+pub fn filter_grid(grid: Vec<ScenarioSpec>, family_filter: Option<&str>) -> Vec<ScenarioSpec> {
+    match family_filter {
+        None => grid,
+        Some(pat) => {
+            let pat = pat.to_lowercase();
+            grid.into_iter()
+                .filter(|s| s.label().to_lowercase().contains(&pat))
+                .collect()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +227,38 @@ mod tests {
         assert!(grid.iter().all(|s| s.model == km));
         let ncc = standard_grid_for_model(ncc_model::ModelSpec::Ncc);
         assert!(ncc.iter().all(|s| s.model == ncc_model::ModelSpec::Ncc));
+    }
+
+    #[test]
+    fn suite_filter_selects_matching_algorithms() {
+        let grid = vec![ScenarioSpec::new(crate::FamilySpec::Path, 16, 2)];
+        let out = run_suite_filtered(&grid, 1, Some("cast")).unwrap();
+        // "broadcast" and "butterfly-aggregation"? only names *containing*
+        // "cast": broadcast. (gossip doesn't match, multicast isn't an algo)
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].algorithm, "broadcast");
+        let out = run_suite_filtered(&grid, 1, Some("M")).unwrap();
+        // case-insensitive: mst, mis, matching
+        let names: Vec<&str> = out.records.iter().map(|r| r.algorithm.as_str()).collect();
+        assert!(names.contains(&"mst") && names.contains(&"matching"));
+        match run_suite_filtered(&grid, 1, Some("nope")) {
+            Err(RunnerError::UnknownAlgorithm(_)) => {}
+            other => panic!("expected UnknownAlgorithm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn family_filter_restricts_the_grid() {
+        let grid = standard_grid();
+        let forests = filter_grid(grid.clone(), Some("forests"));
+        assert!(!forests.is_empty() && forests.len() < grid.len());
+        assert!(forests.iter().all(|s| s.label().contains("forests")));
+        let n128 = filter_grid(grid.clone(), Some("n=128"));
+        assert!(n128.iter().all(|s| s.n == 128));
+        let km = filter_grid(grid.clone(), Some("kmachine"));
+        assert_eq!(km.len(), 1);
+        assert!(filter_grid(grid.clone(), Some("zzz")).is_empty());
+        assert_eq!(filter_grid(grid.clone(), None).len(), grid.len());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!               [--model <m>] [--edge-cap <c>] [--machines <k>]
 //!               [--link-cap <c>] [--local-cap <c>] [--json <file>]
 //! ncc-cli suite [--out <file>] [--threads <t>] [--model <m>]
+//!               [--filter <algo-substring>] [--family <scenario-substring>]
 //! ncc-cli list
 //! ncc-cli info --n <N>
 //! ```
@@ -26,8 +27,8 @@ use std::collections::HashMap;
 use ncc::graph::{analysis, io};
 use ncc::model::{Capacity, ModelSpec, NetConfig};
 use ncc::runner::{
-    algorithms, find_algorithm, run_suite, standard_grid, standard_grid_for_model, FamilySpec,
-    RunRecord, Scenario, ScenarioSpec,
+    algorithms, filter_grid, find_algorithm, run_suite_filtered, standard_grid,
+    standard_grid_for_model, FamilySpec, RunRecord, Scenario, ScenarioSpec,
 };
 
 fn main() {
@@ -93,6 +94,7 @@ USAGE:
                 [--model <m>] [--edge-cap <c>] [--machines <k>]
                 [--link-cap <c>] [--local-cap <c>] [--json <file>]
   ncc-cli suite [--out <file>] [--threads <t>] [--model <m>]
+                [--filter <algo-substring>] [--family <scenario-substring>]
   ncc-cli list
   ncc-cli info --n <N>
 
@@ -360,8 +362,13 @@ fn print_record(r: &RunRecord, send_cap: usize) {
 
 fn cmd_suite(flags: &HashMap<String, String>) {
     let threads = get_usize(flags, "threads", 1);
+    let partial = flags.get("filter").is_some_and(|f| !f.is_empty())
+        || flags.get("family").is_some_and(|f| !f.is_empty());
     let out_path = match flags.get("out") {
         Some(p) if !p.is_empty() => p.clone(),
+        // a filtered run is not a full snapshot: never overwrite the
+        // CI-gated default file with a partial record set
+        _ if partial => "BENCH_suite.partial.json".to_string(),
         _ => "BENCH_suite.json".to_string(),
     };
     // Default: the standard grid, which already carries a model dimension.
@@ -379,12 +386,41 @@ fn cmd_suite(flags: &HashMap<String, String>) {
     } else {
         standard_grid()
     };
+    // `--family <substring>` restricts the scenario axis, `--filter
+    // <substring>` the algorithm axis — the fast-iteration path when
+    // tuning one algorithm without regenerating the full snapshot.
+    let family_filter = flags
+        .get("family")
+        .map(String::as_str)
+        .filter(|f| !f.is_empty());
+    let algo_filter = flags
+        .get("filter")
+        .map(String::as_str)
+        .filter(|f| !f.is_empty());
+    let grid = filter_grid(grid, family_filter);
+    if grid.is_empty() {
+        usage_and_exit(Some(&format!(
+            "--family '{}' matches no scenario",
+            family_filter.unwrap_or_default()
+        )));
+    }
+    if partial && !flags.contains_key("out") {
+        eprintln!(
+            "note: partial suite (--filter/--family) — not a full snapshot; writing {out_path}"
+        );
+    }
     eprintln!(
         "suite: {} algorithms × {} scenarios",
-        algorithms().len(),
+        algo_filter.map_or(algorithms().len(), |f| {
+            algorithms()
+                .iter()
+                .filter(|a| a.name().contains(&f.to_lowercase()))
+                .count()
+        }),
         grid.len()
     );
-    let out = run_suite(&grid, threads).unwrap_or_else(|e| panic!("suite failed: {e}"));
+    let out = run_suite_filtered(&grid, threads, algo_filter)
+        .unwrap_or_else(|e| panic!("suite failed: {e}"));
     for rec in &out.records {
         println!(
             "{:<24} {:<22} {:>7} rounds  {:>4} load  {:>3} drops  {}",
@@ -542,6 +578,29 @@ mod tests {
             model_from_flags(64, &with(&[("model", "hybrid"), ("local-cap", "3")])),
             Some(ModelSpec::HybridLocal { local_edge_cap: 3 })
         );
+    }
+
+    #[test]
+    fn suite_filters_restrict_grid_and_registry() {
+        // --family restricts the scenario axis through filter_grid
+        let grid = standard_grid();
+        let only_gnp = filter_grid(grid.clone(), Some("gnp"));
+        assert!(!only_gnp.is_empty());
+        assert!(only_gnp.iter().all(|s| s.label().contains("gnp")));
+        // --filter restricts the algorithm axis through run_suite_filtered;
+        // a tiny grid keeps the test fast
+        let small = vec![ScenarioSpec::new(FamilySpec::Path, 8, 1)];
+        let out = run_suite_filtered(&small, 1, Some("gossip")).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].algorithm, "gossip");
+        // the CLI treats an empty flag value as "no filter"
+        let mut flags = HashMap::new();
+        flags.insert("filter".to_string(), String::new());
+        let algo_filter = flags
+            .get("filter")
+            .map(String::as_str)
+            .filter(|f| !f.is_empty());
+        assert_eq!(algo_filter, None);
     }
 
     #[test]
