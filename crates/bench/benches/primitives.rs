@@ -5,9 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncc_bench::SEED;
+use ncc_butterfly::aggregation::aggregate;
 use ncc_butterfly::{
-    aggregate, aggregate_and_broadcast, multicast, multicast_setup, self_joins, AggregationSpec,
-    GroupId, MinU64, SumU64,
+    aggregate_and_broadcast, multicast, multicast_setup, self_joins, AggregationSpec, GroupId,
+    MinU64, SumU64,
 };
 use ncc_hashing::SharedRandomness;
 use ncc_model::{Engine, NetConfig};

@@ -17,6 +17,13 @@
 //! across integer/float representation; everything else must be
 //! identical. Prints a per-record summary plus the first drifted leaves,
 //! and exits non-zero on any drift.
+//!
+//! Records are matched by *identity* (problem/algorithm + scenario echo),
+//! not by position: a record present only in the fresh snapshot is an
+//! **addition** (a newly registered algorithm or scenario — reported as
+//! `NEW`, not drift), while a record that disappeared from the fresh
+//! snapshot is a failure (`GONE`) — suites may grow, never silently
+//! shrink.
 
 use std::process::ExitCode;
 
@@ -116,6 +123,30 @@ fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
     }
 }
 
+/// The identity a record is matched across snapshots by: which
+/// problem/algorithm ran on which scenario. Deliberately excludes every
+/// result field, so a record keeps its identity when its numbers move.
+fn identity(rec: &Value) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for key in ["problem", "algorithm"] {
+        if let Some(Value::Str(s)) = get(rec, key) {
+            parts.push(s.clone());
+        }
+    }
+    // exp01 keys scenarios by bare n; suite records carry a scenario echo
+    if let Some(v) = get(rec, "n") {
+        parts.push(format!("n={}", render(v)));
+    }
+    if let Some(v) = get(rec, "scenario") {
+        parts.push(render(v));
+    }
+    if parts.is_empty() {
+        render(rec)
+    } else {
+        parts.join("|")
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [baseline_path, fresh_path] = args.as_slice() else {
@@ -153,28 +184,42 @@ fn main() -> ExitCode {
             _ => drifted.push(format!("{key}: present on one side only")),
         }
     }
-    if base_records.len() != fresh_records.len() {
-        drifted.push(format!(
-            "records: count {} vs {}",
-            base_records.len(),
-            fresh_records.len()
-        ));
-    }
-
     // `rounds` is the headline metric: per record, a *decrease* is an
     // improvement (allowed — refresh the snapshot with `./bench.sh --bless`
     // to adopt it), an *increase* is a perf regression and fails the gate,
     // and at unchanged rounds every other deterministic field must be
     // byte-stable. Correctness verdicts may never degrade either way.
+    // Records are paired by identity; fresh-only records are additions.
     let mut improved = 0usize;
+    let mut added = 0usize;
+    let mut fresh_used = vec![false; fresh_records.len()];
     println!(
         "\n| record                                   | rounds base→fresh  |    Δ    | status |"
     );
     println!(
         "|------------------------------------------|--------------------|---------|--------|"
     );
-    for (i, (b, f)) in base_records.iter().zip(fresh_records.iter()).enumerate() {
+    for (i, b) in base_records.iter().enumerate() {
         let label = record_label(b, i);
+        let id = identity(b);
+        let Some(j) = fresh_records
+            .iter()
+            .enumerate()
+            .position(|(j, f)| !fresh_used[j] && identity(f) == id)
+        else {
+            drifted.push(format!("{label}: removed from fresh snapshot"));
+            println!(
+                "| {:<40} | {:>8} → {:>7} | {:>7} | {:<6} |",
+                label,
+                rounds_of(b).map_or("-".into(), |r| r.to_string()),
+                "-",
+                "-",
+                "GONE"
+            );
+            continue;
+        };
+        fresh_used[j] = true;
+        let f = &fresh_records[j];
         if let Some(bad) = verdict_degraded(b, f) {
             drifted.push(format!("{label}: {bad}"));
         }
@@ -210,15 +255,30 @@ fn main() -> ExitCode {
             status
         );
     }
+    // fresh-only records: new algorithms/scenarios joined the suite — an
+    // addition to adopt via `--bless`, not drift
+    for (j, f) in fresh_records.iter().enumerate() {
+        if fresh_used[j] {
+            continue;
+        }
+        added += 1;
+        println!(
+            "| {:<40} | {:>8} → {:>7} | {:>7} | {:<6} |",
+            record_label(f, j),
+            "-",
+            rounds_of(f).map_or("-".into(), |r| r.to_string()),
+            "-",
+            "NEW"
+        );
+    }
 
     if drifted.is_empty() {
-        if improved > 0 {
-            println!(
-                "\nOK: {improved} record(s) improved (rounds dropped), none regressed.\n\
+        match (improved, added) {
+            (0, 0) => println!("\nOK: all deterministic metrics identical."),
+            _ => println!(
+                "\nOK: {improved} record(s) improved, {added} added, none regressed.\n\
                  Adopt the new numbers with `./bench.sh --bless` and commit the refreshed snapshots."
-            );
-        } else {
-            println!("\nOK: all deterministic metrics identical.");
+            ),
         }
         ExitCode::SUCCESS
     } else {

@@ -6,7 +6,8 @@
 //! The bound-ratio column must stay flat.
 
 use ncc_bench::{engine, f2, lg, Table, SEED};
-use ncc_butterfly::{aggregate, AggregationSpec, GroupId, SumU64};
+use ncc_butterfly::aggregation::aggregate;
+use ncc_butterfly::{AggregationSpec, GroupId, SumU64};
 use ncc_hashing::SharedRandomness;
 
 fn main() {

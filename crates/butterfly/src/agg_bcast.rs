@@ -1,354 +1,12 @@
-//! Aggregate-and-Broadcast (Theorem 2.2, Appendix B.1).
+//! Historic module path for Aggregate-and-Broadcast (Theorem 2.2).
 //!
-//! Given a distributive aggregate `f` and a set `A ⊆ V` of nodes holding one
-//! input each, every node learns `f(inputs of A)` in `O(log n)` rounds:
-//!
-//! 1. non-emulating nodes inject their inputs into their proxy level-0
-//!    butterfly nodes;
-//! 2. *aggregation sweep* (rounds `1..=d`): at round `r`, bit `r−1` of the
-//!    column index is fixed to 0 — every live column with that bit set
-//!    forwards its partial aggregate across the corresponding cross edge,
-//!    so after round `d` the root column 0 holds the full aggregate at
-//!    level `d`;
-//! 3. *broadcast sweep* (rounds `d+1..=2d`): the reverse binomial tree
-//!    pushes the result back to every column;
-//! 4. a final round informs the attached non-emulating nodes.
-//!
-//! Every node sends and receives `O(1)` messages per round here. The same
-//! execution doubles as the paper's synchronisation barrier ([`sync_barrier`])
-//! — the token-passing variant of App. B.1 condensed to its round cost.
+//! The implementation moved to [`crate::aggregation`] — one unified module
+//! for every aggregation-style entry point — alongside `aggregate`,
+//! `aggregate_opt` and `multi_aggregate` over the combiner trait in
+//! [`crate::combine`]. This module re-exports the old names so existing
+//! imports keep compiling; the module itself is deprecated (see
+//! `lib.rs`), so clippy's `-D warnings` gate keeps new uses from landing.
 
-use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeProgram, Payload};
-
-use crate::combine::{Aggregate, MinU64};
-use crate::topology::Butterfly;
-
-/// Wire format. Discriminant + payload; levels are implied by the round.
-#[derive(Debug, Clone)]
-pub enum AbMsg<V> {
-    /// Non-emulating node → proxy column (round 0).
-    Inject(V),
-    /// Aggregation sweep, cross edge toward the root.
-    Down(V),
-    /// Broadcast sweep, cross edge away from the root.
-    Up(V),
-    /// Level-0 column → attached non-emulating node.
-    Result(V),
-}
-
-impl<V: Payload> Payload for AbMsg<V> {
-    fn bit_size(&self) -> u32 {
-        let inner = match self {
-            AbMsg::Inject(v) | AbMsg::Down(v) | AbMsg::Up(v) | AbMsg::Result(v) => v.bit_size(),
-        };
-        2 + inner
-    }
-}
-
-/// Per-node protocol state.
-#[derive(Debug, Clone)]
-pub struct AbState<V> {
-    input: Option<V>,
-    acc: Option<V>,
-    /// The broadcast result once known; the driver reads this field.
-    pub result: Option<V>,
-}
-
-struct AbProgram<'a, V, A> {
-    bf: Butterfly,
-    agg: &'a A,
-    _pd: std::marker::PhantomData<V>,
-}
-
-impl<V: Payload, A: Aggregate<V>> AbProgram<'_, V, A> {
-    fn absorb(&self, st: &mut AbState<V>, inbox: &[Envelope<AbMsg<V>>]) {
-        for env in inbox {
-            let v = match &env.payload {
-                AbMsg::Inject(v) | AbMsg::Down(v) => v,
-                AbMsg::Up(v) | AbMsg::Result(v) => {
-                    st.result = Some(v.clone());
-                    continue;
-                }
-            };
-            st.acc = Some(match st.acc.take() {
-                None => v.clone(),
-                Some(a) => self.agg.combine(&a, v),
-            });
-        }
-    }
-}
-
-impl<V: Payload, A: Aggregate<V>> NodeProgram for AbProgram<'_, V, A> {
-    type State = AbState<V>;
-    type Payload = AbMsg<V>;
-
-    fn init(&self, st: &mut AbState<V>, ctx: &mut Ctx<'_, AbMsg<V>>) {
-        if self.bf.emulates(ctx.id) {
-            st.acc = st.input.clone();
-            ctx.stay_awake();
-        } else if let Some(v) = st.input.clone() {
-            let proxy = self.bf.emulator(self.bf.proxy_column(ctx.id));
-            ctx.send(proxy, AbMsg::Inject(v));
-        }
-    }
-
-    fn round(
-        &self,
-        st: &mut AbState<V>,
-        inbox: &[Envelope<AbMsg<V>>],
-        ctx: &mut Ctx<'_, AbMsg<V>>,
-    ) {
-        let d = self.bf.d();
-        let r = ctx.round;
-        if !self.bf.emulates(ctx.id) {
-            // non-emulating nodes only ever receive the final Result
-            self.absorb(st, inbox);
-            return;
-        }
-        let alpha = self.bf.column_of(ctx.id);
-        self.absorb(st, inbox);
-
-        if r <= d as u64 {
-            // aggregation sweep: fix bit r−1
-            let bit = 1u32 << (r - 1);
-            let low_mask = bit - 1;
-            if alpha & low_mask == 0 && alpha & bit != 0 {
-                if let Some(v) = st.acc.take() {
-                    ctx.send(self.bf.emulator(alpha & !bit), AbMsg::Down(v));
-                }
-            }
-            ctx.stay_awake();
-        } else if r <= 2 * d as u64 {
-            // broadcast sweep: step j = r − d sends across bit d − j
-            let j = (r - d as u64) as u32;
-            if j == 1 && alpha == 0 {
-                st.result = st.acc.clone();
-            }
-            let bit = 1u32 << (d - j);
-            let low_mask = (bit << 1) - 1;
-            if alpha & low_mask == 0 {
-                if let Some(v) = st.result.clone() {
-                    ctx.send(self.bf.emulator(alpha | bit), AbMsg::Up(v));
-                }
-            }
-            ctx.stay_awake();
-        } else if r == 2 * d as u64 + 1 {
-            // inform the attached non-emulating node, if any
-            if let Some(v) = st.result.clone() {
-                if let Some(node) = self.bf.attached_node(alpha) {
-                    ctx.send(node, AbMsg::Result(v));
-                }
-            }
-        }
-    }
-}
-
-/// Runs Aggregate-and-Broadcast: each node optionally holds one input;
-/// afterwards every node knows the aggregate (or `None` if no node held an
-/// input). Takes `O(log n)` rounds (Theorem 2.2).
-pub fn aggregate_and_broadcast<V: Payload, A: Aggregate<V>>(
-    engine: &mut Engine,
-    inputs: Vec<Option<V>>,
-    agg: &A,
-) -> Result<(Vec<Option<V>>, ExecStats), ModelError> {
-    let n = engine.n();
-    assert_eq!(inputs.len(), n);
-    if n == 1 {
-        // degenerate network: the aggregate is the node's own input
-        return Ok((inputs, ExecStats::default()));
-    }
-    let bf = Butterfly::for_n(n);
-    let prog = AbProgram {
-        bf,
-        agg,
-        _pd: std::marker::PhantomData,
-    };
-    let states: Vec<AbState<V>> = inputs
-        .into_iter()
-        .map(|input| AbState {
-            input,
-            acc: None,
-            result: None,
-        })
-        .collect();
-    let (states, stats) = crate::compose::run_single(engine, prog, states)?;
-    // degenerate d = 0 (n = 2..3 has d = 1, so this only matters if the
-    // butterfly had a single column; d ≥ 1 always holds for n ≥ 2)
-    let results = states.into_iter().map(|s| s.result).collect();
-    Ok((results, stats))
-}
-
-/// Aggregate-and-Broadcast as a composable lane: a single stage that rides
-/// alongside heavier lanes (the paper's ubiquitous "agree on a global
-/// value" step, at zero extra stage cost when composed). Build with
-/// [`ab_sub`], run under [`crate::compose::run_composed`], read with
-/// [`AbSub::into_results`].
-pub struct AbSub<'a, V: Payload, A: Aggregate<V>> {
-    stage: crate::compose::Stage<AbProgram<'a, V, A>, AbState<V>>,
-    out: Option<Vec<Option<V>>>,
-}
-
-/// Builds the Aggregate-and-Broadcast sub-protocol. Arguments mirror
-/// [`aggregate_and_broadcast`] (which stays the blocking adapter).
-pub fn ab_sub<'a, V: Payload, A: Aggregate<V>>(
-    n: usize,
-    inputs: Vec<Option<V>>,
-    agg: &'a A,
-) -> AbSub<'a, V, A> {
-    assert_eq!(inputs.len(), n);
-    assert!(n >= 2, "composable A&B needs n ≥ 2");
-    let bf = Butterfly::for_n(n);
-    let states: Vec<AbState<V>> = inputs
-        .into_iter()
-        .map(|input| AbState {
-            input,
-            acc: None,
-            result: None,
-        })
-        .collect();
-    AbSub {
-        stage: Some((
-            AbProgram {
-                bf,
-                agg,
-                _pd: std::marker::PhantomData,
-            },
-            states,
-        )),
-        out: None,
-    }
-}
-
-impl<V: Payload, A: Aggregate<V>> AbSub<'_, V, A> {
-    /// Per node: the broadcast aggregate (`None` iff no node held an
-    /// input). Panics before the composition finished.
-    pub fn into_results(self) -> Vec<Option<V>> {
-        self.out.expect("A&B sub-protocol not finished")
-    }
-}
-
-impl<'a, V: Payload, A: Aggregate<V>> crate::compose::LaneSub<'a> for AbSub<'a, V, A> {
-    fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
-        let (prog, states) = self.stage.take()?;
-        Some(b.lane(prog, states))
-    }
-
-    fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
-        let st: Vec<AbState<V>> = ncc_model::take_lane_states(states, lane);
-        self.out = Some(st.into_iter().map(|s| s.result).collect());
-    }
-}
-
-/// The synchronisation barrier used between phases of larger primitives:
-/// an Aggregate-and-Broadcast of a constant. Costs the `O(log n)` rounds
-/// the paper charges for its token-based synchronisation (App. B.1).
-pub fn sync_barrier(engine: &mut Engine) -> Result<ExecStats, ModelError> {
-    let n = engine.n();
-    let inputs: Vec<Option<u64>> = vec![Some(1); n];
-    let (results, stats) = aggregate_and_broadcast(engine, inputs, &MinU64)?;
-    debug_assert!(results.iter().all(|r| *r == Some(1)));
-    Ok(stats)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::aggregate::{MaxU64, SumU64};
-    use ncc_model::NetConfig;
-
-    fn engine(n: usize) -> Engine {
-        Engine::new(NetConfig::new(n, 42))
-    }
-
-    #[test]
-    fn sum_over_all_nodes() {
-        for n in [2usize, 3, 4, 7, 8, 16, 33, 100, 128] {
-            let mut eng = engine(n);
-            let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
-            let (res, stats) = aggregate_and_broadcast(&mut eng, inputs, &SumU64).unwrap();
-            let expect = (n as u64 * (n as u64 - 1)) / 2;
-            for (v, r) in res.iter().enumerate() {
-                assert_eq!(*r, Some(expect), "node {v} at n={n}");
-            }
-            assert!(stats.clean(), "drops at n={n}");
-        }
-    }
-
-    #[test]
-    fn partial_input_set() {
-        let n = 20;
-        let mut eng = engine(n);
-        // only nodes 3, 17 (non-emulating for d=4), 9 hold inputs
-        let mut inputs: Vec<Option<u64>> = vec![None; n];
-        inputs[3] = Some(30);
-        inputs[17] = Some(5);
-        inputs[9] = Some(12);
-        let (res, _) = aggregate_and_broadcast(&mut eng, inputs, &MaxU64).unwrap();
-        assert!(res.iter().all(|r| *r == Some(30)));
-    }
-
-    #[test]
-    fn empty_input_set_gives_none() {
-        let n = 16;
-        let mut eng = engine(n);
-        let inputs: Vec<Option<u64>> = vec![None; n];
-        let (res, _) = aggregate_and_broadcast(&mut eng, inputs, &MinU64).unwrap();
-        assert!(res.iter().all(|r| r.is_none()));
-    }
-
-    #[test]
-    fn rounds_logarithmic() {
-        // Theorem 2.2: O(log n) rounds. Measure the constant: 2d + O(1).
-        for k in [3u32, 5, 8, 10] {
-            let n = 1usize << k;
-            let mut eng = engine(n);
-            let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
-            let (_, stats) = aggregate_and_broadcast(&mut eng, inputs, &SumU64).unwrap();
-            assert!(
-                stats.rounds <= 2 * k as u64 + 3,
-                "n=2^{k}: {} rounds > 2d+3",
-                stats.rounds
-            );
-        }
-    }
-
-    #[test]
-    fn per_round_load_constant() {
-        let n = 256;
-        let mut eng = engine(n);
-        let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
-        let (_, stats) = aggregate_and_broadcast(&mut eng, inputs, &SumU64).unwrap();
-        assert!(stats.max_in <= 2, "max in-degree {}", stats.max_in);
-        assert!(stats.max_out <= 2, "max out-degree {}", stats.max_out);
-    }
-
-    #[test]
-    fn non_power_of_two_includes_attached_nodes() {
-        let n = 21; // d = 4, columns 0..16, attached 16..21
-        let mut eng = engine(n);
-        let inputs: Vec<Option<u64>> = (0..n as u64).map(|v| Some(v + 100)).collect();
-        let (res, _) = aggregate_and_broadcast(&mut eng, inputs, &MaxU64).unwrap();
-        // max input is node 20's (120); node 20 is non-emulating
-        assert!(res.iter().all(|r| *r == Some(120)));
-    }
-
-    #[test]
-    fn sync_barrier_costs_log_rounds() {
-        let n = 64;
-        let mut eng = engine(n);
-        let stats = sync_barrier(&mut eng).unwrap();
-        assert!(
-            stats.rounds >= 6 && stats.rounds <= 16,
-            "rounds {}",
-            stats.rounds
-        );
-    }
-
-    #[test]
-    fn single_node_trivial() {
-        let mut eng = engine(1);
-        let (res, stats) = aggregate_and_broadcast(&mut eng, vec![Some(9u64)], &SumU64).unwrap();
-        assert_eq!(res, vec![Some(9)]);
-        assert_eq!(stats.rounds, 0);
-    }
-}
+pub use crate::aggregation::{
+    ab_sub, aggregate_and_broadcast, sync_barrier, AbMsg, AbState, AbSub,
+};

@@ -22,6 +22,13 @@
 //!
 //! Group targets are encoded in the group identifier ([`GroupId`]), mirroring
 //! the paper's content-addressed group names (`A_{id(w)∘i}`).
+//!
+//! This module also hosts **Aggregate-and-Broadcast** (Theorem 2.2) — the
+//! `O(log n)` whole-network aggregate whose execution doubles as the
+//! [`sync_barrier`] between phases — so every aggregation-style entry
+//! point lives behind one path (the historic `crate::agg_bcast`,
+//! `crate::aggregate` and `crate::multi_agg` module paths are deprecated
+//! re-export shims).
 
 use std::collections::BTreeMap;
 
@@ -30,7 +37,6 @@ use ncc_hashing::{PolyHash, SharedRandomness};
 use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeProgram, Payload};
 use rand::Rng;
 
-use crate::agg_bcast::sync_barrier;
 use crate::combine::Aggregate;
 use crate::compose::run_single;
 use crate::topology::{Butterfly, GroupId};
@@ -257,11 +263,15 @@ pub(crate) fn combine_step<V: Payload, A: Aggregate<V>>(
     agg: &A,
     st: &mut CombineState<V>,
     alpha: u32,
+    budget: &mut usize,
     emit: &mut impl FnMut(ncc_model::NodeId, LevelMsg<V>),
 ) {
     let d = bf.d();
     for level in (0..d).rev() {
         for dir in 0..2usize {
+            if *budget == 0 {
+                return;
+            }
             let popped = st.queues[level as usize][dir].pop_first();
             if let Some(((_rank, group), value)) = popped {
                 let next_col = if dir == 0 {
@@ -273,6 +283,7 @@ pub(crate) fn combine_step<V: Payload, A: Aggregate<V>>(
                     // straight edge: stays on this node
                     combine_insert(bf, hashes, agg, st, alpha, level + 1, group, value);
                 } else {
+                    *budget -= 1;
                     emit(
                         bf.emulator(next_col),
                         LevelMsg {
@@ -311,12 +322,14 @@ impl<V: Payload, A: Aggregate<V>> CombineProgram<'_, V, A> {
 
     /// One routing step (see [`combine_step`]); stays awake while busy.
     fn step(&self, st: &mut CombineState<V>, alpha: u32, ctx: &mut Ctx<'_, LevelMsg<V>>) {
+        let mut unpaced = usize::MAX;
         combine_step(
             &self.bf,
             &self.hashes,
             self.agg,
             st,
             alpha,
+            &mut unpaced,
             &mut |dst, msg| ctx.send(dst, msg),
         );
         if st.busy() {
@@ -532,7 +545,7 @@ pub fn aggregate_opt<V: Payload, A: Aggregate<V>>(
 #[allow(clippy::needless_range_loop)] // tests index several parallel per-node arrays
 mod tests {
     use super::*;
-    use crate::aggregate::{MinU64, SumU64, XorU64};
+    use crate::combine::{MinU64, SumU64, XorU64};
     use ncc_model::NetConfig;
 
     fn run_sum(
@@ -891,12 +904,14 @@ impl<V: Payload, A: Aggregate<V>> NodeProgram for ScatterCombineProgram<'_, V, A
                 );
             }
             self.scatter(st, ctx);
+            let mut unpaced = usize::MAX;
             combine_step(
                 &self.bf,
                 &self.hashes,
                 self.agg,
                 &mut st.comb,
                 alpha,
+                &mut unpaced,
                 &mut |dst, msg| ctx.send(dst, msg),
             );
             if st.comb.busy() {
@@ -1024,6 +1039,10 @@ impl<'a, V: Payload, A: Aggregate<V>> crate::compose::LaneSub<'a> for Aggregatio
         }
         self.stage += 1;
     }
+
+    fn is_done(&self) -> bool {
+        self.out.is_some()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1066,6 +1085,11 @@ pub(crate) struct MaPipelineProgram<'a, V, W, A, F> {
     pub leaf_map: F,
     pub batch: usize,
     pub columns: u32,
+    /// Per-node, per-round send ceiling across the whole fused pipeline
+    /// (spread + scatter + combine) — the lane's share of the node
+    /// capacity when a scheduler packs it next to siblings
+    /// ([`crate::compose::LaneSub::pace`]). `usize::MAX` = unpaced.
+    pub send_budget: usize,
     pub _pd: std::marker::PhantomData<(V, W)>,
 }
 
@@ -1076,8 +1100,14 @@ where
     A: Aggregate<W>,
     F: Fn(&mut rand::rngs::SmallRng, GroupId, ncc_model::NodeId, &V) -> W + Sync,
 {
-    fn scatter(&self, st: &mut MaPipelineState<V, W>, ctx: &mut Ctx<'_, MaMsg<V, W>>) {
-        let take = st.to_send.len().min(self.batch);
+    fn scatter(
+        &self,
+        st: &mut MaPipelineState<V, W>,
+        budget: &mut usize,
+        ctx: &mut Ctx<'_, MaMsg<V, W>>,
+    ) {
+        let take = st.to_send.len().min(self.batch).min(*budget);
+        *budget -= take;
         for (group, value) in st.to_send.drain(..take) {
             let col = ctx.rng.gen_range(0..self.columns);
             ctx.send(
@@ -1147,11 +1177,14 @@ where
                 ),
             }
         }
+        // one shared send budget across the fused pipeline's three phases
+        let mut budget = self.send_budget;
         crate::multicast::spread_step(
             &self.bf,
             &self.hashes,
             &mut st.spread,
             alpha,
+            &mut budget,
             &mut |dst, msg| ctx.send(dst, MaMsg::Spread(msg)),
         );
         // re-key fresh leaf arrivals and queue them for scattering
@@ -1160,13 +1193,14 @@ where
             st.to_send
                 .push((GroupId::new(member, MA_SUB).raw(), mapped));
         }
-        self.scatter(st, ctx);
+        self.scatter(st, &mut budget, ctx);
         combine_step(
             &self.bf,
             &self.hashes,
             self.agg,
             &mut st.comb,
             alpha,
+            &mut budget,
             &mut |dst, msg| ctx.send(dst, MaMsg::Agg(msg)),
         );
         if st.spread.busy() || !st.to_send.is_empty() || st.comb.busy() {
@@ -1236,6 +1270,7 @@ where
                 leaf_map,
                 batch: logn,
                 columns: bf.columns() as u32,
+                send_budget: usize::MAX,
                 _pd: std::marker::PhantomData,
             },
             states,
@@ -1267,6 +1302,12 @@ where
     A: Aggregate<W>,
     F: Fn(&mut rand::rngs::SmallRng, GroupId, ncc_model::NodeId, &V) -> W + Sync + 'a,
 {
+    fn pace(&mut self, send_budget: usize) {
+        if let Some((prog, _)) = self.pipe.as_mut() {
+            prog.send_budget = send_budget;
+        }
+    }
+
     fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
         match self.stage {
             0 => {
@@ -1318,5 +1359,374 @@ where
             }
         }
         self.stage += 1;
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate-and-Broadcast (Theorem 2.2, Appendix B.1)
+// ---------------------------------------------------------------------------
+//
+// Given a distributive aggregate `f` and a set `A ⊆ V` of nodes holding one
+// input each, every node learns `f(inputs of A)` in `O(log n)` rounds:
+//
+// 1. non-emulating nodes inject their inputs into their proxy level-0
+//    butterfly nodes;
+// 2. *aggregation sweep* (rounds `1..=d`): at round `r`, bit `r−1` of the
+//    column index is fixed to 0 — every live column with that bit set
+//    forwards its partial aggregate across the corresponding cross edge,
+//    so after round `d` the root column 0 holds the full aggregate at
+//    level `d`;
+// 3. *broadcast sweep* (rounds `d+1..=2d`): the reverse binomial tree
+//    pushes the result back to every column;
+// 4. a final round informs the attached non-emulating nodes.
+//
+// Every node sends and receives `O(1)` messages per round here. The same
+// execution doubles as the paper's synchronisation barrier
+// ([`sync_barrier`]) — the token-passing variant of App. B.1 condensed to
+// its round cost.
+
+/// Wire format of Aggregate-and-Broadcast. Discriminant + payload; levels
+/// are implied by the round.
+#[derive(Debug, Clone)]
+pub enum AbMsg<V> {
+    /// Non-emulating node → proxy column (round 0).
+    Inject(V),
+    /// Aggregation sweep, cross edge toward the root.
+    Down(V),
+    /// Broadcast sweep, cross edge away from the root.
+    Up(V),
+    /// Level-0 column → attached non-emulating node.
+    Result(V),
+}
+
+impl<V: Payload> Payload for AbMsg<V> {
+    fn bit_size(&self) -> u32 {
+        let inner = match self {
+            AbMsg::Inject(v) | AbMsg::Down(v) | AbMsg::Up(v) | AbMsg::Result(v) => v.bit_size(),
+        };
+        2 + inner
+    }
+}
+
+/// Per-node Aggregate-and-Broadcast state.
+#[derive(Debug, Clone)]
+pub struct AbState<V> {
+    input: Option<V>,
+    acc: Option<V>,
+    /// The broadcast result once known; the driver reads this field.
+    pub result: Option<V>,
+}
+
+struct AbProgram<'a, V, A> {
+    bf: Butterfly,
+    agg: &'a A,
+    _pd: std::marker::PhantomData<V>,
+}
+
+impl<V: Payload, A: Aggregate<V>> AbProgram<'_, V, A> {
+    fn absorb(&self, st: &mut AbState<V>, inbox: &[Envelope<AbMsg<V>>]) {
+        for env in inbox {
+            let v = match &env.payload {
+                AbMsg::Inject(v) | AbMsg::Down(v) => v,
+                AbMsg::Up(v) | AbMsg::Result(v) => {
+                    st.result = Some(v.clone());
+                    continue;
+                }
+            };
+            st.acc = Some(match st.acc.take() {
+                None => v.clone(),
+                Some(a) => self.agg.combine(&a, v),
+            });
+        }
+    }
+}
+
+impl<V: Payload, A: Aggregate<V>> NodeProgram for AbProgram<'_, V, A> {
+    type State = AbState<V>;
+    type Payload = AbMsg<V>;
+
+    fn init(&self, st: &mut AbState<V>, ctx: &mut Ctx<'_, AbMsg<V>>) {
+        if self.bf.emulates(ctx.id) {
+            st.acc = st.input.clone();
+            ctx.stay_awake();
+        } else if let Some(v) = st.input.clone() {
+            let proxy = self.bf.emulator(self.bf.proxy_column(ctx.id));
+            ctx.send(proxy, AbMsg::Inject(v));
+        }
+    }
+
+    fn round(
+        &self,
+        st: &mut AbState<V>,
+        inbox: &[Envelope<AbMsg<V>>],
+        ctx: &mut Ctx<'_, AbMsg<V>>,
+    ) {
+        let d = self.bf.d();
+        let r = ctx.round;
+        if !self.bf.emulates(ctx.id) {
+            // non-emulating nodes only ever receive the final Result
+            self.absorb(st, inbox);
+            return;
+        }
+        let alpha = self.bf.column_of(ctx.id);
+        self.absorb(st, inbox);
+
+        if r <= d as u64 {
+            // aggregation sweep: fix bit r−1
+            let bit = 1u32 << (r - 1);
+            let low_mask = bit - 1;
+            if alpha & low_mask == 0 && alpha & bit != 0 {
+                if let Some(v) = st.acc.take() {
+                    ctx.send(self.bf.emulator(alpha & !bit), AbMsg::Down(v));
+                }
+            }
+            ctx.stay_awake();
+        } else if r <= 2 * d as u64 {
+            // broadcast sweep: step j = r − d sends across bit d − j
+            let j = (r - d as u64) as u32;
+            if j == 1 && alpha == 0 {
+                st.result = st.acc.clone();
+            }
+            let bit = 1u32 << (d - j);
+            let low_mask = (bit << 1) - 1;
+            if alpha & low_mask == 0 {
+                if let Some(v) = st.result.clone() {
+                    ctx.send(self.bf.emulator(alpha | bit), AbMsg::Up(v));
+                }
+            }
+            ctx.stay_awake();
+        } else if r == 2 * d as u64 + 1 {
+            // inform the attached non-emulating node, if any
+            if let Some(v) = st.result.clone() {
+                if let Some(node) = self.bf.attached_node(alpha) {
+                    ctx.send(node, AbMsg::Result(v));
+                }
+            }
+        }
+    }
+}
+
+/// Runs Aggregate-and-Broadcast: each node optionally holds one input;
+/// afterwards every node knows the aggregate (or `None` if no node held an
+/// input). Takes `O(log n)` rounds (Theorem 2.2).
+pub fn aggregate_and_broadcast<V: Payload, A: Aggregate<V>>(
+    engine: &mut Engine,
+    inputs: Vec<Option<V>>,
+    agg: &A,
+) -> Result<(Vec<Option<V>>, ExecStats), ModelError> {
+    let n = engine.n();
+    assert_eq!(inputs.len(), n);
+    if n == 1 {
+        // degenerate network: the aggregate is the node's own input
+        return Ok((inputs, ExecStats::default()));
+    }
+    let bf = Butterfly::for_n(n);
+    let prog = AbProgram {
+        bf,
+        agg,
+        _pd: std::marker::PhantomData,
+    };
+    let states: Vec<AbState<V>> = inputs
+        .into_iter()
+        .map(|input| AbState {
+            input,
+            acc: None,
+            result: None,
+        })
+        .collect();
+    let (states, stats) = run_single(engine, prog, states)?;
+    // degenerate d = 0 (n = 2..3 has d = 1, so this only matters if the
+    // butterfly had a single column; d ≥ 1 always holds for n ≥ 2)
+    let results = states.into_iter().map(|s| s.result).collect();
+    Ok((results, stats))
+}
+
+/// Aggregate-and-Broadcast as a composable lane: a single stage that rides
+/// alongside heavier lanes (the paper's ubiquitous "agree on a global
+/// value" step, at zero extra stage cost when composed). Build with
+/// [`ab_sub`], run under [`crate::compose::run_composed`] or as a DAG
+/// node, read with [`AbSub::into_results`].
+pub struct AbSub<'a, V: Payload, A: Aggregate<V>> {
+    stage: crate::compose::Stage<AbProgram<'a, V, A>, AbState<V>>,
+    out: Option<Vec<Option<V>>>,
+}
+
+/// Builds the Aggregate-and-Broadcast sub-protocol. Arguments mirror
+/// [`aggregate_and_broadcast`] (which stays the blocking adapter).
+pub fn ab_sub<'a, V: Payload, A: Aggregate<V>>(
+    n: usize,
+    inputs: Vec<Option<V>>,
+    agg: &'a A,
+) -> AbSub<'a, V, A> {
+    assert_eq!(inputs.len(), n);
+    assert!(n >= 2, "composable A&B needs n ≥ 2");
+    let bf = Butterfly::for_n(n);
+    let states: Vec<AbState<V>> = inputs
+        .into_iter()
+        .map(|input| AbState {
+            input,
+            acc: None,
+            result: None,
+        })
+        .collect();
+    AbSub {
+        stage: Some((
+            AbProgram {
+                bf,
+                agg,
+                _pd: std::marker::PhantomData,
+            },
+            states,
+        )),
+        out: None,
+    }
+}
+
+impl<V: Payload, A: Aggregate<V>> AbSub<'_, V, A> {
+    /// Per node: the broadcast aggregate (`None` iff no node held an
+    /// input). Panics before the composition finished.
+    pub fn into_results(self) -> Vec<Option<V>> {
+        self.out.expect("A&B sub-protocol not finished")
+    }
+}
+
+impl<'a, V: Payload, A: Aggregate<V>> crate::compose::LaneSub<'a> for AbSub<'a, V, A> {
+    fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
+        let (prog, states) = self.stage.take()?;
+        Some(b.lane(prog, states))
+    }
+
+    fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
+        let st: Vec<AbState<V>> = ncc_model::take_lane_states(states, lane);
+        self.out = Some(st.into_iter().map(|s| s.result).collect());
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_some()
+    }
+
+    fn self_synchronizing(&self) -> bool {
+        // A&B ends with everyone knowing the result — it IS the barrier
+        // primitive (App. B.1), so a stage made only of A&B lanes needs no
+        // trailing `sync_barrier` (matching the blocking adapter's cost).
+        true
+    }
+}
+
+/// The synchronisation barrier used between phases of larger primitives:
+/// an Aggregate-and-Broadcast of a constant. Costs the `O(log n)` rounds
+/// the paper charges for its token-based synchronisation (App. B.1).
+pub fn sync_barrier(engine: &mut Engine) -> Result<ExecStats, ModelError> {
+    let n = engine.n();
+    let inputs: Vec<Option<u64>> = vec![Some(1); n];
+    let (results, stats) = aggregate_and_broadcast(engine, inputs, &crate::combine::MinU64)?;
+    debug_assert!(results.iter().all(|r| *r == Some(1)));
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod ab_tests {
+    use super::*;
+    use crate::combine::{MaxU64, MinU64, SumU64};
+    use ncc_model::NetConfig;
+
+    fn engine(n: usize) -> Engine {
+        Engine::new(NetConfig::new(n, 42))
+    }
+
+    #[test]
+    fn sum_over_all_nodes() {
+        for n in [2usize, 3, 4, 7, 8, 16, 33, 100, 128] {
+            let mut eng = engine(n);
+            let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
+            let (res, stats) = aggregate_and_broadcast(&mut eng, inputs, &SumU64).unwrap();
+            let expect = (n as u64 * (n as u64 - 1)) / 2;
+            for (v, r) in res.iter().enumerate() {
+                assert_eq!(*r, Some(expect), "node {v} at n={n}");
+            }
+            assert!(stats.clean(), "drops at n={n}");
+        }
+    }
+
+    #[test]
+    fn partial_input_set() {
+        let n = 20;
+        let mut eng = engine(n);
+        // only nodes 3, 17 (non-emulating for d=4), 9 hold inputs
+        let mut inputs: Vec<Option<u64>> = vec![None; n];
+        inputs[3] = Some(30);
+        inputs[17] = Some(5);
+        inputs[9] = Some(12);
+        let (res, _) = aggregate_and_broadcast(&mut eng, inputs, &MaxU64).unwrap();
+        assert!(res.iter().all(|r| *r == Some(30)));
+    }
+
+    #[test]
+    fn empty_input_set_gives_none() {
+        let n = 16;
+        let mut eng = engine(n);
+        let inputs: Vec<Option<u64>> = vec![None; n];
+        let (res, _) = aggregate_and_broadcast(&mut eng, inputs, &MinU64).unwrap();
+        assert!(res.iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn rounds_logarithmic() {
+        // Theorem 2.2: O(log n) rounds. Measure the constant: 2d + O(1).
+        for k in [3u32, 5, 8, 10] {
+            let n = 1usize << k;
+            let mut eng = engine(n);
+            let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
+            let (_, stats) = aggregate_and_broadcast(&mut eng, inputs, &SumU64).unwrap();
+            assert!(
+                stats.rounds <= 2 * k as u64 + 3,
+                "n=2^{k}: {} rounds > 2d+3",
+                stats.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn per_round_load_constant() {
+        let n = 256;
+        let mut eng = engine(n);
+        let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
+        let (_, stats) = aggregate_and_broadcast(&mut eng, inputs, &SumU64).unwrap();
+        assert!(stats.max_in <= 2, "max in-degree {}", stats.max_in);
+        assert!(stats.max_out <= 2, "max out-degree {}", stats.max_out);
+    }
+
+    #[test]
+    fn non_power_of_two_includes_attached_nodes() {
+        let n = 21; // d = 4, columns 0..16, attached 16..21
+        let mut eng = engine(n);
+        let inputs: Vec<Option<u64>> = (0..n as u64).map(|v| Some(v + 100)).collect();
+        let (res, _) = aggregate_and_broadcast(&mut eng, inputs, &MaxU64).unwrap();
+        // max input is node 20's (120); node 20 is non-emulating
+        assert!(res.iter().all(|r| *r == Some(120)));
+    }
+
+    #[test]
+    fn sync_barrier_costs_log_rounds() {
+        let n = 64;
+        let mut eng = engine(n);
+        let stats = sync_barrier(&mut eng).unwrap();
+        assert!(
+            stats.rounds >= 6 && stats.rounds <= 16,
+            "rounds {}",
+            stats.rounds
+        );
+    }
+
+    #[test]
+    fn single_node_trivial() {
+        let mut eng = engine(1);
+        let (res, stats) = aggregate_and_broadcast(&mut eng, vec![Some(9u64)], &SumU64).unwrap();
+        assert_eq!(res, vec![Some(9)]);
+        assert_eq!(stats.rounds, 0);
     }
 }

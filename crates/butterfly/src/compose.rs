@@ -23,7 +23,7 @@
 
 use ncc_model::{Engine, ExecStats, LaneId, ModelError, MuxBuilder, MuxState, NodeProgram};
 
-use crate::agg_bcast::sync_barrier;
+use crate::aggregation::sync_barrier;
 
 /// A primitive decomposed into mux-lane stages.
 ///
@@ -39,6 +39,33 @@ pub trait LaneSub<'a> {
     /// Collects the states of the stage installed under `lane` and advances
     /// to the next stage (node-local work only — no communication).
     fn collect(&mut self, lane: LaneId, states: &mut [MuxState]);
+
+    /// `true` once every stage has been installed and collected.
+    ///
+    /// This is a side-effect-free probe (unlike [`LaneSub::install`], which
+    /// moves the pending stage into the builder): schedulers use it to
+    /// decide whether a protocol still needs lanes *before* committing
+    /// builder space. Invariant: `!is_done()` implies the next `install`
+    /// returns `Some`.
+    fn is_done(&self) -> bool;
+
+    /// `true` if one execution of this protocol already leaves every node
+    /// knowing that the stage finished — i.e. the protocol is its own phase
+    /// barrier. A scheduler may skip the trailing [`sync_barrier`] for a
+    /// stage whose lanes are all self-synchronizing, matching the cost of
+    /// the blocking adapters (an Aggregate-and-Broadcast *is* the barrier
+    /// primitive of App. B.1).
+    fn self_synchronizing(&self) -> bool {
+        false
+    }
+
+    /// Asks the lane to keep its per-node sends within `send_budget`
+    /// messages per round — its *share* of the node capacity when a
+    /// scheduler packs it next to other lanes (§2's parallel-instances
+    /// argument: `k` concurrent instances each slow down by the factor
+    /// `k`, they do not overdraw the budget). Default: no-op, for lanes
+    /// whose per-round load is already `O(1)`-bounded by construction.
+    fn pace(&mut self, _send_budget: usize) {}
 }
 
 /// A pending stage of a sub-protocol: its program plus per-node states,
@@ -123,6 +150,252 @@ pub fn lane_seed(engine: &Engine, label: u64, index: u64) -> u64 {
     ])
 }
 
+// ---------------------------------------------------------------------------
+// Declarative protocol DAGs
+// ---------------------------------------------------------------------------
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Typed handle to a declared DAG node: names the node in dependency lists
+/// and retrieves its output (of type `T`) from [`Deps`] / [`DagOutputs`].
+pub struct ProtoNode<T> {
+    pub(crate) idx: usize,
+    _pd: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for ProtoNode<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ProtoNode<T> {}
+
+impl<T> std::fmt::Debug for ProtoNode<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProtoNode(#{})", self.idx)
+    }
+}
+
+/// Untyped dependency edge: any [`ProtoNode`] converts into one, so a
+/// node's `deps` list can mix handles of different output types.
+#[derive(Debug, Clone, Copy)]
+pub struct Dep(pub(crate) usize);
+
+impl<T> From<ProtoNode<T>> for Dep {
+    fn from(h: ProtoNode<T>) -> Dep {
+        Dep(h.idx)
+    }
+}
+
+/// Read-only view of upstream outputs, handed to a node's build/run
+/// closure once all of its dependencies completed.
+pub struct Deps<'v> {
+    pub(crate) outputs: &'v [Option<Box<dyn Any>>],
+}
+
+impl Deps<'_> {
+    /// The output of an upstream node. Panics if `h` was not declared as a
+    /// dependency of the requesting node (its output may not exist yet).
+    pub fn get<T: 'static>(&self, h: ProtoNode<T>) -> &T {
+        self.outputs[h.idx]
+            .as_ref()
+            .expect("dependency not finished — was it declared in `deps`?")
+            .downcast_ref::<T>()
+            .expect("dependency output type mismatch")
+    }
+}
+
+/// Outputs of a completed [`Dag::run`], keyed by node handle.
+pub struct DagOutputs {
+    pub(crate) outputs: Vec<Option<Box<dyn Any>>>,
+}
+
+impl DagOutputs {
+    /// Takes ownership of a node's output. Panics on a second take.
+    pub fn take<T: 'static>(&mut self, h: ProtoNode<T>) -> T {
+        *self.outputs[h.idx]
+            .take()
+            .expect("node output already taken (or node never ran)")
+            .downcast::<T>()
+            .expect("node output type mismatch")
+    }
+}
+
+/// Object-safe driver view of one protocol node's lane: a [`LaneSub`] plus
+/// its typed finisher, erased so the scheduler can hold heterogeneous
+/// nodes in one table.
+pub(crate) trait DynLane<'a> {
+    fn pace(&mut self, send_budget: usize);
+    fn install(&mut self, b: &mut MuxBuilder<'a>) -> Option<LaneId>;
+    fn collect(&mut self, lane: LaneId, states: &mut [MuxState]);
+    fn is_done(&self) -> bool;
+    fn self_synchronizing(&self) -> bool;
+    /// Consumes the finished sub-protocol into its boxed output.
+    fn finish(&mut self) -> Box<dyn Any>;
+}
+
+struct ProtoRun<'a, S: LaneSub<'a> + 'a, T, F: FnOnce(S) -> T> {
+    sub: Option<S>,
+    fin: Option<F>,
+    _pd: PhantomData<&'a ()>,
+}
+
+impl<'a, S: LaneSub<'a> + 'a, T: 'static, F: FnOnce(S) -> T> DynLane<'a> for ProtoRun<'a, S, T, F> {
+    fn pace(&mut self, send_budget: usize) {
+        if let Some(s) = self.sub.as_mut() {
+            s.pace(send_budget);
+        }
+    }
+    fn install(&mut self, b: &mut MuxBuilder<'a>) -> Option<LaneId> {
+        self.sub.as_mut().expect("lane already finished").install(b)
+    }
+    fn collect(&mut self, lane: LaneId, states: &mut [MuxState]) {
+        self.sub
+            .as_mut()
+            .expect("lane already finished")
+            .collect(lane, states);
+    }
+    fn is_done(&self) -> bool {
+        self.sub.as_ref().is_none_or(|s| s.is_done())
+    }
+    fn self_synchronizing(&self) -> bool {
+        self.sub.as_ref().is_some_and(|s| s.self_synchronizing())
+    }
+    fn finish(&mut self) -> Box<dyn Any> {
+        let sub = self.sub.take().expect("lane finished twice");
+        let fin = self.fin.take().expect("finisher consumed twice");
+        Box::new(fin(sub))
+    }
+}
+
+/// Deferred construction of a protocol node's lane from its dependencies.
+pub(crate) type BuildFn<'a> = Box<dyn FnOnce(&Deps<'_>) -> Box<dyn DynLane<'a> + 'a> + 'a>;
+/// Deferred node-local computation from its dependencies.
+pub(crate) type ComputeFn<'a> = Box<dyn FnOnce(&Deps<'_>) -> Box<dyn Any> + 'a>;
+
+pub(crate) enum NodeState<'a> {
+    /// Waiting on dependencies; `build` turns their outputs into a live
+    /// sub-protocol.
+    Pending(BuildFn<'a>),
+    /// Node-local computation (no communication): runs as soon as its
+    /// dependencies are done, producing its output immediately.
+    PendingCompute(ComputeFn<'a>),
+    /// Built; its current stage is installed as a mux lane each scheduler
+    /// stage until [`DynLane::is_done`].
+    Running(Box<dyn DynLane<'a> + 'a>),
+    /// Finished; output stored in the outputs table.
+    Done,
+}
+
+pub(crate) struct DagNode<'a> {
+    pub(crate) label: String,
+    pub(crate) deps: Vec<usize>,
+    pub(crate) state: NodeState<'a>,
+}
+
+/// A declared dependency DAG of sub-protocol invocations.
+///
+/// Algorithms *declare* what runs and what depends on what; the scheduler
+/// ([`Dag::run`], implemented in [`crate::schedule`]) decides what runs
+/// *together* — it packs every antichain of ready protocols into shared
+/// [`ncc_model::Mux`] executions under the per-node `O(log n)` instance
+/// budget, charging one shared [`sync_barrier`] per packed stage. See the
+/// [`crate::schedule`] module docs for the scheduling rules and the paper
+/// mapping.
+///
+/// Two node kinds:
+/// * [`Dag::proto`] — a communicating sub-protocol ([`LaneSub`]), built
+///   from its dependencies' outputs by a closure, finished into a typed
+///   output by another;
+/// * [`Dag::compute`] — free node-local computation (the model's "local
+///   computation is free"), used to transform upstream outputs without
+///   burning a stage.
+#[derive(Default)]
+pub struct Dag<'a> {
+    pub(crate) nodes: Vec<DagNode<'a>>,
+}
+
+impl<'a> Dag<'a> {
+    pub fn new() -> Self {
+        Dag { nodes: Vec::new() }
+    }
+
+    /// Number of declared nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no nodes were declared.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn add<T>(&mut self, label: String, deps: &[Dep], state: NodeState<'a>) -> ProtoNode<T> {
+        let idx = self.nodes.len();
+        for d in deps {
+            assert!(d.0 < idx, "dependency on a node declared later");
+        }
+        self.nodes.push(DagNode {
+            label,
+            deps: deps.iter().map(|d| d.0).collect(),
+            state,
+        });
+        ProtoNode {
+            idx,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Declares a sub-protocol node. `build` receives the outputs of
+    /// `deps` and constructs the [`LaneSub`]; once every stage of the sub
+    /// has run, `finish` converts it into the node's typed output.
+    ///
+    /// Declaration order is the scheduler's tie-breaker: independent nodes
+    /// that become ready together are packed into one stage in declaration
+    /// order (first-declared gets a lane first if the budget binds).
+    pub fn proto<S, T, B, F>(
+        &mut self,
+        label: impl Into<String>,
+        deps: &[Dep],
+        build: B,
+        finish: F,
+    ) -> ProtoNode<T>
+    where
+        S: LaneSub<'a> + 'a,
+        T: 'static,
+        B: FnOnce(&Deps<'_>) -> S + 'a,
+        F: FnOnce(S) -> T + 'a,
+    {
+        self.add(
+            label.into(),
+            deps,
+            NodeState::Pending(Box::new(move |deps| {
+                Box::new(ProtoRun {
+                    sub: Some(build(deps)),
+                    fin: Some(finish),
+                    _pd: PhantomData,
+                })
+            })),
+        )
+    }
+
+    /// Declares a node-local computation node: `run` maps upstream outputs
+    /// to this node's output without any communication (free in the
+    /// model). It never occupies a lane or a stage.
+    pub fn compute<T, R>(&mut self, label: impl Into<String>, deps: &[Dep], run: R) -> ProtoNode<T>
+    where
+        T: 'static,
+        R: FnOnce(&Deps<'_>) -> T + 'a,
+    {
+        self.add(
+            label.into(),
+            deps,
+            NodeState::PendingCompute(Box::new(move |deps| Box::new(run(deps)))),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +458,10 @@ mod tests {
                 _ => self.done_count = Some(st[0]),
             }
             self.stage += 1;
+        }
+
+        fn is_done(&self) -> bool {
+            self.stage > 1
         }
     }
 

@@ -53,25 +53,40 @@
 //! assert!(stats.rounds <= 2 * 7 + 3);                      // 2·⌈log₂ n⌉ + O(1)
 //! ```
 
+#[deprecated(
+    note = "moved to `aggregation` (Aggregate-and-Broadcast, `sync_barrier`); \
+            use `ncc_butterfly::aggregation` or the crate-root re-exports"
+)]
 pub mod agg_bcast;
+#[deprecated(
+    note = "moved to `combine` (the `Aggregate` trait and standard combiners); \
+            use `ncc_butterfly::combine` or the crate-root re-exports"
+)]
 pub mod aggregate;
 pub mod aggregation;
 pub mod combine;
 pub mod compose;
 pub mod mctree;
+#[deprecated(note = "moved to `aggregation` (`multi_aggregate`); \
+            use `ncc_butterfly::aggregation` or the crate-root re-exports")]
 pub mod multi_agg;
 pub mod multicast;
+pub mod schedule;
 pub mod seed;
 pub mod topology;
 
-pub use agg_bcast::{ab_sub, aggregate_and_broadcast, sync_barrier, AbSub};
 pub use aggregation::{
-    aggregate, aggregate_opt, aggregation_sub, multi_aggregate, multi_aggregate_sub,
-    AggregationSpec, AggregationSub, GroupedDeliveries, MultiAggSub,
+    ab_sub, aggregate, aggregate_and_broadcast, aggregate_opt, aggregation_sub, multi_aggregate,
+    multi_aggregate_sub, sync_barrier, AbSub, AggregationSpec, AggregationSub, GroupedDeliveries,
+    MultiAggSub,
 };
 pub use combine::{Aggregate, MaxU64, MinByKey, MinU64, SumPair, SumU64, XorPair, XorSum, XorU64};
-pub use compose::{lane_seed, run_composed, run_single, ComposeReport, LaneSub};
+pub use compose::{
+    lane_seed, run_composed, run_single, ComposeReport, Dag, DagOutputs, Dep, Deps, LaneSub,
+    ProtoNode,
+};
 pub use mctree::{multicast_setup, multicast_setup_sub, self_joins, McSetupSub, MulticastTrees};
 pub use multicast::{multicast, multicast_sub, MulticastSub};
+pub use schedule::{default_lane_budget, DagRun, LaneRecord, PackedStage, SchedReport};
 pub use seed::broadcast_seed;
 pub use topology::{Butterfly, GroupId};

@@ -18,7 +18,7 @@ use ncc_hashing::{FxHashMap, SharedRandomness};
 use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeId, NodeProgram};
 use rand::Rng;
 
-use crate::agg_bcast::sync_barrier;
+use crate::aggregation::sync_barrier;
 use crate::aggregation::{InjectProgram, InjectState, LevelMsg, RouteHashes};
 use crate::compose::run_single;
 use crate::topology::{Butterfly, GroupId};
@@ -440,6 +440,10 @@ impl<'a> crate::compose::LaneSub<'a> for McSetupSub {
             self.d,
             rec.into_iter().map(|s| s.rec).collect(),
         ));
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_some()
     }
 }
 

@@ -19,7 +19,7 @@ use ncc_hashing::SharedRandomness;
 use ncc_model::{Ctx, Engine, Envelope, ExecStats, ModelError, NodeId, NodeProgram, Payload};
 use rand::Rng;
 
-use crate::agg_bcast::sync_barrier;
+use crate::aggregation::sync_barrier;
 use crate::aggregation::{LevelMsg, RouteHashes};
 use crate::compose::run_single;
 use crate::mctree::MulticastTrees;
@@ -85,17 +85,24 @@ pub(crate) fn spread_arrive<V: Payload>(
 
 /// One spreading step at column `alpha`: forward one packet per down-edge
 /// (ascending level order, so a locally advanced packet is not advanced
-/// twice in one round); cross-edge traffic goes through `emit`.
+/// twice in one round); cross-edge traffic goes through `emit`. Each
+/// emitted message debits `budget`; once it hits zero the remaining
+/// queues wait for the next round (pass `usize::MAX` for the unpaced
+/// solo-instance behaviour).
 pub(crate) fn spread_step<V: Payload>(
     bf: &Butterfly,
     hashes: &RouteHashes,
     st: &mut SpreadState<V>,
     alpha: u32,
+    budget: &mut usize,
     emit: &mut impl FnMut(NodeId, LevelMsg<V>),
 ) {
     let d = bf.d();
     for level in 1..=d {
         for dir in 0..2usize {
+            if *budget == 0 {
+                return;
+            }
             if let Some(((_r, group), value)) = st.queues[level as usize - 1][dir].pop_first() {
                 let child = if dir == 0 {
                     alpha
@@ -105,6 +112,7 @@ pub(crate) fn spread_step<V: Payload>(
                 if child == alpha {
                     spread_arrive(hashes, st, level - 1, group, value);
                 } else {
+                    *budget -= 1;
                     emit(
                         bf.emulator(child),
                         LevelMsg {
@@ -159,9 +167,15 @@ impl<V: Payload> NodeProgram for SpreadProgram<V> {
                 env.payload.value.clone(),
             );
         }
-        spread_step(&self.bf, &self.hashes, st, alpha, &mut |dst, msg| {
-            ctx.send(dst, msg)
-        });
+        let mut unpaced = usize::MAX;
+        spread_step(
+            &self.bf,
+            &self.hashes,
+            st,
+            alpha,
+            &mut unpaced,
+            &mut |dst, msg| ctx.send(dst, msg),
+        );
         if st.busy() {
             ctx.stay_awake();
         }
@@ -346,11 +360,13 @@ impl<V: Payload> NodeProgram for SpreadDeliverProgram<V> {
             return; // members only ever receive Deliver messages
         }
         let alpha = self.bf.column_of(ctx.id);
+        let mut unpaced = usize::MAX;
         spread_step(
             &self.bf,
             &self.hashes,
             &mut st.spread,
             alpha,
+            &mut unpaced,
             &mut |dst, msg| ctx.send(dst, McMsg::Route(msg)),
         );
         // schedule fresh leaf arrivals: deliver in a uniform round of the
@@ -449,6 +465,10 @@ impl<'a, V: Payload> crate::compose::LaneSub<'a> for MulticastSub<V> {
     fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
         let st: Vec<SpreadDeliverState<V>> = ncc_model::take_lane_states(states, lane);
         self.out = Some(st.into_iter().map(|s| s.received).collect());
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_some()
     }
 }
 

@@ -1,0 +1,463 @@
+//! The antichain-packing scheduler for declared protocol [`Dag`]s.
+//!
+//! # Paper mapping: §2's parallel-instances argument, executable
+//!
+//! The round bounds of §2 rest on one observation: because every primitive
+//! touches each node with `O(log n)` messages per round, **`O(log n)`
+//! independent instances can run in the same rounds** under the shared
+//! per-node capacity budget ("we run O(log n) instances of the Aggregation
+//! Algorithm in parallel", §2; the union-of-instances capacity argument of
+//! §2.2). PR 5 exploited this by hand: algorithms fused specific primitive
+//! sets into [`ncc_model::Mux`] lanes. This module turns the argument into
+//! a *scheduler* so algorithms only declare data dependencies:
+//!
+//! * the nodes of a [`Dag`] whose dependencies are satisfied form the
+//!   current **antichain** — no order constraints among them, exactly the
+//!   "independent instances" of §2;
+//! * each scheduler stage packs that antichain (in declaration order) into
+//!   one mux execution, up to the **instance budget** `O(log n)`
+//!   ([`default_lane_budget`]) — the cap under which §2.2's capacity union
+//!   argument holds. A wider antichain is *split*: the overflow runs in the
+//!   next stage (sequential composition, the same fallback the paper uses
+//!   when more than `O(log n)` instances are needed);
+//! * one shared [`sync_barrier`] is
+//!   charged per packed stage (App. B.1's phase synchronisation, paid once
+//!   for the whole stage rather than once per primitive) — except for
+//!   stages whose lanes are all
+//!   [self-synchronizing](crate::compose::LaneSub::self_synchronizing)
+//!   (Aggregate-and-Broadcast *is* the barrier primitive, so a stage of
+//!   A&B lanes ends synchronised for free, matching the blocking
+//!   adapters' cost);
+//! * multi-stage primitives (Aggregation's combine→deliver, …) keep
+//!   contributing lanes stage after stage until done, so their internal
+//!   phases also share barriers with whatever else is in flight.
+//!
+//! The result: a hand-fused composition and the equivalent DAG declaration
+//! execute the *same* lane/stage/barrier sequence — bit-identical rounds,
+//! drops and outputs — while the DAG form deletes the bespoke lane
+//! plumbing (see `crates/butterfly/tests/schedule_props.rs` for the
+//! property-level equivalence proof).
+//!
+//! # Packing plan introspection
+//!
+//! Every run returns a [`SchedReport`]: the budget, and per stage the
+//! packed lanes (with per-lane [`LaneStats`]), any deferred (budget-split)
+//! nodes, the rounds spent and whether a barrier was charged. The runner
+//! echoes its headline numbers into `RunRecord.metrics`, and
+//! `ncc-cli explain <algo>` prints it as a table.
+
+use ncc_model::{lane_stats, Engine, ExecStats, LaneStats, ModelError, MuxBuilder};
+
+use crate::aggregation::sync_barrier;
+use crate::compose::{Dag, DagOutputs, Deps, NodeState};
+
+/// The default per-node parallel-instance budget: `2·⌈log₂ n⌉`, floored at
+/// 6 so degenerate tiny networks can still pack the widest primitive sets
+/// the in-repo algorithms declare (MST's 4-ary FindMin plus its coin lane).
+/// `O(log n)`, as §2 requires.
+pub fn default_lane_budget(n: usize) -> usize {
+    (2 * ncc_model::ilog2_ceil(n) as usize).max(6)
+}
+
+/// One lane of a packed stage: which node ran, and its share of the
+/// stage's traffic ([`LaneStats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneRecord {
+    /// The DAG node's label.
+    pub label: String,
+    /// Node-rounds / messages this lane used within the shared execution.
+    pub stats: LaneStats,
+}
+
+/// One packed stage of a schedule: the maximal (budget-capped) antichain
+/// that shared one mux execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedStage {
+    /// Lanes that ran, in install (= declaration) order.
+    pub lanes: Vec<LaneRecord>,
+    /// Ready nodes deferred to a later stage because the budget was full —
+    /// non-empty exactly when the scheduler split an antichain.
+    pub deferred: Vec<String>,
+    /// Statistics of the shared execution (barrier excluded).
+    pub stats: ExecStats,
+    /// Whether a trailing `sync_barrier` was charged (false when every
+    /// lane was self-synchronizing).
+    pub barrier: bool,
+}
+
+impl PackedStage {
+    /// Rounds of the shared execution (barrier excluded).
+    pub fn rounds(&self) -> u64 {
+        self.stats.rounds
+    }
+}
+
+/// The packing plan of one or more [`Dag::run`] calls: what ran together,
+/// what was split, and what each stage cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedReport {
+    /// The lane budget the schedule respected.
+    pub budget: usize,
+    /// Stages in execution order.
+    pub stages: Vec<PackedStage>,
+}
+
+impl SchedReport {
+    /// Folds another report's stages into this one (multi-DAG algorithms
+    /// accumulate one plan across phases).
+    pub fn merge(&mut self, other: SchedReport) {
+        self.budget = self.budget.max(other.budget);
+        self.stages.extend(other.stages);
+    }
+
+    /// Widest stage (lanes that actually ran concurrently).
+    pub fn max_lanes(&self) -> usize {
+        self.stages.iter().map(|s| s.lanes.len()).max().unwrap_or(0)
+    }
+
+    /// Total lane-stages of work across all stages.
+    pub fn lane_stages(&self) -> usize {
+        self.stages.iter().map(|s| s.lanes.len()).sum()
+    }
+
+    /// Stages that had to defer ready work because the budget was full.
+    pub fn splits(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| !s.deferred.is_empty())
+            .count()
+    }
+
+    /// Stages that charged a trailing barrier.
+    pub fn barriers(&self) -> usize {
+        self.stages.iter().filter(|s| s.barrier).count()
+    }
+
+    /// Rounds (barriers excluded) of every stage that installed at least
+    /// one lane whose label satisfies `pred` — the per-subsystem round
+    /// breakdown (e.g. "how much of MST is FindMin").
+    pub fn rounds_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.lanes.iter().any(|l| pred(&l.label)))
+            .map(|s| s.stats.rounds)
+            .sum()
+    }
+}
+
+/// Result of one [`Dag::run`]: typed outputs, total engine statistics
+/// (executions + barriers), and the packing plan.
+pub struct DagRun {
+    /// Outputs of every node, retrieved by handle.
+    pub outputs: DagOutputs,
+    /// Total cost: every stage execution plus every charged barrier.
+    pub stats: ExecStats,
+    /// The packing plan the scheduler chose.
+    pub report: SchedReport,
+}
+
+impl<'a> Dag<'a> {
+    /// Runs the DAG under the [`default_lane_budget`].
+    pub fn run(self, engine: &mut Engine) -> Result<DagRun, ModelError> {
+        let budget = default_lane_budget(engine.n());
+        self.run_budgeted(engine, budget)
+    }
+
+    /// Runs the DAG with an explicit lane budget (tests use tiny budgets
+    /// to exercise antichain splitting).
+    pub fn run_budgeted(self, engine: &mut Engine, budget: usize) -> Result<DagRun, ModelError> {
+        assert!(budget >= 1, "scheduler needs room for at least one lane");
+        let n = engine.n();
+        let mut nodes = self.nodes;
+        let mut outputs: Vec<Option<Box<dyn std::any::Any>>> =
+            (0..nodes.len()).map(|_| None).collect();
+        let mut total = ExecStats::default();
+        let mut report = SchedReport {
+            budget,
+            stages: Vec::new(),
+        };
+
+        loop {
+            // Settle to a fixpoint: finish quiesced lanes, run ready
+            // compute nodes, build ready protocols. Each transition can
+            // unlock more (a compute feeding a proto feeding a compute…),
+            // all without touching the network — local computation is free.
+            loop {
+                let mut changed = false;
+                for i in 0..nodes.len() {
+                    let ready = nodes[i].deps.iter().all(|&d| outputs[d].is_some());
+                    match &nodes[i].state {
+                        NodeState::Pending(_) | NodeState::PendingCompute(_) if ready => {
+                            let state = std::mem::replace(&mut nodes[i].state, NodeState::Done);
+                            let deps = Deps { outputs: &outputs };
+                            match state {
+                                NodeState::Pending(build) => {
+                                    nodes[i].state = NodeState::Running(build(&deps));
+                                }
+                                NodeState::PendingCompute(run) => {
+                                    outputs[i] = Some(run(&deps));
+                                    // state stays Done
+                                }
+                                _ => unreachable!(),
+                            }
+                            changed = true;
+                        }
+                        NodeState::Running(lane) if lane.is_done() => {
+                            let NodeState::Running(mut lane) =
+                                std::mem::replace(&mut nodes[i].state, NodeState::Done)
+                            else {
+                                unreachable!()
+                            };
+                            outputs[i] = Some(lane.finish());
+                            changed = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+
+            // Pack the ready antichain: every Running node contributes its
+            // current stage as a lane, declaration order, budget-capped.
+            // Each packed lane gets an even share of the per-node send
+            // capacity (§2's parallel-instances argument: k instances run
+            // together iff each throttles to cap/k messages per round).
+            let width = nodes
+                .iter()
+                .filter(|nd| matches!(nd.state, NodeState::Running(_)))
+                .count()
+                .min(budget)
+                .max(1);
+            let share = match engine.config().capacity.send {
+                usize::MAX => usize::MAX,
+                cap => (cap / width).max(1),
+            };
+            let mut b = MuxBuilder::new(n).with_lane_budget(budget);
+            let mut installed: Vec<(usize, ncc_model::LaneId)> = Vec::new();
+            let mut deferred: Vec<String> = Vec::new();
+            for i in 0..nodes.len() {
+                if let NodeState::Running(lane) = &mut nodes[i].state {
+                    if installed.len() >= budget {
+                        deferred.push(nodes[i].label.clone());
+                        continue;
+                    }
+                    lane.pace(share);
+                    let id = lane
+                        .install(&mut b)
+                        .expect("LaneSub invariant: !is_done() but install returned None");
+                    installed.push((i, id));
+                }
+            }
+
+            if installed.is_empty() {
+                let stuck: Vec<&str> = nodes
+                    .iter()
+                    .filter(|nd| !matches!(nd.state, NodeState::Done))
+                    .map(|nd| nd.label.as_str())
+                    .collect();
+                assert!(
+                    stuck.is_empty(),
+                    "DAG deadlock: nodes {stuck:?} can never become ready"
+                );
+                break;
+            }
+
+            // One shared execution for the whole antichain...
+            let (mux, mut states) = b.build();
+            let stats = engine.execute(&mux, &mut states)?;
+            total.merge(&stats);
+            let per_lane = lane_stats(&states);
+            let mut all_sync = true;
+            let mut lanes = Vec::with_capacity(installed.len());
+            for (k, (i, id)) in installed.iter().enumerate() {
+                let NodeState::Running(lane) = &mut nodes[*i].state else {
+                    unreachable!()
+                };
+                all_sync &= lane.self_synchronizing();
+                lane.collect(*id, &mut states);
+                lanes.push(LaneRecord {
+                    label: nodes[*i].label.clone(),
+                    stats: per_lane[k],
+                });
+            }
+            // ...and one shared barrier, unless the lanes synchronised
+            // themselves (all-A&B stages, matching the blocking adapters).
+            if !all_sync {
+                total.merge(&sync_barrier(engine)?);
+            }
+            report.stages.push(PackedStage {
+                lanes,
+                deferred,
+                stats,
+                barrier: !all_sync,
+            });
+        }
+
+        Ok(DagRun {
+            outputs: DagOutputs { outputs },
+            stats: total,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::{ab_sub, aggregate_and_broadcast};
+    use crate::combine::{MaxU64, MinU64, SumU64};
+    use crate::compose::Dep;
+    use ncc_model::NetConfig;
+
+    fn engine(n: usize) -> Engine {
+        Engine::new(NetConfig::new(n, 77))
+    }
+
+    #[test]
+    fn solo_ab_node_matches_blocking_adapter() {
+        let n = 48;
+        // blocking path
+        let mut eng = engine(n);
+        let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
+        let (want, blocking_stats) =
+            aggregate_and_broadcast(&mut eng, inputs.clone(), &MaxU64).unwrap();
+        let blocking_round = eng.total.rounds;
+        // DAG path: one A&B node, nothing else
+        let mut eng = engine(n);
+        let mut dag = Dag::new();
+        let node = dag.proto(
+            "max",
+            &[],
+            move |_| ab_sub(n, inputs, &MaxU64),
+            |s| s.into_results(),
+        );
+        let mut run = dag.run(&mut eng).unwrap();
+        assert_eq!(run.outputs.take(node), want);
+        // self-synchronizing ⇒ no barrier charged: identical cost to the
+        // blocking adapter, down to the engine's global round counter.
+        assert_eq!(run.stats, blocking_stats);
+        assert_eq!(eng.total.rounds, blocking_round);
+        assert_eq!(run.report.stages.len(), 1);
+        assert!(!run.report.stages[0].barrier);
+    }
+
+    #[test]
+    fn outputs_thread_through_dependencies() {
+        let n = 32;
+        let mut eng = engine(n);
+        let mut dag = Dag::new();
+        // sum of 0..n, then a dependent A&B that broadcasts sum+1, plus a
+        // compute node in between — typed outputs flow through closures.
+        let inputs: Vec<Option<u64>> = (0..n as u64).map(Some).collect();
+        let sum = dag.proto(
+            "sum",
+            &[],
+            move |_| ab_sub(n, inputs, &SumU64),
+            |s| s.into_results(),
+        );
+        let bumped = dag.compute("bump", &[sum.into()], move |d| d.get(sum)[0].map(|v| v + 1));
+        let rebroadcast = dag.proto(
+            "rebroadcast",
+            &[bumped.into()],
+            move |d| {
+                let v = *d.get(bumped);
+                ab_sub(n, vec![v; n], &MinU64)
+            },
+            |s| s.into_results(),
+        );
+        let mut run = dag.run(&mut eng).unwrap();
+        let expect = (n as u64 * (n as u64 - 1)) / 2 + 1;
+        assert_eq!(run.outputs.take(bumped), Some(expect));
+        assert!(run
+            .outputs
+            .take(rebroadcast)
+            .iter()
+            .all(|r| *r == Some(expect)));
+        // two protocol stages (sum, then rebroadcast), sequential because
+        // of the dependency chain.
+        assert_eq!(run.report.stages.len(), 2);
+        assert_eq!(run.report.max_lanes(), 1);
+    }
+
+    #[test]
+    fn independent_nodes_pack_into_one_stage() {
+        let n = 32;
+        let mut eng = engine(n);
+        let mut dag = Dag::new();
+        for j in 0..4u64 {
+            let inputs: Vec<Option<u64>> = (0..n as u64).map(|v| Some(v + 100 * j)).collect();
+            dag.proto(
+                format!("max{j}"),
+                &[],
+                move |_| ab_sub(n, inputs, &MaxU64),
+                |s| s.into_results(),
+            );
+        }
+        let run = dag.run(&mut eng).unwrap();
+        assert_eq!(run.report.stages.len(), 1, "antichain packs together");
+        assert_eq!(run.report.stages[0].lanes.len(), 4);
+        assert_eq!(run.report.splits(), 0);
+        // per-lane stats are recorded for every packed lane
+        assert!(run.report.stages[0].lanes.iter().all(|l| l.stats.sent > 0));
+    }
+
+    #[test]
+    fn budget_overflow_splits_antichain() {
+        let n = 32;
+        let mut eng = engine(n);
+        let mut dag = Dag::new();
+        let mut handles = Vec::new();
+        for j in 0..5u64 {
+            let inputs: Vec<Option<u64>> = (0..n as u64).map(|v| Some(v * (j + 1))).collect();
+            handles.push((
+                j,
+                dag.proto(
+                    format!("sum{j}"),
+                    &[],
+                    move |_| ab_sub(n, inputs, &SumU64),
+                    |s| s.into_results(),
+                ),
+            ));
+        }
+        let mut run = dag.run_budgeted(&mut eng, 2).unwrap();
+        // 5 ready nodes, budget 2 → stages of 2/2/1, deferrals recorded
+        assert_eq!(run.report.stages.len(), 3);
+        assert_eq!(run.report.max_lanes(), 2);
+        assert_eq!(run.report.splits(), 2);
+        assert_eq!(run.report.stages[0].deferred.len(), 3);
+        let base: u64 = (0..n as u64).sum();
+        for (j, h) in handles {
+            assert!(run
+                .outputs
+                .take(h)
+                .iter()
+                .all(|r| *r == Some(base * (j + 1))));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency on a node declared later")]
+    fn forward_dependency_rejected_at_declaration() {
+        // Cycles (and thus deadlocks) are unrepresentable: a dep list may
+        // only name already-declared nodes, checked when the node is added.
+        let mut dag = Dag::new();
+        let b = dag.compute("b", &[], |_| 2u64);
+        let _ = dag.compute("c", &[Dep(b.idx + 1)], |_| 3u64);
+    }
+
+    #[test]
+    fn compute_only_dag_runs_without_network() {
+        let mut eng = engine(8);
+        let round0 = eng.total.rounds;
+        let mut dag = Dag::new();
+        let a = dag.compute("a", &[], |_| 21u64);
+        let b = dag.compute("b", &[a.into()], move |d| d.get(a) * 2);
+        let mut run = dag.run(&mut eng).unwrap();
+        assert_eq!(run.outputs.take(b), 42);
+        assert_eq!(run.stats, ExecStats::default());
+        assert_eq!(eng.total.rounds, round0, "local computation is free");
+        assert!(run.report.stages.is_empty());
+    }
+}

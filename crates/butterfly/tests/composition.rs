@@ -1,10 +1,11 @@
 //! Composed (fused, lane-multiplexed) primitives against their blocking
 //! classic counterparts: same outputs, fewer rounds.
 
+use ncc_butterfly::aggregation::aggregate;
 use ncc_butterfly::{
-    ab_sub, aggregate, aggregation_sub, multi_aggregate, multi_aggregate_sub, multicast,
-    multicast_setup, multicast_setup_sub, multicast_sub, run_composed, AggregationSpec, GroupId,
-    LaneSub, MaxU64, MinU64, SumU64,
+    ab_sub, aggregation_sub, multi_aggregate, multi_aggregate_sub, multicast, multicast_setup,
+    multicast_setup_sub, multicast_sub, run_composed, AggregationSpec, GroupId, LaneSub, MaxU64,
+    MinU64, SumU64,
 };
 use ncc_hashing::SharedRandomness;
 use ncc_model::{Engine, NetConfig};

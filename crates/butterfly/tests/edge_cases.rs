@@ -2,8 +2,9 @@
 //! two network sizes (proxy columns), non-emulating sources and targets,
 //! heavy loads, and multi-threaded engine equivalence.
 
+use ncc_butterfly::aggregation::aggregate;
 use ncc_butterfly::{
-    aggregate, aggregate_and_broadcast, multi_aggregate, multicast, multicast_setup, self_joins,
+    aggregate_and_broadcast, multi_aggregate, multicast, multicast_setup, self_joins,
     AggregationSpec, GroupId, MinU64, SumU64,
 };
 use ncc_hashing::SharedRandomness;

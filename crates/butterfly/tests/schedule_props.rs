@@ -1,0 +1,195 @@
+//! Property tests for the DAG scheduler: declaring an antichain of
+//! primitives as a [`Dag`] and letting the scheduler pack it must be
+//! equivalent to hand-fusing the same lanes through [`run_composed`] —
+//! across thread counts and capacity regimes — and a lane budget narrower
+//! than the antichain must split it into sequential stages without
+//! changing any output.
+
+use ncc_butterfly::{
+    ab_sub, aggregation_sub, run_composed, AggregationSpec, Dag, GroupId, LaneSub, MaxU64, SumU64,
+};
+use ncc_hashing::SharedRandomness;
+use ncc_model::{Capacity, Engine, NetConfig};
+use proptest::prelude::*;
+
+fn engine(n: usize, seed: u64, threads: usize, unbounded: bool) -> Engine {
+    let mut cfg = NetConfig::new(n, seed).with_threads(threads);
+    if unbounded {
+        cfg = cfg.with_capacity(Capacity::unbounded());
+    }
+    Engine::new(cfg)
+}
+
+fn sorted<V: Ord>(mut v: Vec<V>) -> Vec<V> {
+    v.sort();
+    v
+}
+
+/// Group `(t + sub) mod n` collects `u` from node `u` — a different
+/// membership pattern per lane, seeded entirely by `(n, sub)`.
+fn make_spec(n: usize, sub: u32) -> AggregationSpec<u64> {
+    AggregationSpec {
+        memberships: (0..n)
+            .map(|u| vec![(GroupId::new((u as u32 + sub) % n as u32, sub), u as u64)])
+            .collect(),
+        ell2_hat: 1,
+    }
+}
+
+fn ab_inputs(n: usize, seed: u64) -> Vec<Option<u64>> {
+    (0..n as u64)
+        .map(|u| Some(u.wrapping_mul(0x9E37_79B9) ^ seed))
+        .collect()
+}
+
+/// Hand-fused baseline: all lanes installed into one [`run_composed`]
+/// group. Returns (per-lane sorted deliveries, A&B results, rounds).
+type Deliveries = Vec<Vec<Vec<(GroupId, u64)>>>;
+
+fn run_fused(
+    n: usize,
+    seed: u64,
+    threads: usize,
+    unbounded: bool,
+    k: usize,
+) -> (Deliveries, Vec<Option<u64>>, u64) {
+    let shared = SharedRandomness::new(seed ^ 0xF00D);
+    let mut eng = engine(n, seed, threads, unbounded);
+    let mut lanes: Vec<_> = (0..k as u32)
+        .map(|sub| aggregation_sub(n, &shared, make_spec(n, sub), &SumU64, 40 + sub as u64))
+        .collect();
+    let mut ab = ab_sub(n, ab_inputs(n, seed), &MaxU64);
+    let stats = {
+        let mut refs: Vec<&mut dyn LaneSub> =
+            lanes.iter_mut().map(|l| l as &mut dyn LaneSub).collect();
+        refs.push(&mut ab);
+        let (stats, _) = run_composed(&mut eng, &mut refs).unwrap();
+        stats
+    };
+    let deliveries = lanes
+        .into_iter()
+        .map(|l| l.into_deliveries().into_iter().map(sorted).collect())
+        .collect();
+    (deliveries, ab.into_results(), stats.rounds)
+}
+
+/// The same lanes declared as a dependency-free [`Dag`] antichain, packed
+/// by the scheduler under `budget` (`None` = the default budget).
+fn run_dag(
+    n: usize,
+    seed: u64,
+    threads: usize,
+    unbounded: bool,
+    k: usize,
+    budget: Option<usize>,
+) -> (
+    Deliveries,
+    Vec<Option<u64>>,
+    u64,
+    ncc_butterfly::SchedReport,
+) {
+    let shared = SharedRandomness::new(seed ^ 0xF00D);
+    let mut eng = engine(n, seed, threads, unbounded);
+    let mut dag = Dag::new();
+    let aggs: Vec<_> = (0..k as u32)
+        .map(|sub| {
+            let shared = &shared;
+            dag.proto(
+                format!("agg{sub}"),
+                &[],
+                move |_| aggregation_sub(n, shared, make_spec(n, sub), &SumU64, 40 + sub as u64),
+                |s| s.into_deliveries(),
+            )
+        })
+        .collect();
+    let inputs = ab_inputs(n, seed);
+    let ab = dag.proto(
+        "ab",
+        &[],
+        move |_| ab_sub(n, inputs, &MaxU64),
+        |s| s.into_results(),
+    );
+    let mut run = match budget {
+        Some(b) => dag.run_budgeted(&mut eng, b).unwrap(),
+        None => dag.run(&mut eng).unwrap(),
+    };
+    let deliveries = aggs
+        .into_iter()
+        .map(|h| run.outputs.take(h).into_iter().map(sorted).collect())
+        .collect();
+    (
+        deliveries,
+        run.outputs.take(ab),
+        run.stats.rounds,
+        run.report,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// Scheduler-packed == hand-fused, bit-exactly: same deliveries, same
+    /// A&B results, same round count — under every (threads, caps) cell.
+    /// Tight caps make this a strong claim: drop decisions are keyed on
+    /// the engine's global round, so equality requires the scheduler to
+    /// reproduce the fused path's exact execution sequence.
+    #[test]
+    fn dag_antichain_matches_hand_fused(
+        n in 16usize..48,
+        k in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let mut reference = None;
+        for threads in [1usize, 4] {
+            for unbounded in [false, true] {
+                let fused = run_fused(n, seed, threads, unbounded, k);
+                let (deliveries, ab, rounds, report) =
+                    run_dag(n, seed, threads, unbounded, k, None);
+                prop_assert_eq!(&deliveries, &fused.0, "deliveries diverge");
+                prop_assert_eq!(&ab, &fused.1, "A&B results diverge");
+                prop_assert_eq!(rounds, fused.2, "round counts diverge");
+                prop_assert_eq!(report.splits(), 0, "antichain fits the default budget");
+                // threads are an execution-layout knob: results must be
+                // identical across thread counts (per capacity regime)
+                match &reference {
+                    None => reference = Some((deliveries, ab)),
+                    Some((d, a)) if !unbounded => {
+                        prop_assert_eq!(&deliveries, d, "thread count changed results");
+                        prop_assert_eq!(&ab, a, "thread count changed A&B results");
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    /// An antichain wider than the lane budget must be split into
+    /// sequential stages — and still produce the fused outputs. Unbounded
+    /// caps keep outputs packing-independent (no drops), which is what
+    /// makes the comparison well-defined across different stage counts.
+    #[test]
+    fn over_budget_antichain_splits_without_changing_outputs(
+        n in 16usize..48,
+        k in 3usize..6,
+        seed in 0u64..1_000,
+        budget in 1usize..3,
+    ) {
+        let fused = run_fused(n, seed, 1, true, k);
+        let (deliveries, ab, _, report) = run_dag(n, seed, 1, true, k, Some(budget));
+        prop_assert_eq!(&deliveries, &fused.0, "split packing changed deliveries");
+        prop_assert_eq!(&ab, &fused.1, "split packing changed A&B results");
+        // k aggregations + 1 A&B vs a budget of 1–2 lanes: the scheduler
+        // must defer the overflow into later stages
+        prop_assert!(report.splits() > 0, "no split despite {} lanes under budget {}", k + 1, budget);
+        prop_assert!(report.max_lanes() <= budget, "budget exceeded");
+        prop_assert!(
+            report.stages.len() >= (k + 1).div_ceil(budget),
+            "too few stages for {} lanes at budget {}",
+            k + 1,
+            budget
+        );
+    }
+}

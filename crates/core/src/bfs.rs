@@ -6,10 +6,13 @@
 //! message fixes `δ(u) = i − 1 + 1` and `π(u)` = the smallest identifier
 //! received — the paper's tie-breaking rule. An Aggregate-and-Broadcast per
 //! phase decides termination, after at most `D + 1` phases.
+//!
+//! Each phase is *declared* as a protocol [`Dag`]: frontier spread →
+//! node-local frontier update → termination check, and the scheduler packs
+//! and barriers the stages (the check is an A&B, so it self-synchronises
+//! and costs no extra barrier — same round count as the hand-fused path).
 
-use ncc_butterfly::{
-    aggregate_and_broadcast, lane_seed, multi_aggregate_sub, run_composed, MaxU64, MinU64,
-};
+use ncc_butterfly::{ab_sub, lane_seed, multi_aggregate_sub, Dag, MaxU64, MinU64, SchedReport};
 use ncc_graph::Graph;
 use ncc_hashing::SharedRandomness;
 use ncc_model::{Engine, ModelError, NodeId};
@@ -28,6 +31,8 @@ pub struct BfsResult {
     /// Number of frontier phases executed (`≤ D + 1`).
     pub phases: u32,
     pub report: AlgoReport,
+    /// The scheduler's packing plan across all phases.
+    pub plan: SchedReport,
 }
 
 /// Runs BFS from `src` over prebuilt broadcast trees.
@@ -41,7 +46,7 @@ pub fn bfs(
     let n = engine.n();
     assert_eq!(n, g.n());
     let mut report = AlgoReport::default();
-    let min_agg = MinU64;
+    let mut plan = SchedReport::default();
 
     let mut dist = vec![UNREACHABLE; n];
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
@@ -57,18 +62,46 @@ pub fn bfs(
         for &u in &frontier {
             messages[u as usize] = Some((neighborhood_group(u), u as u64));
         }
-        let mut spread = multi_aggregate_sub(
-            n,
-            shared,
-            &bt.trees,
-            messages,
-            |_, _, _, v| *v,
-            &min_agg,
-            lane_seed(engine, 0x6266_7301, phase as u64),
+        let seed = lane_seed(engine, 0x6266_7301, phase as u64);
+        let known = dist.clone();
+
+        let mut dag = Dag::new();
+        let trees = &bt.trees;
+        let spread = dag.proto(
+            format!("p{phase}:spread"),
+            &[],
+            move |_| {
+                multi_aggregate_sub(n, shared, trees, messages, |_, _, _, v| *v, &MinU64, seed)
+            },
+            |s| s.into_results(),
         );
-        let (s, _) = run_composed(engine, &mut [&mut spread])?;
-        report.push(format!("phase{phase}:spread"), s);
-        let mins = spread.into_results();
+        // a node joins the next frontier iff it was unknown and heard a
+        // frontier identifier this phase
+        let newly = dag.compute(format!("p{phase}:next"), &[spread.into()], move |d| {
+            let mins = d.get(spread);
+            (0..n)
+                .map(|v| {
+                    if known[v] == UNREACHABLE && mins[v].is_some() {
+                        Some(1u64)
+                    } else {
+                        None
+                    }
+                })
+                .collect::<Vec<Option<u64>>>()
+        });
+        // termination consensus (also the phase barrier)
+        let check = dag.proto(
+            format!("p{phase}:check"),
+            &[newly.into()],
+            move |d| ab_sub(n, d.get(newly).clone(), &MaxU64),
+            |s| s.into_results(),
+        );
+
+        let mut run = dag.run(engine)?;
+        report.push(format!("phase{phase}"), run.stats);
+        let mins = run.outputs.take(spread);
+        let any_new = run.outputs.take(check);
+        plan.merge(run.report);
 
         let mut next = Vec::new();
         for v in 0..n {
@@ -82,12 +115,6 @@ pub fn bfs(
         }
         frontier = next;
 
-        // termination consensus (also the phase barrier)
-        let inputs: Vec<Option<u64>> = (0..n)
-            .map(|v| if dist[v] == phase { Some(1) } else { None })
-            .collect();
-        let (any_new, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
-        report.push(format!("phase{phase}:check"), s);
         if any_new[0].is_none() {
             break;
         }
@@ -98,6 +125,7 @@ pub fn bfs(
         parent,
         phases: phase,
         report,
+        plan,
     })
 }
 
@@ -175,6 +203,21 @@ mod tests {
         for v in 1..32u32 {
             let p = r.parent[v as usize].unwrap();
             assert!(g.has_edge(v, p));
+        }
+    }
+
+    #[test]
+    fn plan_packs_check_without_barrier() {
+        // every phase: spread pipeline (2 stages, barriered) then the A&B
+        // check (self-synchronizing, no barrier) — the same cost structure
+        // the hand-fused path had
+        let g = gen::grid(4, 4);
+        let r = run(&g, 0, 9);
+        assert_eq!(r.plan.stages.len() as u32, 3 * r.phases);
+        for ph in r.plan.stages.chunks(3) {
+            assert!(ph[0].barrier && ph[1].barrier);
+            assert!(!ph[2].barrier, "A&B check must not pay a barrier");
+            assert_eq!(ph[2].lanes.len(), 1);
         }
     }
 }

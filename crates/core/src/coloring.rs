@@ -18,10 +18,16 @@
 //! never empty; the implementation pads the palette to `2â + ⌈â/2⌉ + 2` so
 //! the guarantee is non-vacuous at `â = 1` as well.
 
+//!
+//! The setup agreements and every repetition are declared as protocol
+//! [`Dag`]s: the â/T consensus rides the `N_in` tree build as a packed
+//! antichain, and within a repetition the permanent in-neighbor multicast
+//! and out-neighbor aggregation (both depending only on the keep decision)
+//! are packed into one mux by the scheduler.
+
 use ncc_butterfly::{
-    ab_sub, aggregate_and_broadcast, aggregation_sub, lane_seed, multicast_setup_sub,
-    multicast_sub, run_composed, AggregationSpec, GroupId, LaneSub, MaxU64, MulticastSub,
-    MulticastTrees, SumU64,
+    ab_sub, aggregation_sub, lane_seed, multicast_setup_sub, multicast_sub, AggregationSpec, Dag,
+    GroupId, MaxU64, MulticastSub, MulticastTrees, SchedReport, SumU64,
 };
 use ncc_graph::Graph;
 use ncc_hashing::{FxHashSet, SharedRandomness};
@@ -43,6 +49,8 @@ pub struct ColoringResult {
     pub levels_processed: u32,
     pub repetitions_total: u32,
     pub report: AlgoReport,
+    /// The scheduler's packing plan across setup and all repetitions.
+    pub plan: SchedReport,
 }
 
 /// Runs the level-by-level coloring, consuming a §4 orientation.
@@ -56,12 +64,11 @@ pub fn coloring(
     assert_eq!(n, g.n());
     let logn = ncc_model::ilog2_ceil(n).max(1);
     let mut report = AlgoReport::default();
-    let max_agg = MaxU64;
-    let sum_agg = SumU64;
+    let mut plan = SchedReport::default();
 
-    // --- setup, composed: the â and T agreements and the N_in tree build
-    // all depend only on the finished orientation, so they run as three
-    // lanes of one execution instead of three queued primitives.
+    // --- setup, declared as one DAG: the â and T agreements and the N_in
+    // tree build all depend only on the finished orientation, so they are
+    // an antichain the scheduler packs into one execution.
     let ahat_inputs: Vec<Option<u64>> = (0..n)
         .map(|u| {
             let d_l = orientation.neighbor_class[u]
@@ -84,17 +91,32 @@ pub fn coloring(
                 .collect()
         })
         .collect();
-    let mut trees_sub = multicast_setup_sub(n, shared, joins, lane_seed(engine, 0x636c_7201, 0));
-    let mut ahat_sub = ab_sub(n, ahat_inputs, &max_agg);
-    let mut level_sub = ab_sub(n, level_inputs, &max_agg);
-    let (s, _) = {
-        let mut refs: [&mut dyn LaneSub; 3] = [&mut trees_sub, &mut ahat_sub, &mut level_sub];
-        run_composed(engine, &mut refs)?
-    };
-    report.push("in-trees+agree", s);
-    let in_trees = trees_sub.into_trees();
-    let a_hat = ahat_sub.into_results()[0].unwrap_or(0) as usize;
-    let t_max = level_sub.into_results()[0].unwrap_or(0) as u32;
+    let trees_seed = lane_seed(engine, 0x636c_7201, 0);
+    let mut dag = Dag::new();
+    let trees = dag.proto(
+        "setup:in-trees",
+        &[],
+        move |_| multicast_setup_sub(n, shared, joins, trees_seed),
+        |s| s.into_trees(),
+    );
+    let ahat = dag.proto(
+        "setup:ahat",
+        &[],
+        move |_| ab_sub(n, ahat_inputs, &MaxU64),
+        |s| s.into_results(),
+    );
+    let level = dag.proto(
+        "setup:levels",
+        &[],
+        move |_| ab_sub(n, level_inputs, &MaxU64),
+        |s| s.into_results(),
+    );
+    let mut run = dag.run(engine)?;
+    report.push("in-trees+agree", run.stats);
+    let in_trees = run.outputs.take(trees);
+    let a_hat = run.outputs.take(ahat)[0].unwrap_or(0) as usize;
+    let t_max = run.outputs.take(level)[0].unwrap_or(0) as u32;
+    plan.merge(run.report);
 
     // palette [2(1+ε)â] with ε = ¼, padded so â = 1 stays feasible
     let palette = (2 * a_hat + a_hat.div_ceil(2) + 2) as u32;
@@ -137,84 +159,123 @@ pub fn coloring(
                     messages[u] = Some((GroupId::new(u as u32, IN_SUB), c as u64));
                 }
             }
-            let mut tent_sub = in_multicast_sub(
-                n,
-                shared,
-                &in_trees,
-                messages,
-                a_hat,
-                lane_seed(engine, 0x636c_7202, ((level as u64) << 16) | rep as u64),
-            );
-            let (s, _) = run_composed(engine, &mut [&mut tent_sub])?;
-            report.push(format!("l{li}:r{rep}:tentative"), s);
-            let heard = tent_sub.into_deliveries();
+            let tent_seed = lane_seed(engine, 0x636c_7202, ((level as u64) << 16) | rep as u64);
+            let perm_in_seed = lane_seed(engine, 0x636c_7203, ((level as u64) << 16) | rep as u64);
+            let perm_out_seed = lane_seed(engine, 0x636c_7204, ((level as u64) << 16) | rep as u64);
+            let in_trees = &in_trees;
+            let levels = &orientation.levels;
+            let outs = &orientation.out_neighbors;
 
+            let mut dag = Dag::new();
+            let tent = dag.proto(
+                format!("l{li}:r{rep}:tentative"),
+                &[],
+                move |_| in_multicast_sub(n, shared, in_trees, messages, a_hat, tent_seed),
+                |s| s.into_deliveries(),
+            );
             // u defers iff some same-level uncolored out-neighbor announced
             // u's own candidate (u receives announcements of all x with
             // u ∈ N_in(x), i.e. of its out-neighbors)
-            let mut keeps: Vec<bool> = vec![false; n];
-            for u in 0..n {
-                if let Some(c) = cand[u] {
-                    let conflict = heard[u].iter().any(|&(src_group, col)| {
-                        let x = src_group.target();
-                        col as u32 == c
-                            && orientation.levels[x as usize] == level
-                            && colors[x as usize].is_none()
-                    });
-                    keeps[u] = !conflict;
-                }
-            }
-
-            // --- permanent announcements -----------------------------------
-            // to in-neighbors: multicast
-            let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
-            for u in 0..n {
-                if keeps[u] {
-                    messages[u] = Some((GroupId::new(u as u32, IN_SUB), cand[u].unwrap() as u64));
-                }
-            }
-            // to out-neighbors: aggregation over groups A_{id(v) ∘ c}.
-            // Both permanent announcements depend only on `keeps`, so the
-            // in-neighbor multicast and the out-neighbor aggregation share
-            // rounds as lanes of one composition.
-            let memberships: Vec<Vec<(GroupId, u64)>> = (0..n)
-                .map(|u| {
-                    if keeps[u] {
-                        let c = cand[u].unwrap();
-                        orientation.out_neighbors[u]
-                            .iter()
-                            .map(|&v| (GroupId::new(v, 100 + c), 1u64))
-                            .collect()
-                    } else {
-                        Vec::new()
-                    }
-                })
-                .collect();
-            let mut perm_in_sub = in_multicast_sub(
-                n,
-                shared,
-                &in_trees,
-                messages,
-                a_hat,
-                lane_seed(engine, 0x636c_7203, ((level as u64) << 16) | rep as u64),
-            );
-            let mut perm_out_sub = aggregation_sub(
-                n,
-                shared,
-                AggregationSpec {
-                    memberships,
-                    ell2_hat: palette as usize,
+            let keep_cand = cand.clone();
+            let keep_colors = colors.clone();
+            let keeps = dag.compute(format!("l{li}:r{rep}:keep"), &[tent.into()], move |d| {
+                let heard = d.get(tent);
+                (0..n)
+                    .map(|u| {
+                        keep_cand[u].is_some_and(|c| {
+                            !heard[u].iter().any(|&(src_group, col)| {
+                                let x = src_group.target();
+                                col as u32 == c
+                                    && levels[x as usize] == level
+                                    && keep_colors[x as usize].is_none()
+                            })
+                        })
+                    })
+                    .collect::<Vec<bool>>()
+            });
+            // --- permanent announcements: to in-neighbors by multicast, to
+            // out-neighbors by aggregation over groups A_{id(v) ∘ c}. Both
+            // depend only on `keeps`, so they are an antichain the scheduler
+            // packs into one mux.
+            let perm_in_cand = cand.clone();
+            let perm_in = dag.proto(
+                format!("l{li}:r{rep}:perm-mc"),
+                &[keeps.into()],
+                move |d| {
+                    let keeps = d.get(keeps);
+                    let messages: Vec<Option<(GroupId, u64)>> = (0..n)
+                        .map(|u| {
+                            keeps[u].then(|| {
+                                (
+                                    GroupId::new(u as u32, IN_SUB),
+                                    perm_in_cand[u].unwrap() as u64,
+                                )
+                            })
+                        })
+                        .collect();
+                    in_multicast_sub(n, shared, in_trees, messages, a_hat, perm_in_seed)
                 },
-                &sum_agg,
-                lane_seed(engine, 0x636c_7204, ((level as u64) << 16) | rep as u64),
+                |s| s.into_deliveries(),
             );
-            let (s, _) = {
-                let mut refs: [&mut dyn LaneSub; 2] = [&mut perm_in_sub, &mut perm_out_sub];
-                run_composed(engine, &mut refs)?
-            };
-            report.push(format!("l{li}:r{rep}:perm-mc+agg"), s);
-            let perm_in = perm_in_sub.into_deliveries();
-            let perm_out = perm_out_sub.into_deliveries();
+            let perm_out_cand = cand.clone();
+            let perm_out = dag.proto(
+                format!("l{li}:r{rep}:perm-agg"),
+                &[keeps.into()],
+                move |d| {
+                    let keeps = d.get(keeps);
+                    let memberships: Vec<Vec<(GroupId, u64)>> = (0..n)
+                        .map(|u| {
+                            if keeps[u] {
+                                let c = perm_out_cand[u].unwrap();
+                                outs[u]
+                                    .iter()
+                                    .map(|&v| (GroupId::new(v, 100 + c), 1u64))
+                                    .collect()
+                            } else {
+                                Vec::new()
+                            }
+                        })
+                        .collect();
+                    aggregation_sub(
+                        n,
+                        shared,
+                        AggregationSpec {
+                            memberships,
+                            ell2_hat: palette as usize,
+                        },
+                        &SumU64,
+                        perm_out_seed,
+                    )
+                },
+                |s| s.into_deliveries(),
+            );
+            // --- is this level done? The check consumes the keep decision
+            // but must run after the announcements (the deps serialise it,
+            // exactly like the hand-fused sequence did).
+            let check_colors = colors.clone();
+            let check = dag.proto(
+                format!("l{li}:r{rep}:check"),
+                &[keeps.into(), perm_in.into(), perm_out.into()],
+                move |d| {
+                    let keeps = d.get(keeps);
+                    let inputs: Vec<Option<u64>> = (0..n)
+                        .map(|u| {
+                            (levels[u] == level && check_colors[u].is_none() && !keeps[u])
+                                .then_some(1)
+                        })
+                        .collect();
+                    ab_sub(n, inputs, &MaxU64)
+                },
+                |s| s.into_results(),
+            );
+
+            let mut run = dag.run(engine)?;
+            report.push(format!("l{li}:r{rep}"), run.stats);
+            let keeps = run.outputs.take(keeps);
+            let perm_in = run.outputs.take(perm_in);
+            let perm_out = run.outputs.take(perm_out);
+            let remaining = run.outputs.take(check);
+            plan.merge(run.report);
 
             // apply: winners fix their colors; everyone strikes heard colors
             for u in 0..n {
@@ -229,19 +290,6 @@ pub fn coloring(
                     forbidden[u].insert(gid.sub() - 100);
                 }
             }
-
-            // --- is this level done? ---------------------------------------
-            let inputs: Vec<Option<u64>> = (0..n)
-                .map(|u| {
-                    if orientation.levels[u] == level && colors[u].is_none() {
-                        Some(1)
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            let (remaining, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
-            report.push(format!("l{li}:r{rep}:check"), s);
             if remaining[0].is_none() {
                 break;
             }
@@ -254,6 +302,7 @@ pub fn coloring(
         levels_processed: t_max,
         repetitions_total: reps_total,
         report,
+        plan,
     })
 }
 

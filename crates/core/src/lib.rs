@@ -17,6 +17,7 @@
 //! | [`mis::mis`] | §5.2, Thm 5.3 | `O((a + log n) log n)` |
 //! | [`matching::maximal_matching`] | §5.3, Thm 5.4 | `O((a + log n) log n)` |
 //! | [`coloring::coloring`] | §5.4, Thm 5.5 | `O(a)` colors in `O((a + log n) log^{3/2} n)` |
+//! | [`apsp::landmark_apsp`] | §5.1 × §2 parallel instances | `O((a + D + log n) log n)` for `Θ(log n)` sketches |
 //!
 //! Each driver returns its output *and* an [`report::AlgoReport`] with
 //! per-stage round/message statistics, which the benchmark harness compares
@@ -40,6 +41,7 @@
 //! assert!(engine.total.clean());                 // capacity respected
 //! ```
 
+pub mod apsp;
 pub mod bfs;
 pub mod broadcast_trees;
 pub mod coloring;
@@ -50,6 +52,7 @@ pub mod orientation;
 pub mod report;
 pub mod support;
 
+pub use apsp::{landmark_apsp, ApspResult};
 pub use bfs::{bfs, BfsResult};
 pub use broadcast_trees::{build_broadcast_trees, BroadcastTrees};
 pub use coloring::{coloring, ColoringResult};

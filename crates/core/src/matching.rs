@@ -14,10 +14,16 @@
 //!    chain edges at random; mutual proposals join the matching.
 //!
 //! `O(log n)` phases suffice w.h.p. (Corollary 3.5 of \[31\] + Chernoff).
+//!
+//! Each phase is declared as two protocol [`Dag`]s (the second is skipped
+//! once the termination consensus comes back empty): pick → accept ∥ check,
+//! where the accept Aggregation and the termination A&B are an antichain the
+//! scheduler packs into one mux — the same fusion the hand-wired lane code
+//! did explicitly — then notify → propose over scheduled exchanges.
 
 use ncc_butterfly::{
-    ab_sub, aggregation_sub, lane_seed, multi_aggregate_sub, run_composed, AggregationSpec,
-    GroupId, LaneSub, MaxU64, MinByKey, MinU64,
+    ab_sub, aggregation_sub, lane_seed, multi_aggregate_sub, AggregationSpec, Dag, GroupId, MaxU64,
+    MinByKey, MinU64, SchedReport,
 };
 use ncc_graph::Graph;
 use ncc_hashing::SharedRandomness;
@@ -26,7 +32,7 @@ use rand::Rng;
 
 use crate::broadcast_trees::{neighborhood_group, BroadcastTrees};
 use crate::report::AlgoReport;
-use crate::support::scheduled_exchange;
+use crate::support::schedule_sub;
 
 /// Output of the distributed maximal matching.
 #[derive(Debug, Clone)]
@@ -35,6 +41,8 @@ pub struct MatchingResult {
     pub mate: Vec<Option<NodeId>>,
     pub phases: u32,
     pub report: AlgoReport,
+    /// The scheduler's packing plan across all phases.
+    pub plan: SchedReport,
 }
 
 /// Runs Israeli–Itai maximal matching over prebuilt broadcast trees.
@@ -48,9 +56,7 @@ pub fn maximal_matching(
     assert_eq!(n, g.n());
     let logn = ncc_model::ilog2_ceil(n).max(1);
     let mut report = AlgoReport::default();
-    let min_by_key = MinByKey;
-    let min_agg = MinU64;
-    let max_agg = MaxU64;
+    let mut plan = SchedReport::default();
 
     let mut mate: Vec<Option<NodeId>> = vec![None; n];
     let max_phases = 8 * logn + 24;
@@ -70,67 +76,94 @@ pub fn maximal_matching(
                 messages[u] = Some((neighborhood_group(u as NodeId), u as u64));
             }
         }
-        let mut pick_sub = multi_aggregate_sub(
-            n,
-            shared,
-            &bt.trees,
-            messages,
+        let pick_seed = lane_seed(engine, 0x6d6d_0001, phase as u64);
+        let accept_seed = lane_seed(engine, 0x6d6d_0002, phase as u64);
+        let trees = &bt.trees;
+
+        let mut dag = Dag::new();
+        let picks = dag.proto(
+            format!("p{phase}:pick"),
+            &[],
             // the leaf l(i,u) annotates with r ∈ [0,1] (here: 24 random
             // bits), exactly as §5.3 prescribes
-            |rng, _g, _member, v| ((rng.gen::<u64>() >> 40), *v),
-            &min_by_key,
-            lane_seed(engine, 0x6d6d_0001, phase as u64),
+            move |_| {
+                multi_aggregate_sub(
+                    n,
+                    shared,
+                    trees,
+                    messages,
+                    |rng, _g, _member, v| ((rng.gen::<u64>() >> 40), *v),
+                    &MinByKey,
+                    pick_seed,
+                )
+            },
+            |s| s.into_results(),
         );
-        let (s, _) = run_composed(engine, &mut [&mut pick_sub])?;
-        report.push(format!("phase{phase}:pick"), s);
-        let picks = pick_sub.into_results();
-
         // pick(u): a uniformly random unmatched neighbor (None if no
         // unmatched neighbor remains). Matched nodes ignore deliveries.
-        let pick: Vec<Option<NodeId>> = (0..n)
-            .map(|u| {
-                if mate[u].is_none() {
-                    picks[u].map(|(_, v)| v as NodeId)
-                } else {
-                    None
-                }
-            })
-            .collect();
-
+        let choose_mate = mate.clone();
+        let choose = dag.compute(format!("p{phase}:choose"), &[picks.into()], move |d| {
+            let picks = d.get(picks);
+            (0..n)
+                .map(|u| {
+                    if choose_mate[u].is_none() {
+                        picks[u].map(|(_, v)| v as NodeId)
+                    } else {
+                        None
+                    }
+                })
+                .collect::<Vec<Option<NodeId>>>()
+        });
         // --- step 2 ∥ termination: accept one chooser (MIN id) while the
         // "anyone still pairable?" consensus rides the same rounds — both
-        // depend only on `pick`, so they compose as lanes. When the check
-        // comes back empty the accept output is empty too (no picks, no
-        // memberships) and the phase ends.
-        let memberships: Vec<Vec<(GroupId, u64)>> = (0..n)
-            .map(|u| match pick[u] {
-                Some(v) => vec![(GroupId::new(v, 9), u as u64)],
-                None => Vec::new(),
-            })
-            .collect();
-        let check_inputs: Vec<Option<u64>> = (0..n)
-            .map(|u| if pick[u].is_some() { Some(1) } else { None })
-            .collect();
-        let mut accept_sub = aggregation_sub(
-            n,
-            shared,
-            AggregationSpec {
-                memberships,
-                ell2_hat: 1,
+        // depend only on `choose`, so they are an antichain the scheduler
+        // packs into one mux. When the check comes back empty the accept
+        // output is empty too (no picks, no memberships) and the phase ends.
+        let accept = dag.proto(
+            format!("p{phase}:accept"),
+            &[choose.into()],
+            move |d| {
+                let pick = d.get(choose);
+                let memberships: Vec<Vec<(GroupId, u64)>> = (0..n)
+                    .map(|u| match pick[u] {
+                        Some(v) => vec![(GroupId::new(v, 9), u as u64)],
+                        None => Vec::new(),
+                    })
+                    .collect();
+                aggregation_sub(
+                    n,
+                    shared,
+                    AggregationSpec {
+                        memberships,
+                        ell2_hat: 1,
+                    },
+                    &MinU64,
+                    accept_seed,
+                )
             },
-            &min_agg,
-            lane_seed(engine, 0x6d6d_0002, phase as u64),
+            |s| s.into_deliveries(),
         );
-        let mut check_sub = ab_sub(n, check_inputs, &max_agg);
-        let (s, _) = {
-            let mut refs: [&mut dyn LaneSub; 2] = [&mut accept_sub, &mut check_sub];
-            run_composed(engine, &mut refs)?
-        };
-        report.push(format!("phase{phase}:accept+check"), s);
-        if check_sub.into_results()[0].is_none() {
+        let check = dag.proto(
+            format!("p{phase}:check"),
+            &[choose.into()],
+            move |d| {
+                let pick = d.get(choose);
+                let inputs: Vec<Option<u64>> = (0..n)
+                    .map(|u| if pick[u].is_some() { Some(1) } else { None })
+                    .collect();
+                ab_sub(n, inputs, &MaxU64)
+            },
+            |s| s.into_results(),
+        );
+        let mut run = dag.run(engine)?;
+        report.push(format!("phase{phase}:select"), run.stats);
+        let pick = run.outputs.take(choose);
+        let accepted_in = run.outputs.take(accept);
+        let still_pairable = run.outputs.take(check)[0].is_some();
+        plan.merge(run.report);
+        if !still_pairable {
             break;
         }
-        let accepted_in = accept_sub.into_deliveries();
         // acc(v): the chooser v accepts (only meaningful for unmatched v)
         let acc: Vec<Option<NodeId>> = (0..n)
             .map(|v| {
@@ -142,50 +175,76 @@ pub fn maximal_matching(
             })
             .collect();
 
-        // notify the accepted chooser: v → acc(v); receiver u learns its
-        // pick was accepted, i.e. chain edge (u → pick(u)) exists
-        let schedules: Vec<Vec<(u64, NodeId, u64)>> = (0..n)
-            .map(|v| match acc[v] {
-                Some(u) => vec![(1, u, 1)],
-                None => Vec::new(),
-            })
-            .collect();
-        let (notifs, s) = scheduled_exchange(engine, schedules)?;
-        report.push(format!("phase{phase}:notify"), s);
-
-        // --- step 3: chain nodes propose to one incident chain edge --------
+        // --- step 3 as a second DAG: notify the accepted chooser, then the
+        // chain nodes propose to one incident chain edge at random ---------
+        let eseed = engine.config().seed;
+        let notify_acc = acc.clone();
+        let mut dag = Dag::new();
+        // v → acc(v); receiver u learns its pick was accepted, i.e. the
+        // chain edge (u → pick(u)) exists
+        let notify = dag.proto(
+            format!("p{phase}:notify"),
+            &[],
+            move |_| {
+                let schedules: Vec<Vec<(u64, NodeId, u64)>> = (0..n)
+                    .map(|v| match notify_acc[v] {
+                        Some(u) => vec![(1, u, 1)],
+                        None => Vec::new(),
+                    })
+                    .collect();
+                schedule_sub(n, schedules)
+            },
+            |s| s.into_results(),
+        );
         // chain neighbors of x: `out` = pick(x) if accepted, `in` = acc(x)
-        let mut chain: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for x in 0..n {
-            if notifs[x].iter().any(|&(src, _)| Some(src) == pick[x]) {
-                chain[x].push(pick[x].unwrap());
-            }
-            if let Some(c) = acc[x] {
-                if !chain[x].contains(&c) {
-                    chain[x].push(c);
+        let chain_pick = pick.clone();
+        let chain = dag.compute(format!("p{phase}:chain"), &[notify.into()], move |d| {
+            let notifs = d.get(notify);
+            let mut chain: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+            for x in 0..n {
+                if notifs[x].iter().any(|&(src, _)| Some(src) == chain_pick[x]) {
+                    chain[x].push(chain_pick[x].unwrap());
+                }
+                if let Some(c) = acc[x] {
+                    if !chain[x].contains(&c) {
+                        chain[x].push(c);
+                    }
                 }
             }
-        }
-        let schedules: Vec<Vec<(u64, NodeId, u64)>> = (0..n)
-            .map(|x| {
-                if chain[x].is_empty() {
-                    return Vec::new();
-                }
-                let mut rng = ncc_model::rng::node_rng(
-                    engine.config().seed ^ 0x4d4d_5000 ^ ((phase as u64) << 32),
-                    x as u32,
-                );
-                let t = chain[x][rng.gen_range(0..chain[x].len())];
-                vec![(1, t, 2)]
-            })
-            .collect();
-        // remember who we proposed to (local knowledge)
-        let proposed: Vec<Option<NodeId>> = schedules
-            .iter()
-            .map(|s| s.first().map(|&(_, t, _)| t))
-            .collect();
-        let (props, s) = scheduled_exchange(engine, schedules)?;
-        report.push(format!("phase{phase}:propose"), s);
+            let schedules: Vec<Vec<(u64, NodeId, u64)>> = (0..n)
+                .map(|x| {
+                    if chain[x].is_empty() {
+                        return Vec::new();
+                    }
+                    let mut rng = ncc_model::rng::node_rng(
+                        eseed ^ 0x4d4d_5000 ^ ((phase as u64) << 32),
+                        x as u32,
+                    );
+                    let t = chain[x][rng.gen_range(0..chain[x].len())];
+                    vec![(1, t, 2)]
+                })
+                .collect();
+            // remember who we proposed to (local knowledge)
+            let proposed: Vec<Option<NodeId>> = schedules
+                .iter()
+                .map(|s| s.first().map(|&(_, t, _)| t))
+                .collect();
+            (schedules, proposed)
+        });
+        let propose = dag.proto(
+            format!("p{phase}:propose"),
+            &[chain.into()],
+            move |d| {
+                let (schedules, _) = d.get(chain);
+                schedule_sub(n, schedules.clone())
+            },
+            |s| s.into_results(),
+        );
+        let mut run = dag.run(engine)?;
+        report.push(format!("phase{phase}:resolve"), run.stats);
+        let (_, proposed) = run.outputs.take(chain);
+        let props = run.outputs.take(propose);
+        plan.merge(run.report);
 
         for x in 0..n {
             if let Some(y) = proposed[x] {
@@ -201,6 +260,7 @@ pub fn maximal_matching(
         mate,
         phases: phase,
         report,
+        plan,
     })
 }
 

@@ -7,9 +7,14 @@
 //! it with a second Multi-Aggregation, deactivating its neighborhood.
 //! `O(log n)` phases suffice w.h.p. \[48\]; each phase is `O(a + log n)` by
 //! Corollary 1.
+//!
+//! Each phase is declared as a protocol [`Dag`] — draw → join decision →
+//! announce → termination check — and the scheduler serialises the chain
+//! (every node depends on its predecessor) while charging the same stages
+//! and barriers as the hand-fused lane code did.
 
 use ncc_butterfly::{
-    aggregate_and_broadcast, lane_seed, multi_aggregate_sub, run_composed, GroupId, MaxU64, MinU64,
+    ab_sub, lane_seed, multi_aggregate_sub, Dag, GroupId, MaxU64, MinU64, SchedReport,
 };
 use ncc_graph::Graph;
 use ncc_hashing::SharedRandomness;
@@ -25,6 +30,8 @@ pub struct MisResult {
     pub in_mis: Vec<bool>,
     pub phases: u32,
     pub report: AlgoReport,
+    /// The scheduler's packing plan across all phases.
+    pub plan: SchedReport,
 }
 
 /// Runs the MIS algorithm over prebuilt broadcast trees.
@@ -39,8 +46,7 @@ pub fn mis(
     let logn = ncc_model::ilog2_ceil(n).max(1);
     let idb = crate::support::node_id_bits(n);
     let mut report = AlgoReport::default();
-    let min_agg = MinU64;
-    let max_agg = MaxU64;
+    let mut plan = SchedReport::default();
 
     let mut in_mis = vec![false; n];
     let mut active = vec![true; n];
@@ -70,53 +76,90 @@ pub fn mis(
                 messages[u] = Some((neighborhood_group(u as NodeId), rvals[u]));
             }
         }
-        let mut draw = multi_aggregate_sub(
-            n,
-            shared,
-            &bt.trees,
-            messages,
-            |_, _, _, v| *v,
-            &min_agg,
-            lane_seed(engine, 0x6d69_7301, phase as u64),
-        );
-        let (s, _) = run_composed(engine, &mut [&mut draw])?;
-        report.push(format!("phase{phase}:draw"), s);
-        let mins = draw.into_results();
+        let draw_seed = lane_seed(engine, 0x6d69_7301, phase as u64);
+        let announce_seed = lane_seed(engine, 0x6d69_7302, phase as u64);
+        let trees = &bt.trees;
 
+        let mut dag = Dag::new();
+        let draw = dag.proto(
+            format!("p{phase}:draw"),
+            &[],
+            move |_| {
+                multi_aggregate_sub(
+                    n,
+                    shared,
+                    trees,
+                    messages,
+                    |_, _, _, v| *v,
+                    &MinU64,
+                    draw_seed,
+                )
+            },
+            |s| s.into_results(),
+        );
         // a node joins if strictly below the minimum over its *active*
         // neighbors (only active nodes sent, so the delivered MIN is it)
-        let mut joined: Vec<bool> = vec![false; n];
-        for u in 0..n {
-            if active[u] {
-                let beats_all = match mins[u] {
-                    None => true, // no active neighbor left
-                    Some(m) => rvals[u] < m,
-                };
-                if beats_all {
-                    joined[u] = true;
-                }
-            }
-        }
-
+        let pick_active = active.clone();
+        let pick_rvals = rvals.clone();
+        let pick = dag.compute(format!("p{phase}:pick"), &[draw.into()], move |d| {
+            let mins = d.get(draw);
+            (0..n)
+                .map(|u| {
+                    pick_active[u]
+                        && match mins[u] {
+                            None => true, // no active neighbor left
+                            Some(m) => pick_rvals[u] < m,
+                        }
+                })
+                .collect::<Vec<bool>>()
+        });
         // --- step 2: joiners announce, neighborhoods deactivate -----------
-        let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
-        for u in 0..n {
-            if joined[u] {
-                messages[u] = Some((neighborhood_group(u as NodeId), 1));
-            }
-        }
-        let mut announce = multi_aggregate_sub(
-            n,
-            shared,
-            &bt.trees,
-            messages,
-            |_, _, _, v| *v,
-            &max_agg,
-            lane_seed(engine, 0x6d69_7302, phase as u64),
+        let announce = dag.proto(
+            format!("p{phase}:announce"),
+            &[pick.into()],
+            move |d| {
+                let joined = d.get(pick);
+                let messages: Vec<Option<(GroupId, u64)>> = (0..n)
+                    .map(|u| joined[u].then(|| (neighborhood_group(u as NodeId), 1)))
+                    .collect();
+                multi_aggregate_sub(
+                    n,
+                    shared,
+                    trees,
+                    messages,
+                    |_, _, _, v| *v,
+                    &MaxU64,
+                    announce_seed,
+                )
+            },
+            |s| s.into_results(),
         );
-        let (s, _) = run_composed(engine, &mut [&mut announce])?;
-        report.push(format!("phase{phase}:announce"), s);
-        let hit = announce.into_results();
+        // --- termination consensus ----------------------------------------
+        let flag_active = active.clone();
+        let flag = dag.compute(
+            format!("p{phase}:flag"),
+            &[pick.into(), announce.into()],
+            move |d| {
+                let joined = d.get(pick);
+                let hit = d.get(announce);
+                (0..n)
+                    .map(|u| (flag_active[u] && !joined[u] && hit[u].is_none()).then_some(1u64))
+                    .collect::<Vec<Option<u64>>>()
+            },
+        );
+        let check = dag.proto(
+            format!("p{phase}:check"),
+            &[flag.into()],
+            move |d| ab_sub(n, d.get(flag).clone(), &MaxU64),
+            |s| s.into_results(),
+        );
+
+        let mut run = dag.run(engine)?;
+        report.push(format!("phase{phase}"), run.stats);
+        let joined = run.outputs.take(pick);
+        let hit = run.outputs.take(announce);
+        let any = run.outputs.take(check);
+        plan.merge(run.report);
 
         for u in 0..n {
             if joined[u] {
@@ -126,13 +169,6 @@ pub fn mis(
                 active[u] = false;
             }
         }
-
-        // --- termination consensus ----------------------------------------
-        let inputs: Vec<Option<u64>> = (0..n)
-            .map(|u| if active[u] { Some(1) } else { None })
-            .collect();
-        let (any, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
-        report.push(format!("phase{phase}:check"), s);
         if any[0].is_none() {
             break;
         }
@@ -142,6 +178,7 @@ pub fn mis(
         in_mis,
         phases: phase,
         report,
+        plan,
     })
 }
 

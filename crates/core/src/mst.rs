@@ -28,10 +28,17 @@
 //!
 //! `O(log n)` phases merge everything w.h.p. \[23, 24\].
 
+//!
+//! Every execution group is declared as a protocol [`Dag`]: the four
+//! FindMin bucket lanes (plus the step-0 coin multicast) are an antichain
+//! the scheduler packs into one mux, the range multicast feeds the bucket
+//! memberships through a compute node, and the link/adopt chains thread
+//! typed outputs (multicast trees, exchange inboxes) into downstream build
+//! closures.
+
 use ncc_butterfly::{
     ab_sub, aggregate_and_broadcast, aggregation_sub, lane_seed, multicast_setup_sub,
-    multicast_sub, run_composed, AggregationSpec, AggregationSub, GroupId, LaneSub, MaxU64,
-    XorPair,
+    multicast_sub, AggregationSpec, Dag, GroupId, MaxU64, SchedReport, XorPair,
 };
 use ncc_graph::{NodeId, WeightedGraph};
 use ncc_hashing::{SharedRandomness, XorSketch};
@@ -39,7 +46,7 @@ use ncc_model::{Engine, ModelError};
 use rand::Rng;
 
 use crate::report::AlgoReport;
-use crate::support::{arc_id, node_id_bits, scheduled_exchange};
+use crate::support::{arc_id, node_id_bits, schedule_sub};
 
 /// Sub-identifier namespaces for the MST's group families.
 const COMP_SUB: u32 = 11; // component trees (target = leader)
@@ -79,6 +86,8 @@ pub struct MstResult {
     /// per-lane accounting echoed into `RunRecord.metrics`.
     pub lane_stages: u32,
     pub report: AlgoReport,
+    /// The scheduler's packing plan across all phases.
+    pub plan: SchedReport,
 }
 
 /// Splits `[lo, hi)` into at most `b` contiguous integer buckets of
@@ -107,14 +116,13 @@ pub fn mst(
     let arc_mask: u64 = (1u64 << (2 * idb)) - 1;
     let logn = ncc_model::ilog2_ceil(n).max(1);
     let mut report = AlgoReport::default();
-    let xor_pair = XorPair;
-    let max_agg = MaxU64;
+    let mut plan = SchedReport::default();
 
     // agree on W (weights are {1..W}, W = poly(n))
     let inputs: Vec<Option<u64>> = (0..n)
         .map(|u| wg.weighted_neighbors(u as NodeId).map(|(_, w)| w).max())
         .collect();
-    let (wmax, s) = aggregate_and_broadcast(engine, inputs, &max_agg)?;
+    let (wmax, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
     report.push("agree-w", s);
     let w_max = wmax[0].unwrap_or(1);
 
@@ -139,11 +147,76 @@ pub fn mst(
         SharedRandomness::k_for(n),
     );
 
+    // bucket-j memberships for the given live ranges: every node sketches
+    // its incident arcs with keys in bucket j of its component's range.
+    // A `Copy` closure, so the per-bucket DAG build closures can share it.
+    let sketch_ref = &sketch;
+    let build_memberships = move |lo: &[u64], hi: &[u64], leader: &[NodeId], j: usize| {
+        (0..n)
+            .map(|u| {
+                let bounds = bucket_bounds(lo[u], hi[u], FIND_BUCKETS);
+                let Some(&(blo, bhi)) = bounds.get(j) else {
+                    return Vec::new();
+                };
+                let mut up = 0u64;
+                let mut down = 0u64;
+                for (v, w) in wg.weighted_neighbors(u as NodeId) {
+                    let k_up = key_of(w, u as NodeId, v);
+                    if (blo..bhi).contains(&k_up) {
+                        up ^= sketch_ref.element_mask(k_up & arc_mask | (w << (2 * idb)));
+                    }
+                    let k_dn = key_of(w, v, u as NodeId);
+                    if (blo..bhi).contains(&k_dn) {
+                        down ^= sketch_ref.element_mask(k_dn & arc_mask | (w << (2 * idb)));
+                    }
+                }
+                if up == 0 && down == 0 {
+                    Vec::new() // zero contribution: XOR-identity, skip
+                } else {
+                    vec![(GroupId::new(leader[u], FIND_SUB), (up, down))]
+                }
+            })
+            .collect::<Vec<Vec<(GroupId, (u64, u64))>>>()
+    };
+
+    // leaders descend into the smallest non-empty bucket (up ≠ down sketch)
+    fn descend(
+        lo: &mut [u64],
+        hi: &mut [u64],
+        leader: &[NodeId],
+        lane_out: &[ncc_butterfly::GroupedDeliveries<(u64, u64)>],
+    ) {
+        for u in 0..lo.len() {
+            if leader[u] != u as NodeId || hi[u] <= lo[u] {
+                continue;
+            }
+            let bounds = bucket_bounds(lo[u], hi[u], FIND_BUCKETS);
+            let mut chosen = None;
+            for (j, &(blo, bhi)) in bounds.iter().enumerate() {
+                let (up, down) = lane_out[j][u].first().map(|&(_, v)| v).unwrap_or((0, 0));
+                if up != down {
+                    chosen = Some((blo, bhi));
+                    break;
+                }
+            }
+            match chosen {
+                Some((blo, bhi)) => {
+                    lo[u] = blo;
+                    hi[u] = bhi;
+                }
+                None => {
+                    // no outgoing arc anywhere in the live range
+                    lo[u] = 0;
+                    hi[u] = 0;
+                }
+            }
+        }
+    }
+
     let mut leader: Vec<NodeId> = (0..n as NodeId).collect();
     let mut mst_edges: Vec<(NodeId, NodeId)> = Vec::new();
     let max_phases = 4 * logn + 16;
     let mut findmin_steps: u32 = 0;
-    let mut lane_stages: u32 = 0;
 
     let mut phase: u32 = 0;
     loop {
@@ -161,11 +234,18 @@ pub fn mst(
                 }
             })
             .collect();
-        let mut tree_sub = multicast_setup_sub(n, shared, joins, lane_seed(engine, LS_TREES, pl));
-        let (s, rep) = run_composed(engine, &mut [&mut tree_sub])?;
-        report.push(format!("p{phase}:trees"), s);
-        lane_stages += rep.lane_stages;
-        let trees = tree_sub.into_trees();
+        let trees_seed = lane_seed(engine, LS_TREES, pl);
+        let mut dag = Dag::new();
+        let trees_node = dag.proto(
+            format!("p{phase}:trees"),
+            &[],
+            move |_| multicast_setup_sub(n, shared, joins, trees_seed),
+            |s| s.into_trees(),
+        );
+        let mut run = dag.run(engine)?;
+        report.push(format!("p{phase}:trees"), run.stats);
+        let trees = run.outputs.take(trees_node);
+        plan.merge(run.report);
 
         // ---- coin flips (multicast rides the step-0 FindMin lanes) ----------
         let mut coin: Vec<bool> = vec![false; n]; // per node: its component's coin
@@ -190,111 +270,51 @@ pub fn mst(
         for step in 0..find_steps {
             findmin_steps += 1;
             let sl = (pl << 16) | step as u64;
-
-            if step > 0 {
-                // leaders re-announce their narrowed range
-                let mut msgs: Vec<Option<(GroupId, (u64, u64))>> = vec![None; n];
-                for u in 0..n {
-                    if leader[u] == u as NodeId {
-                        msgs[u] = Some((GroupId::new(u as NodeId, COMP_SUB), (lo[u], hi[u])));
-                    }
-                }
-                let mut mc =
-                    multicast_sub(n, shared, &trees, msgs, 1, lane_seed(engine, LS_RANGE, sl));
-                let (s, rep) = run_composed(engine, &mut [&mut mc])?;
-                report.push(format!("p{phase}:find{step}:mc"), s);
-                lane_stages += rep.lane_stages;
-                let ranges = mc.into_deliveries();
-                for u in 0..n {
-                    if leader[u] != u as NodeId {
-                        let (rlo, rhi) = ranges[u]
-                            .first()
-                            .map(|&(_, r)| r)
-                            .expect("range reaches members");
-                        lo[u] = rlo;
-                        hi[u] = rhi;
-                    }
-                }
-            }
-
-            // every node sketches its incident arcs, one lane per bucket
-            let bounds: Vec<Vec<(u64, u64)>> = (0..n)
-                .map(|u| bucket_bounds(lo[u], hi[u], FIND_BUCKETS))
+            let agg_seeds: Vec<u64> = (0..FIND_BUCKETS)
+                .map(|j| lane_seed(engine, LS_AGG, (sl << 3) | j))
                 .collect();
-            let mut lanes: Vec<AggregationSub<'_, (u64, u64), XorPair>> = (0..FIND_BUCKETS
-                as usize)
-                .map(|j| {
-                    let memberships: Vec<Vec<(GroupId, (u64, u64))>> = (0..n)
-                        .map(|u| {
-                            let Some(&(blo, bhi)) = bounds[u].get(j) else {
-                                return Vec::new();
-                            };
-                            let mut up = 0u64;
-                            let mut down = 0u64;
-                            for (v, w) in wg.weighted_neighbors(u as NodeId) {
-                                let k_up = key_of(w, u as NodeId, v);
-                                if (blo..bhi).contains(&k_up) {
-                                    up ^= sketch.element_mask(k_up & arc_mask | (w << (2 * idb)));
-                                }
-                                let k_dn = key_of(w, v, u as NodeId);
-                                if (blo..bhi).contains(&k_dn) {
-                                    down ^= sketch.element_mask(k_dn & arc_mask | (w << (2 * idb)));
-                                }
-                            }
-                            if up == 0 && down == 0 {
-                                Vec::new() // zero contribution: XOR-identity, skip
-                            } else {
-                                vec![(GroupId::new(leader[u], FIND_SUB), (up, down))]
-                            }
-                        })
-                        .collect();
-                    aggregation_sub(
-                        n,
-                        shared,
-                        AggregationSpec {
-                            memberships,
-                            ell2_hat: 1,
+            let trees = &trees;
+
+            let mut dag = Dag::new();
+            if step == 0 {
+                // the initial range is common knowledge: the four bucket
+                // lanes and the coin multicast are one packed antichain
+                let mut aggs = Vec::new();
+                for (j, &seed) in agg_seeds.iter().enumerate() {
+                    let leader_c = leader.clone();
+                    let lo_c = lo.clone();
+                    let hi_c = hi.clone();
+                    aggs.push(dag.proto(
+                        format!("p{phase}:find0:agg{j}"),
+                        &[],
+                        move |_| {
+                            aggregation_sub(
+                                n,
+                                shared,
+                                AggregationSpec {
+                                    memberships: build_memberships(&lo_c, &hi_c, &leader_c, j),
+                                    ell2_hat: 1,
+                                },
+                                &XorPair,
+                                seed,
+                            )
                         },
-                        &xor_pair,
-                        lane_seed(engine, LS_AGG, (sl << 3) | j as u64),
-                    )
-                })
-                .collect();
-
-            let (stats, rep, coin_out) = if step == 0 {
-                let mut coin_mc = multicast_sub(
-                    n,
-                    shared,
-                    &trees,
-                    std::mem::take(&mut coin_msgs),
-                    1,
-                    lane_seed(engine, LS_COIN, pl),
+                        |s| s.into_deliveries(),
+                    ));
+                }
+                let coin_seed = lane_seed(engine, LS_COIN, pl);
+                let msgs = std::mem::take(&mut coin_msgs);
+                let coin_node = dag.proto(
+                    format!("p{phase}:find0:coin"),
+                    &[],
+                    move |_| multicast_sub(n, shared, trees, msgs, 1, coin_seed),
+                    |s| s.into_deliveries(),
                 );
-                let (stats, rep) = {
-                    let mut refs: Vec<&mut dyn LaneSub> =
-                        lanes.iter_mut().map(|l| l as &mut dyn LaneSub).collect();
-                    refs.push(&mut coin_mc);
-                    run_composed(engine, &mut refs)?
-                };
-                (stats, rep, Some(coin_mc.into_deliveries()))
-            } else {
-                let (stats, rep) = {
-                    let mut refs: Vec<&mut dyn LaneSub> =
-                        lanes.iter_mut().map(|l| l as &mut dyn LaneSub).collect();
-                    run_composed(engine, &mut refs)?
-                };
-                (stats, rep, None)
-            };
-            report.push(
-                if step == 0 {
-                    format!("p{phase}:find{step}:agg+coin")
-                } else {
-                    format!("p{phase}:find{step}:agg")
-                },
-                stats,
-            );
-            lane_stages += rep.lane_stages;
-            if let Some(coins_recv) = coin_out {
+                let mut run = dag.run(engine)?;
+                report.push(format!("p{phase}:find{step}"), run.stats);
+                let lane_out: Vec<_> = aggs.iter().map(|&a| run.outputs.take(a)).collect();
+                let coins_recv = run.outputs.take(coin_node);
+                plan.merge(run.report);
                 for u in 0..n {
                     if leader[u] != u as NodeId {
                         coin[u] = coins_recv[u]
@@ -303,33 +323,75 @@ pub fn mst(
                             .expect("member must receive its component's coin");
                     }
                 }
-            }
-
-            // leaders descend into the smallest non-empty bucket
-            let lane_out: Vec<_> = lanes.into_iter().map(|l| l.into_deliveries()).collect();
-            for u in 0..n {
-                if leader[u] != u as NodeId || hi[u] <= lo[u] {
-                    continue;
-                }
-                let mut chosen = None;
-                for (j, &(blo, bhi)) in bounds[u].iter().enumerate() {
-                    let (up, down) = lane_out[j][u].first().map(|&(_, v)| v).unwrap_or((0, 0));
-                    if up != down {
-                        chosen = Some((blo, bhi));
-                        break;
+                descend(&mut lo, &mut hi, &leader, &lane_out);
+            } else {
+                // leaders re-announce their narrowed range; the delivered
+                // ranges feed the bucket memberships through a compute node
+                let range_seed = lane_seed(engine, LS_RANGE, sl);
+                let mut msgs: Vec<Option<(GroupId, (u64, u64))>> = vec![None; n];
+                for u in 0..n {
+                    if leader[u] == u as NodeId {
+                        msgs[u] = Some((GroupId::new(u as NodeId, COMP_SUB), (lo[u], hi[u])));
                     }
                 }
-                match chosen {
-                    Some((blo, bhi)) => {
-                        lo[u] = blo;
-                        hi[u] = bhi;
-                    }
-                    None => {
-                        // no outgoing arc anywhere in the live range
-                        lo[u] = 0;
-                        hi[u] = 0;
-                    }
+                let mc = dag.proto(
+                    format!("p{phase}:find{step}:range-mc"),
+                    &[],
+                    move |_| multicast_sub(n, shared, trees, msgs, 1, range_seed),
+                    |s| s.into_deliveries(),
+                );
+                let lo_c = lo.clone();
+                let hi_c = hi.clone();
+                let leader_c = leader.clone();
+                let ranges = dag.compute(
+                    format!("p{phase}:find{step}:range"),
+                    &[mc.into()],
+                    move |d| {
+                        let recv = d.get(mc);
+                        let (mut lo, mut hi) = (lo_c, hi_c);
+                        for u in 0..n {
+                            if leader_c[u] != u as NodeId {
+                                let (rlo, rhi) = recv[u]
+                                    .first()
+                                    .map(|&(_, r)| r)
+                                    .expect("range reaches members");
+                                lo[u] = rlo;
+                                hi[u] = rhi;
+                            }
+                        }
+                        (lo, hi)
+                    },
+                );
+                let mut aggs = Vec::new();
+                for (j, &seed) in agg_seeds.iter().enumerate() {
+                    let leader_c = leader.clone();
+                    aggs.push(dag.proto(
+                        format!("p{phase}:find{step}:agg{j}"),
+                        &[ranges.into()],
+                        move |d| {
+                            let (lo, hi) = d.get(ranges);
+                            aggregation_sub(
+                                n,
+                                shared,
+                                AggregationSpec {
+                                    memberships: build_memberships(lo, hi, &leader_c, j),
+                                    ell2_hat: 1,
+                                },
+                                &XorPair,
+                                seed,
+                            )
+                        },
+                        |s| s.into_deliveries(),
+                    ));
                 }
+                let mut run = dag.run(engine)?;
+                report.push(format!("p{phase}:find{step}"), run.stats);
+                let (new_lo, new_hi) = run.outputs.take(ranges);
+                lo = new_lo;
+                hi = new_hi;
+                let lane_out: Vec<_> = aggs.iter().map(|&a| run.outputs.take(a)).collect();
+                plan.merge(run.report);
+                descend(&mut lo, &mut hi, &leader, &lane_out);
             }
         }
 
@@ -359,19 +421,26 @@ pub fn mst(
                 }
             })
             .collect();
-        let mut announce = multicast_sub(
-            n,
-            shared,
-            &trees,
-            msgs,
-            1,
-            lane_seed(engine, LS_ANNOUNCE, pl),
+        let announce_seed = lane_seed(engine, LS_ANNOUNCE, pl);
+        let trees_ref = &trees;
+        let mut dag = Dag::new();
+        let announce = dag.proto(
+            format!("p{phase}:announce"),
+            &[],
+            move |_| multicast_sub(n, shared, trees_ref, msgs, 1, announce_seed),
+            |s| s.into_deliveries(),
         );
-        let mut done = ab_sub(n, done_inputs, &max_agg);
-        let (s, rep) = run_composed(engine, &mut [&mut announce, &mut done])?;
-        report.push(format!("p{phase}:announce+done"), s);
-        lane_stages += rep.lane_stages;
-        let keys_recv = announce.into_deliveries();
+        let done = dag.proto(
+            format!("p{phase}:done"),
+            &[],
+            move |_| ab_sub(n, done_inputs, &MaxU64),
+            |s| s.into_results(),
+        );
+        let mut run = dag.run(engine)?;
+        report.push(format!("p{phase}:announce+done"), run.stats);
+        let keys_recv = run.outputs.take(announce);
+        let still_merging = run.outputs.take(done)[0].is_some();
+        plan.merge(run.report);
         for u in 0..n {
             if leader[u] != u as NodeId {
                 let code = keys_recv[u]
@@ -381,7 +450,7 @@ pub fn mst(
                 found[u] = if code > 0 { Some(code - 1) } else { None };
             }
         }
-        if done.into_results()[0].is_none() {
+        if !still_merging {
             break;
         }
 
@@ -411,13 +480,8 @@ pub fn mst(
                 _ => Vec::new(),
             })
             .collect();
-        let mut link_sub =
-            multicast_setup_sub(n, shared, joins, lane_seed(engine, LS_LINK_TREES, pl));
-        let (s, rep) = run_composed(engine, &mut [&mut link_sub])?;
-        report.push(format!("p{phase}:link-trees"), s);
-        lane_stages += rep.lane_stages;
-        let link_trees = link_sub.into_trees();
-
+        let link_trees_seed = lane_seed(engine, LS_LINK_TREES, pl);
+        let link_mc_seed = lane_seed(engine, LS_LINK_MC, pl);
         let messages: Vec<Option<(GroupId, (u64, u64))>> = (0..n)
             .map(|y| {
                 Some((
@@ -426,18 +490,25 @@ pub fn mst(
                 ))
             })
             .collect();
-        let mut link_mc = multicast_sub(
-            n,
-            shared,
-            &link_trees,
-            messages,
-            1,
-            lane_seed(engine, LS_LINK_MC, pl),
+        let mut dag = Dag::new();
+        let link_trees = dag.proto(
+            format!("p{phase}:link-trees"),
+            &[],
+            move |_| multicast_setup_sub(n, shared, joins, link_trees_seed),
+            |s| s.into_trees(),
         );
-        let (s, rep) = run_composed(engine, &mut [&mut link_mc])?;
-        report.push(format!("p{phase}:link-mc"), s);
-        lane_stages += rep.lane_stages;
-        let link_info = link_mc.into_deliveries();
+        // the freshly recorded trees thread straight into the coin/leader
+        // multicast's build closure
+        let link_mc = dag.proto(
+            format!("p{phase}:link-mc"),
+            &[link_trees.into()],
+            move |d| multicast_sub(n, shared, d.get(link_trees), messages, 1, link_mc_seed),
+            |s| s.into_deliveries(),
+        );
+        let mut run = dag.run(engine)?;
+        report.push(format!("p{phase}:link"), run.stats);
+        let link_info = run.outputs.take(link_mc);
+        plan.merge(run.report);
 
         // ---- merge decisions --------------------------------------------------
         // Tails component whose edge leads to Heads: record the MST edge at
@@ -462,35 +533,48 @@ pub fn mst(
                 }
             }
         }
-        let (leader_inbox, s) = scheduled_exchange(engine, new_leader_msg)?;
-        report.push(format!("p{phase}:adopt"), s);
-
-        // leaders broadcast the adopted leader (0 = unchanged)
-        let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
-        let mut adopted: Vec<Option<NodeId>> = vec![None; n];
-        for u in 0..n {
-            if leader[u] == u as NodeId {
-                let nl = local_new_leader[u]
-                    .or_else(|| leader_inbox[u].first().map(|&(_, nl)| nl as NodeId));
-                adopted[u] = nl;
-                messages[u] = Some((
-                    GroupId::new(u as NodeId, COMP_SUB),
-                    nl.map_or(0, |l| l as u64 + 1),
-                ));
-            }
-        }
-        let mut adopt_mc = multicast_sub(
-            n,
-            shared,
-            &trees,
-            messages,
-            1,
-            lane_seed(engine, LS_ADOPT_MC, pl),
+        let adopt_mc_seed = lane_seed(engine, LS_ADOPT_MC, pl);
+        let mut dag = Dag::new();
+        let adopt = dag.proto(
+            format!("p{phase}:adopt"),
+            &[],
+            move |_| schedule_sub(n, new_leader_msg),
+            |s| s.into_results(),
         );
-        let (s, rep) = run_composed(engine, &mut [&mut adopt_mc])?;
-        report.push(format!("p{phase}:adopt-mc"), s);
-        lane_stages += rep.lane_stages;
-        let adopt_recv = adopt_mc.into_deliveries();
+        // leaders fold their inbox with the locally decided adoption and
+        // broadcast the outcome (0 = unchanged) down the component trees
+        let leader_c = leader.clone();
+        let decide = dag.compute(format!("p{phase}:adopted"), &[adopt.into()], move |d| {
+            let leader_inbox = d.get(adopt);
+            let mut messages: Vec<Option<(GroupId, u64)>> = vec![None; n];
+            let mut adopted: Vec<Option<NodeId>> = vec![None; n];
+            for u in 0..n {
+                if leader_c[u] == u as NodeId {
+                    let nl = local_new_leader[u]
+                        .or_else(|| leader_inbox[u].first().map(|&(_, nl)| nl as NodeId));
+                    adopted[u] = nl;
+                    messages[u] = Some((
+                        GroupId::new(u as NodeId, COMP_SUB),
+                        nl.map_or(0, |l| l as u64 + 1),
+                    ));
+                }
+            }
+            (adopted, messages)
+        });
+        let adopt_mc = dag.proto(
+            format!("p{phase}:adopt-mc"),
+            &[decide.into()],
+            move |d| {
+                let (_, messages) = d.get(decide);
+                multicast_sub(n, shared, trees_ref, messages.clone(), 1, adopt_mc_seed)
+            },
+            |s| s.into_deliveries(),
+        );
+        let mut run = dag.run(engine)?;
+        report.push(format!("p{phase}:adopt"), run.stats);
+        let (adopted, _) = run.outputs.take(decide);
+        let adopt_recv = run.outputs.take(adopt_mc);
+        plan.merge(run.report);
         for u in 0..n {
             if leader[u] == u as NodeId {
                 if let Some(nl) = adopted[u] {
@@ -514,8 +598,9 @@ pub fn mst(
         edges: mst_edges,
         phases: phase,
         findmin_steps,
-        lane_stages,
+        lane_stages: plan.lane_stages() as u32,
         report,
+        plan,
     })
 }
 

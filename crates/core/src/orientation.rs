@@ -36,10 +36,17 @@
 //! Besides the orientation itself, the result records each node's **level**
 //! and per-neighbor level classification (lower/same/higher), which §5.4's
 //! coloring consumes.
+//!
+//! Each phase is declared as a handful of protocol [`Dag`]s whose antichains
+//! the scheduler packs exactly as the hand-fused lane code did: the phase-1
+//! Δ agreement rides stage 1's aggregation, the d* agreement rides the
+//! identification, and every consensus (`avg`, `flags`, `continue`) hangs
+//! off a compute node so it runs as a barrier-free solo stage — the same
+//! rounds as the old blocking calls, declared instead of hand-sequenced.
 
 use ncc_butterfly::{
-    ab_sub, aggregate_and_broadcast, aggregation_sub, lane_seed, multicast_setup_sub,
-    multicast_sub, run_composed, AggregationSpec, GroupId, MaxU64, SumPair, SumU64, XorSum,
+    ab_sub, aggregation_sub, lane_seed, multicast_setup_sub, multicast_sub, AggregationSpec, Dag,
+    GroupId, MaxU64, SchedReport, SumPair, SumU64, XorSum,
 };
 use ncc_graph::Graph;
 use ncc_hashing::{FxHashMap, FxHashSet, PolyHash, SharedRandomness};
@@ -48,7 +55,7 @@ use rand::Rng;
 
 use crate::report::AlgoReport;
 use crate::support::{
-    arc_id, edge_id, gather_and_broadcast, node_id_bits, rendezvous, scheduled_exchange,
+    arc_id, edge_id, gather_broadcast_sub, node_id_bits, rendezvous_sub, schedule_sub,
 };
 
 /// Where a neighbor sits relative to a node's own level (§5.4 needs this).
@@ -84,6 +91,8 @@ pub struct OrientationResult {
     /// Total lane-stages executed by composed (multiplexed) runs.
     pub lane_stages: u32,
     pub report: AlgoReport,
+    /// The scheduler's packing plan across all phases.
+    pub plan: SchedReport,
 }
 
 impl OrientationResult {
@@ -138,14 +147,11 @@ pub fn orient(
     let k = SharedRandomness::k_for(n);
 
     let mut report = AlgoReport::default();
+    let mut plan = SchedReport::default();
     let mut nodes: Vec<NodeState> = vec![NodeState::default(); n];
     let mut d_star_global: usize = 0;
     let mut delta: usize = 0; // Δ, agreed during phase 1's first composition
-    let mut lane_stages: u32 = 0;
     let max_phases = 2 * logn as u32 + 10;
-    let sum_agg = SumU64;
-    let max_agg = MaxU64;
-    let xor_sum = XorSum;
 
     let mut phase: u32 = 0;
     loop {
@@ -160,7 +166,8 @@ pub fn orient(
         // =================== Stage 1: residual degrees ====================
         // Inactive nodes report a 1 to every out-neighbor. In phase 1, the
         // Δ agreement (max degree — every node's input is local) rides the
-        // same rounds as an extra lane.
+        // same rounds as an extra lane; the residual-average consensus hangs
+        // off the residual compute node as a barrier-free solo stage.
         let memberships: Vec<Vec<(GroupId, u64)>> = nodes
             .iter()
             .map(|st| {
@@ -171,53 +178,77 @@ pub fn orient(
                 }
             })
             .collect();
-        let mut counts_sub = aggregation_sub(
-            n,
-            shared,
-            AggregationSpec {
-                memberships,
-                ell2_hat: 1,
+        let counts_seed = lane_seed(engine, 0x6f72_6901, pl);
+        let inactive: Vec<bool> = nodes.iter().map(|st| st.inactive).collect();
+
+        let mut dag = Dag::new();
+        let counts = dag.proto(
+            format!("p{phase}:counts"),
+            &[],
+            move |_| {
+                aggregation_sub(
+                    n,
+                    shared,
+                    AggregationSpec {
+                        memberships,
+                        ell2_hat: 1,
+                    },
+                    &SumU64,
+                    counts_seed,
+                )
             },
-            &sum_agg,
-            lane_seed(engine, 0x6f72_6901, pl),
+            |s| s.into_deliveries(),
         );
-        if phase == 1 {
+        let delta_node = (phase == 1).then(|| {
             let delta_inputs: Vec<Option<u64>> =
                 (0..n).map(|u| Some(g.degree(u as NodeId) as u64)).collect();
-            let mut delta_sub = ab_sub(n, delta_inputs, &max_agg);
-            let (s, rep) = run_composed(engine, &mut [&mut counts_sub, &mut delta_sub])?;
-            report.push(format!("p{phase}:stage1-agg+delta"), s);
-            lane_stages += rep.lane_stages;
-            delta = delta_sub.into_results()[0].unwrap_or(0) as usize;
-        } else {
-            let (s, rep) = run_composed(engine, &mut [&mut counts_sub])?;
-            report.push(format!("p{phase}:stage1-agg"), s);
-            lane_stages += rep.lane_stages;
-        }
-        let counts = counts_sub.into_deliveries();
-
-        let mut di: Vec<usize> = vec![0; n];
-        for u in 0..n {
-            if nodes[u].inactive {
-                continue;
-            }
-            let inactive_nbrs: u64 = counts[u].iter().map(|(_, v)| *v).sum();
-            di[u] = g.degree(u as NodeId) - inactive_nbrs as usize;
-        }
-
-        // Average over nodes with positive residual degree.
-        let inputs: Vec<Option<(u64, u64)>> = (0..n)
-            .map(|u| {
-                if !nodes[u].inactive && di[u] > 0 {
-                    Some((di[u] as u64, 1))
-                } else {
-                    None
+            dag.proto(
+                format!("p{phase}:delta"),
+                &[],
+                move |_| ab_sub(n, delta_inputs, &MaxU64),
+                |s| s.into_results(),
+            )
+        });
+        let di_inactive = inactive.clone();
+        let di_node = dag.compute(format!("p{phase}:residuals"), &[counts.into()], move |d| {
+            let counts = d.get(counts);
+            let mut di: Vec<usize> = vec![0; n];
+            for u in 0..n {
+                if di_inactive[u] {
+                    continue;
                 }
-            })
-            .collect();
-        let (avg_out, s) = aggregate_and_broadcast(engine, inputs, &SumPair)?;
-        report.push(format!("p{phase}:stage1-avg"), s);
-        let avg = avg_out[0]; // identical at every node
+                let inactive_nbrs: u64 = counts[u].iter().map(|(_, v)| *v).sum();
+                di[u] = g.degree(u as NodeId) - inactive_nbrs as usize;
+            }
+            di
+        });
+        // Average over nodes with positive residual degree.
+        let avg = dag.proto(
+            format!("p{phase}:avg"),
+            &[di_node.into()],
+            move |d| {
+                let di = d.get(di_node);
+                let inputs: Vec<Option<(u64, u64)>> = (0..n)
+                    .map(|u| {
+                        if !inactive[u] && di[u] > 0 {
+                            Some((di[u] as u64, 1))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                ab_sub(n, inputs, &SumPair)
+            },
+            |s| s.into_results(),
+        );
+        let mut run = dag.run(engine)?;
+        report.push(format!("p{phase}:stage1"), run.stats);
+        plan.merge(run.report);
+        let di = run.outputs.take(di_node);
+        if let Some(dn) = delta_node {
+            delta = run.outputs.take(dn)[0].unwrap_or(0) as usize;
+        }
+        let avg = run.outputs.take(avg)[0]; // identical at every node
 
         // Nodes whose residual degree hit zero retire immediately: all their
         // edges are already directed (toward them), so they know everything.
@@ -263,6 +294,9 @@ pub fn orient(
             .collect();
 
         // ============ Stage 2 step 1: constant-trial identification ========
+        // The d* agreement rides the identification's rounds as a second
+        // lane; the learner-side peeling is a compute node, and the
+        // high/low rescue-flag consensus hangs off it barrier-free.
         let s1 = C_IDENT;
         let q1 = (4 * E_UP * s1 * d_bound * logn).max(16);
         let trial_fns: Vec<PolyHash> = shared.family(
@@ -276,9 +310,6 @@ pub fn orient(
             t.dedup();
             t
         };
-
-        let mut red: Vec<FxHashSet<NodeId>> = vec![FxHashSet::default(); n];
-        let mut unsuccessful: Vec<bool> = vec![false; n];
 
         let memberships: Vec<Vec<(GroupId, (u64, u64))>> = nodes
             .iter()
@@ -302,62 +333,96 @@ pub fn orient(
         // than q₁) — far tighter than q₁ when Δ ≪ d*·log n, which is what
         // keeps the randomized delivery window short.
         let ell2_ident1 = q1.min(s1 * delta.max(1)).max(1);
-        let mut ident_sub = aggregation_sub(
-            n,
-            shared,
-            AggregationSpec {
-                memberships,
-                ell2_hat: ell2_ident1,
+        let ident_seed = lane_seed(engine, 0x6f72_6902, pl);
+
+        let mut dag = Dag::new();
+        let ident = dag.proto(
+            format!("p{phase}:ident1"),
+            &[],
+            move |_| {
+                aggregation_sub(
+                    n,
+                    shared,
+                    AggregationSpec {
+                        memberships,
+                        ell2_hat: ell2_ident1,
+                    },
+                    &XorSum,
+                    ident_seed,
+                )
             },
-            &xor_sum,
-            lane_seed(engine, 0x6f72_6902, pl),
+            |s| s.into_deliveries(),
         );
-        let mut dstar_sub = ab_sub(n, dstar_inputs, &max_agg);
-        let (s, rep) = run_composed(engine, &mut [&mut ident_sub, &mut dstar_sub])?;
-        report.push(format!("p{phase}:ident1+dstar"), s);
-        lane_stages += rep.lane_stages;
-        let sketches = ident_sub.into_deliveries();
+        let dstar = dag.proto(
+            format!("p{phase}:dstar"),
+            &[],
+            move |_| ab_sub(n, dstar_inputs, &MaxU64),
+            |s| s.into_results(),
+        );
+        let peel_active = is_active.clone();
+        let peel_di = di.clone();
+        let peel_fns = trial_fns;
+        let peeled = dag.compute(format!("p{phase}:peel"), &[ident.into()], move |d| {
+            let sketches = d.get(ident);
+            let mut red: Vec<FxHashSet<NodeId>> = vec![FxHashSet::default(); n];
+            let mut unsuccessful: Vec<bool> = vec![false; n];
+            for u in 0..n {
+                if !peel_active[u] {
+                    continue;
+                }
+                let arcs: Vec<(u64, NodeId)> = g
+                    .neighbors(u as NodeId)
+                    .iter()
+                    .map(|&v| (arc_id(u as NodeId, v, idb), v))
+                    .collect();
+                let blues: FxHashMap<u32, (u64, u64)> =
+                    sketches[u].iter().map(|(gid, v)| (gid.sub(), *v)).collect();
+                let found = peel(&arcs, &blues, |a| trials_of(a, &peel_fns, q1));
+                for v in found {
+                    red[u].insert(v);
+                }
+                if red[u].len() < peel_di[u] {
+                    unsuccessful[u] = true;
+                }
+            }
+            (red, unsuccessful)
+        });
+        // Global flags: does anyone need the high/low-degree rescue paths?
+        let flags_active = is_active.clone();
+        let flags_di = di.clone();
+        let flags = dag.proto(
+            format!("p{phase}:flags"),
+            &[peeled.into()],
+            move |d| {
+                let (_, unsuccessful) = d.get(peeled);
+                let inputs: Vec<Option<(u64, u64)>> = (0..n)
+                    .map(|u| {
+                        if flags_active[u] && unsuccessful[u] {
+                            let high = g.degree(u as NodeId) - flags_di[u] > n / logn;
+                            Some((high as u64, (!high) as u64))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                ab_sub(n, inputs, &SumPair)
+            },
+            |s| s.into_results(),
+        );
+        let mut run = dag.run(engine)?;
+        report.push(format!("p{phase}:ident1+dstar"), run.stats);
+        plan.merge(run.report);
         let d_star_i =
-            dstar_sub.into_results()[0].expect("active set is non-empty when Σdᵢ > 0") as usize;
+            run.outputs.take(dstar)[0].expect("active set is non-empty when Σdᵢ > 0") as usize;
         debug_assert!(d_star_i <= d_bound, "bound must dominate the exact d*");
         d_star_global = d_star_global.max(d_star_i);
-
-        for u in 0..n {
-            if !is_active[u] {
-                continue;
-            }
-            let arcs: Vec<(u64, NodeId)> = g
-                .neighbors(u as NodeId)
-                .iter()
-                .map(|&v| (arc_id(u as NodeId, v, idb), v))
-                .collect();
-            let blues: FxHashMap<u32, (u64, u64)> =
-                sketches[u].iter().map(|(gid, v)| (gid.sub(), *v)).collect();
-            let found = peel(&arcs, &blues, |a| trials_of(a, &trial_fns, q1));
-            for v in found {
-                red[u].insert(v);
-            }
-            if red[u].len() < di[u] {
-                unsuccessful[u] = true;
-            }
-        }
-
-        // Global flags: does anyone need the high/low-degree rescue paths?
-        let inputs: Vec<Option<(u64, u64)>> = (0..n)
-            .map(|u| {
-                if is_active[u] && unsuccessful[u] {
-                    let high = g.degree(u as NodeId) - di[u] > n / logn;
-                    Some((high as u64, (!high) as u64))
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let (flags, s) = aggregate_and_broadcast(engine, inputs, &SumPair)?;
-        report.push(format!("p{phase}:stage2-flags"), s);
-        let (any_high, any_low) = flags[0].map_or((false, false), |(h, l)| (h > 0, l > 0));
+        let (mut red, mut unsuccessful) = run.outputs.take(peeled);
+        let (any_high, any_low) =
+            run.outputs.take(flags)[0].map_or((false, false), |(h, l)| (h > 0, l > 0));
 
         // ============ Stage 2 step 2a: high-degree broadcast path ==========
+        // Declared as gather∥broadcast → response schedule (a compute node
+        // seeded by the broadcast ids) → scheduled exchange.
         if any_high {
             let high_nodes: Vec<bool> = (0..n)
                 .map(|u| {
@@ -367,37 +432,56 @@ pub fn orient(
             let values: Vec<Option<u64>> = (0..n)
                 .map(|u| if high_nodes[u] { Some(u as u64) } else { None })
                 .collect();
-            let (high_ids, s) = gather_and_broadcast(engine, values)?;
-            report.push(format!("p{phase}:uhigh-bcast"), s);
-            let high_set: FxHashSet<NodeId> = high_ids.iter().map(|&v| v as NodeId).collect();
+            let eseed = engine.config().seed;
+            let sched_inactive: Vec<bool> = nodes.iter().map(|st| st.inactive).collect();
 
+            let mut dag = Dag::new();
+            let gb = dag.proto(
+                format!("p{phase}:uhigh-bcast"),
+                &[],
+                move |_| gather_broadcast_sub(n, values),
+                |s| s.into_results(),
+            );
             // every active-or-waiting node responds to its U_high neighbors
             // in rounds uniform over {1..max(|R_u|, d*ᵢ)}
-            let mut schedules: Vec<Vec<(u64, NodeId, u64)>> = vec![Vec::new(); n];
-            for u in 0..n {
-                if nodes[u].inactive {
-                    continue;
+            let sched = dag.compute(format!("p{phase}:uhigh-sched"), &[gb.into()], move |d| {
+                let high_ids = d.get(gb);
+                let high_set: FxHashSet<NodeId> = high_ids.iter().map(|&v| v as NodeId).collect();
+                let mut schedules: Vec<Vec<(u64, NodeId, u64)>> = vec![Vec::new(); n];
+                for u in 0..n {
+                    if sched_inactive[u] {
+                        continue;
+                    }
+                    let ru: Vec<NodeId> = g
+                        .neighbors(u as NodeId)
+                        .iter()
+                        .copied()
+                        .filter(|v| high_set.contains(v))
+                        .collect();
+                    if ru.is_empty() {
+                        continue;
+                    }
+                    let window = ru.len().max(d_star_i).max(1) as u64;
+                    let mut rng = ncc_model::rng::node_rng(
+                        eseed ^ 0x7568_6967 ^ ((phase as u64) << 32),
+                        u as u32,
+                    );
+                    for v in ru {
+                        schedules[u].push((rng.gen_range(1..=window), v, 1));
+                    }
                 }
-                let ru: Vec<NodeId> = g
-                    .neighbors(u as NodeId)
-                    .iter()
-                    .copied()
-                    .filter(|v| high_set.contains(v))
-                    .collect();
-                if ru.is_empty() {
-                    continue;
-                }
-                let window = ru.len().max(d_star_i).max(1) as u64;
-                let mut rng = ncc_model::rng::node_rng(
-                    engine.config().seed ^ 0x7568_6967 ^ ((phase as u64) << 32),
-                    u as u32,
-                );
-                for v in ru {
-                    schedules[u].push((rng.gen_range(1..=window), v, 1));
-                }
-            }
-            let (responses, s) = scheduled_exchange(engine, schedules)?;
-            report.push(format!("p{phase}:uhigh-resp"), s);
+                schedules
+            });
+            let resp = dag.proto(
+                format!("p{phase}:uhigh-resp"),
+                &[sched.into()],
+                move |d| schedule_sub(n, d.get(sched).clone()),
+                |s| s.into_results(),
+            );
+            let mut run = dag.run(engine)?;
+            report.push(format!("p{phase}:uhigh"), run.stats);
+            plan.merge(run.report);
+            let responses = run.outputs.take(resp);
             for u in 0..n {
                 if high_nodes[u] {
                     red[u] = responses[u].iter().map(|&(src, _)| src).collect();
@@ -426,12 +510,8 @@ pub fn orient(
                     }
                 })
                 .collect();
-            let mut trees_sub =
-                multicast_setup_sub(n, shared, joins, lane_seed(engine, 0x6f72_6903, pl));
-            let (s, rep) = run_composed(engine, &mut [&mut trees_sub])?;
-            report.push(format!("p{phase}:ulow-trees"), s);
-            lane_stages += rep.lane_stages;
-            let trees = trees_sub.into_trees();
+            let trees_seed = lane_seed(engine, 0x6f72_6903, pl);
+            let mc_seed = lane_seed(engine, 0x6f72_6904, pl);
             let messages: Vec<Option<(GroupId, u64)>> = (0..n)
                 .map(|u| {
                     if is_active[u] && unsuccessful[u] {
@@ -441,18 +521,27 @@ pub fn orient(
                     }
                 })
                 .collect();
-            let mut flagged_sub = multicast_sub(
-                n,
-                shared,
-                &trees,
-                messages,
-                d_star_global.max(1),
-                lane_seed(engine, 0x6f72_6904, pl),
+            let ell_hat = d_star_global.max(1);
+
+            let mut dag = Dag::new();
+            let trees = dag.proto(
+                format!("p{phase}:ulow-trees"),
+                &[],
+                move |_| multicast_setup_sub(n, shared, joins, trees_seed),
+                |s| s.into_trees(),
             );
-            let (s, rep) = run_composed(engine, &mut [&mut flagged_sub])?;
-            report.push(format!("p{phase}:ulow-mc"), s);
-            lane_stages += rep.lane_stages;
-            let flagged = flagged_sub.into_deliveries();
+            // the announcement threads the freshly built trees straight from
+            // the upstream node's typed output
+            let flagged = dag.proto(
+                format!("p{phase}:ulow-mc"),
+                &[trees.into()],
+                move |d| multicast_sub(n, shared, d.get(trees), messages, ell_hat, mc_seed),
+                |s| s.into_deliveries(),
+            );
+            let mut run = dag.run(engine)?;
+            report.push(format!("p{phase}:ulow"), run.stats);
+            plan.merge(run.report);
+            let flagged = run.outputs.take(flagged);
             let narrowed: Vec<Vec<NodeId>> = flagged
                 .iter()
                 .map(|f| f.iter().map(|(gid, _)| gid.target()).collect())
@@ -489,53 +578,81 @@ pub fn orient(
                     })
                     .collect();
                 let ell2_ident2 = q2.min(s2 * delta.max(1)).max(1);
-                let mut re_sub = aggregation_sub(
-                    n,
-                    shared,
-                    AggregationSpec {
-                        memberships,
-                        ell2_hat: ell2_ident2,
+                let re_seed = lane_seed(engine, 0x6f72_6905, (pl << 8) | iter as u64);
+
+                let mut dag = Dag::new();
+                let re = dag.proto(
+                    format!("p{phase}:ident2.{iter}"),
+                    &[],
+                    move |_| {
+                        aggregation_sub(
+                            n,
+                            shared,
+                            AggregationSpec {
+                                memberships,
+                                ell2_hat: ell2_ident2,
+                            },
+                            &XorSum,
+                            re_seed,
+                        )
                     },
-                    &xor_sum,
-                    lane_seed(engine, 0x6f72_6905, (pl << 8) | iter as u64),
+                    |s| s.into_deliveries(),
                 );
-                let (s, rep) = run_composed(engine, &mut [&mut re_sub])?;
-                report.push(format!("p{phase}:ident2.{iter}"), s);
-                lane_stages += rep.lane_stages;
-                let sketches = re_sub.into_deliveries();
-
-                for u in 0..n {
-                    if !is_active[u] || !unsuccessful[u] {
-                        continue;
-                    }
-                    let arcs: Vec<(u64, NodeId)> = g
-                        .neighbors(u as NodeId)
-                        .iter()
-                        .filter(|&&v| !red[u].contains(&v))
-                        .map(|&v| (arc_id(u as NodeId, v, idb), v))
-                        .collect();
-                    let blues: FxHashMap<u32, (u64, u64)> =
-                        sketches[u].iter().map(|(gid, v)| (gid.sub(), *v)).collect();
-                    let found = peel(&arcs, &blues, |a| trials_of(a, &fns, q2));
-                    for v in found {
-                        red[u].insert(v);
-                    }
-                    if red[u].len() == di[u] {
-                        unsuccessful[u] = false;
-                    }
-                }
-
-                let inputs: Vec<Option<u64>> = (0..n)
-                    .map(|u| {
-                        if is_active[u] && unsuccessful[u] {
-                            Some(1)
-                        } else {
-                            None
+                let peel_active = is_active.clone();
+                let peel_di = di.clone();
+                let peel_red = red.clone();
+                let peel_unsucc = unsuccessful.clone();
+                let peeled =
+                    dag.compute(format!("p{phase}:repeel.{iter}"), &[re.into()], move |d| {
+                        let sketches = d.get(re);
+                        let mut red = peel_red;
+                        let mut unsuccessful = peel_unsucc;
+                        for u in 0..n {
+                            if !peel_active[u] || !unsuccessful[u] {
+                                continue;
+                            }
+                            let arcs: Vec<(u64, NodeId)> = g
+                                .neighbors(u as NodeId)
+                                .iter()
+                                .filter(|&&v| !red[u].contains(&v))
+                                .map(|&v| (arc_id(u as NodeId, v, idb), v))
+                                .collect();
+                            let blues: FxHashMap<u32, (u64, u64)> =
+                                sketches[u].iter().map(|(gid, v)| (gid.sub(), *v)).collect();
+                            let found = peel(&arcs, &blues, |a| trials_of(a, &fns, q2));
+                            for v in found {
+                                red[u].insert(v);
+                            }
+                            if red[u].len() == peel_di[u] {
+                                unsuccessful[u] = false;
+                            }
                         }
-                    })
-                    .collect();
-                let (still, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
-                report.push(format!("p{phase}:ident2-check.{iter}"), s);
+                        (red, unsuccessful)
+                    });
+                let check_active = is_active.clone();
+                let check = dag.proto(
+                    format!("p{phase}:ident2-check.{iter}"),
+                    &[peeled.into()],
+                    move |d| {
+                        let (_, unsuccessful) = d.get(peeled);
+                        let inputs: Vec<Option<u64>> = (0..n)
+                            .map(|u| {
+                                if check_active[u] && unsuccessful[u] {
+                                    Some(1)
+                                } else {
+                                    None
+                                }
+                            })
+                            .collect();
+                        ab_sub(n, inputs, &MaxU64)
+                    },
+                    |s| s.into_results(),
+                );
+                let mut run = dag.run(engine)?;
+                report.push(format!("p{phase}:ident2.{iter}"), run.stats);
+                plan.merge(run.report);
+                (red, unsuccessful) = run.outputs.take(peeled);
+                let still = run.outputs.take(check);
                 if still[0].is_none() {
                     break;
                 }
@@ -574,43 +691,68 @@ pub fn orient(
                     .collect()
             })
             .collect();
-        let (matched, s) = rendezvous(engine, probes, idb)?;
-        report.push(format!("p{phase}:stage3"), s);
-
-        // ==================== finish phase: direct edges ==================
-        for u in 0..n {
-            if !is_active[u] {
-                continue;
-            }
-            let matched_set: FxHashSet<u64> = matched[u].iter().copied().collect();
-            let st = &mut nodes[u];
-            st.inactive = true;
-            st.level = phase;
-            let mut pl = Vec::new();
-            for &v in g.neighbors(u as NodeId) {
-                if !red[u].contains(&v) {
-                    st.class.insert(v, LevelClass::Lower);
-                } else if matched_set.contains(&edge_id(u as NodeId, v, idb)) {
-                    st.class.insert(v, LevelClass::Same);
-                    if (u as NodeId) < v {
-                        st.out.push(v);
-                    }
-                } else {
-                    st.class.insert(v, LevelClass::Higher);
-                    st.out.push(v);
-                    pl.push(v);
+        // The finish-phase edge directing is a compute node on the matched
+        // edges, and the continue consensus hangs off it barrier-free — the
+        // whole stage is one declared chain: rendezvous → finish → continue.
+        let mut dag = Dag::new();
+        let rdv = dag.proto(
+            format!("p{phase}:stage3"),
+            &[],
+            move |_| rendezvous_sub(n, probes, idb),
+            |s| s.into_results(),
+        );
+        let finish_nodes = nodes.clone();
+        let finish_active = is_active.clone();
+        let finish_red = red;
+        let finish = dag.compute(format!("p{phase}:finish"), &[rdv.into()], move |d| {
+            let matched = d.get(rdv);
+            let mut nodes = finish_nodes;
+            // ================ finish phase: direct edges ==================
+            for u in 0..n {
+                if !finish_active[u] {
+                    continue;
                 }
+                let matched_set: FxHashSet<u64> = matched[u].iter().copied().collect();
+                let st = &mut nodes[u];
+                st.inactive = true;
+                st.level = phase;
+                let mut pl = Vec::new();
+                for &v in g.neighbors(u as NodeId) {
+                    if !finish_red[u].contains(&v) {
+                        st.class.insert(v, LevelClass::Lower);
+                    } else if matched_set.contains(&edge_id(u as NodeId, v, idb)) {
+                        st.class.insert(v, LevelClass::Same);
+                        if (u as NodeId) < v {
+                            st.out.push(v);
+                        }
+                    } else {
+                        st.class.insert(v, LevelClass::Higher);
+                        st.out.push(v);
+                        pl.push(v);
+                    }
+                }
+                st.pl = pl;
             }
-            st.pl = pl;
-        }
-
+            nodes
+        });
         // ================== continue? (barrier + decision) ================
-        let inputs: Vec<Option<u64>> = (0..n)
-            .map(|u| if nodes[u].inactive { None } else { Some(1) })
-            .collect();
-        let (remaining, s) = aggregate_and_broadcast(engine, inputs, &MaxU64)?;
-        report.push(format!("p{phase}:continue"), s);
-        if remaining[0].is_none() {
+        let cont = dag.proto(
+            format!("p{phase}:continue"),
+            &[finish.into()],
+            move |d| {
+                let nodes = d.get(finish);
+                let inputs: Vec<Option<u64>> = (0..n)
+                    .map(|u| if nodes[u].inactive { None } else { Some(1) })
+                    .collect();
+                ab_sub(n, inputs, &MaxU64)
+            },
+            |s| s.into_results(),
+        );
+        let mut run = dag.run(engine)?;
+        report.push(format!("p{phase}:stage3"), run.stats);
+        plan.merge(run.report);
+        nodes = run.outputs.take(finish);
+        if run.outputs.take(cont)[0].is_none() {
             break;
         }
     }
@@ -625,8 +767,9 @@ pub fn orient(
         phases: phase,
         d_star: d_star_global.max(1),
         max_degree: delta,
-        lane_stages,
+        lane_stages: plan.lane_stages() as u32,
         report,
+        plan,
     })
 }
 

@@ -446,6 +446,204 @@ pub fn rendezvous(
 /// Per-node received `(source, value)` pairs from a scheduled exchange.
 pub type ReceivedPerNode = Vec<Vec<(NodeId, u64)>>;
 
+// ---------------------------------------------------------------------------
+// Composable lane adapters (for protocol DAGs)
+// ---------------------------------------------------------------------------
+
+/// [`scheduled_exchange`] as a composable lane: one stage on the engine's
+/// own randomness stream (the program draws none). Read with
+/// [`ScheduleSub::into_results`].
+pub struct ScheduleSub {
+    stage: Option<Vec<ScheduleState>>,
+    out: Option<ReceivedPerNode>,
+}
+
+/// Builds the scheduled-exchange sub-protocol. Arguments mirror
+/// [`scheduled_exchange`].
+pub fn schedule_sub(n: usize, schedules: Vec<Vec<(u64, NodeId, u64)>>) -> ScheduleSub {
+    assert_eq!(schedules.len(), n);
+    let states = schedules
+        .into_iter()
+        .map(|to_send| ScheduleState {
+            to_send,
+            received: Vec::new(),
+        })
+        .collect();
+    ScheduleSub {
+        stage: Some(states),
+        out: None,
+    }
+}
+
+impl ScheduleSub {
+    /// Per-node `(src, value)` pairs. Panics before the composition finished.
+    pub fn into_results(self) -> ReceivedPerNode {
+        self.out
+            .expect("scheduled-exchange sub-protocol not finished")
+    }
+}
+
+impl<'a> ncc_butterfly::LaneSub<'a> for ScheduleSub {
+    fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
+        let states = self.stage.take()?;
+        Some(b.lane(ScheduleProgram, states))
+    }
+
+    fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
+        let st: Vec<ScheduleState> = ncc_model::take_lane_states(states, lane);
+        self.out = Some(st.into_iter().map(|s| s.received).collect());
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_some()
+    }
+}
+
+/// [`rendezvous`] as a composable lane: one stage. Read with
+/// [`RdvSub::into_results`].
+pub struct RdvSub {
+    stage: Option<(RdvProgram, Vec<RdvState>)>,
+    out: Option<Vec<Vec<u64>>>,
+}
+
+/// Builds the rendezvous sub-protocol. Arguments mirror [`rendezvous`].
+pub fn rendezvous_sub(n: usize, probes: Vec<Vec<(u64, NodeId, u64)>>, id_bits: u32) -> RdvSub {
+    assert_eq!(probes.len(), n);
+    let states = probes
+        .into_iter()
+        .map(|p| RdvState {
+            probes: p,
+            matched: Vec::new(),
+        })
+        .collect();
+    RdvSub {
+        stage: Some((RdvProgram { id_bits }, states)),
+        out: None,
+    }
+}
+
+impl RdvSub {
+    /// Per-node matched edge ids. Panics before the composition finished.
+    pub fn into_results(self) -> Vec<Vec<u64>> {
+        self.out.expect("rendezvous sub-protocol not finished")
+    }
+}
+
+impl<'a> ncc_butterfly::LaneSub<'a> for RdvSub {
+    fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
+        let (prog, states) = self.stage.take()?;
+        Some(b.lane(prog, states))
+    }
+
+    fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
+        let st: Vec<RdvState> = ncc_model::take_lane_states(states, lane);
+        self.out = Some(st.into_iter().map(|s| s.matched).collect());
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_some()
+    }
+}
+
+/// [`gather_and_broadcast`] as a composable lane: two stages (gather toward
+/// node 0, pipelined broadcast back), with the collect step between them
+/// performing node 0's sort/dedup locally — exactly the blocking function's
+/// structure. Read with [`GatherBcastSub::into_results`].
+pub struct GatherBcastSub {
+    n: usize,
+    bf: Option<Butterfly>,
+    /// 0 = gather, 1 = broadcast (stage being installed/collected next).
+    stage: u8,
+    gather: Option<Vec<GatherState>>,
+    bcast: Option<Vec<BcastState>>,
+    out: Option<Vec<u64>>,
+}
+
+/// Builds the gather-and-broadcast sub-protocol. Arguments mirror
+/// [`gather_and_broadcast`].
+pub fn gather_broadcast_sub(n: usize, values: Vec<Option<u64>>) -> GatherBcastSub {
+    assert_eq!(values.len(), n);
+    if n == 1 {
+        let v: Vec<u64> = values.into_iter().flatten().collect();
+        return GatherBcastSub {
+            n,
+            bf: None,
+            stage: 0,
+            gather: None,
+            bcast: None,
+            out: Some(v),
+        };
+    }
+    let bf = Butterfly::for_n(n);
+    let gstates = values
+        .into_iter()
+        .map(|v| GatherState {
+            queue: v.into_iter().collect(),
+            collected: Vec::new(),
+        })
+        .collect();
+    GatherBcastSub {
+        n,
+        bf: Some(bf),
+        stage: 0,
+        gather: Some(gstates),
+        bcast: None,
+        out: None,
+    }
+}
+
+impl GatherBcastSub {
+    /// The collected sorted list (identical at every node). Panics before
+    /// the composition finished.
+    pub fn into_results(self) -> Vec<u64> {
+        self.out
+            .expect("gather-and-broadcast sub-protocol not finished")
+    }
+}
+
+impl<'a> ncc_butterfly::LaneSub<'a> for GatherBcastSub {
+    fn install(&mut self, b: &mut ncc_model::MuxBuilder<'a>) -> Option<ncc_model::LaneId> {
+        let bf = self.bf?;
+        if let Some(gstates) = self.gather.take() {
+            return Some(b.lane(GatherProgram { bf, n: self.n }, gstates));
+        }
+        let bstates = self.bcast.take()?;
+        Some(b.lane(BcastProgram { bf, n: self.n }, bstates))
+    }
+
+    fn collect(&mut self, lane: ncc_model::LaneId, states: &mut [ncc_model::MuxState]) {
+        if self.stage == 0 {
+            // end of the gather stage: node 0 sorts and seeds the broadcast
+            self.stage = 1;
+            let mut gstates: Vec<GatherState> = ncc_model::take_lane_states(states, lane);
+            let mut collected = std::mem::take(&mut gstates[0].collected);
+            collected.extend(gstates[0].queue.iter().copied());
+            collected.sort_unstable();
+            collected.dedup();
+            let mut bstates: Vec<BcastState> = (0..self.n).map(|_| BcastState::default()).collect();
+            bstates[0].to_send = collected;
+            self.bcast = Some(bstates);
+        } else {
+            let bstates: Vec<BcastState> = ncc_model::take_lane_states(states, lane);
+            let reference = {
+                let mut r = bstates[0].received.clone();
+                r.sort_unstable();
+                r
+            };
+            for (v, st) in bstates.iter().enumerate() {
+                let mut got = st.received.clone();
+                got.sort_unstable();
+                debug_assert_eq!(got, reference, "node {v} missed broadcast values");
+            }
+            self.out = Some(reference);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.out.is_some()
+    }
+}
+
 /// Canonical undirected edge id: `min ∘ max` packed with `id_bits` per node.
 #[inline]
 pub fn edge_id(u: NodeId, v: NodeId, id_bits: u32) -> u64 {

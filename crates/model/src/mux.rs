@@ -255,6 +255,9 @@ pub struct MuxBuilder<'a> {
     lanes: Vec<Box<dyn ErasedLane<'a> + 'a>>,
     /// `slots[lane][node]`, transposed to `[node][lane]` in [`Self::build`].
     slots: Vec<Vec<LaneSlot>>,
+    /// Hard cap on the number of lanes (the per-node parallel-instance
+    /// budget a scheduler promised to respect). `None` = unbounded.
+    budget: Option<usize>,
 }
 
 impl<'a> MuxBuilder<'a> {
@@ -263,12 +266,30 @@ impl<'a> MuxBuilder<'a> {
             n,
             lanes: Vec::new(),
             slots: Vec::new(),
+            budget: None,
         }
+    }
+
+    /// Declares a hard lane budget: the per-node number of concurrent
+    /// protocol instances this mux may host (the paper's `O(log n)`
+    /// parallel-instances cap, §2). Adding a lane beyond the budget
+    /// panics — the hook that keeps an automatic scheduler honest.
+    pub fn with_lane_budget(mut self, budget: usize) -> Self {
+        assert!(budget >= 1, "a mux needs room for at least one lane");
+        self.budget = Some(budget);
+        self
     }
 
     /// Number of lanes added so far.
     pub fn lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Lanes still admissible under the declared budget
+    /// (`usize::MAX` when unbounded).
+    pub fn remaining_budget(&self) -> usize {
+        self.budget
+            .map_or(usize::MAX, |b| b.saturating_sub(self.lanes.len()))
     }
 
     fn push<Prog>(&mut self, prog: Prog, states: Vec<Prog::State>, seed: Option<u64>) -> LaneId
@@ -277,6 +298,12 @@ impl<'a> MuxBuilder<'a> {
         Prog::State: 'static,
     {
         assert_eq!(states.len(), self.n, "one state per node required");
+        if let Some(budget) = self.budget {
+            assert!(
+                self.lanes.len() < budget,
+                "lane budget exceeded: {budget} lanes already installed"
+            );
+        }
         let id = self.lanes.len();
         self.slots.push(
             states
@@ -711,6 +738,42 @@ mod tests {
         assert_eq!(stats[0].sent, 8);
         assert_eq!(stats[1].sent, 8 * 4);
         assert!(stats[1].node_rounds > stats[0].node_rounds);
+    }
+
+    #[test]
+    fn lane_budget_admits_up_to_budget() {
+        let n = 4;
+        let mut b = MuxBuilder::new(n).with_lane_budget(2);
+        assert_eq!(b.remaining_budget(), 2);
+        let _ = b.lane_seeded(
+            RingRelay { hops: 1, base: 0 },
+            vec![RelayState::default(); n],
+            1,
+        );
+        assert_eq!(b.remaining_budget(), 1);
+        let _ = b.lane_seeded(
+            RingRelay { hops: 1, base: 0 },
+            vec![RelayState::default(); n],
+            2,
+        );
+        assert_eq!(b.remaining_budget(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane budget exceeded")]
+    fn lane_budget_rejects_overflow() {
+        let n = 4;
+        let mut b = MuxBuilder::new(n).with_lane_budget(1);
+        let _ = b.lane_seeded(
+            RingRelay { hops: 1, base: 0 },
+            vec![RelayState::default(); n],
+            1,
+        );
+        let _ = b.lane_seeded(
+            RingRelay { hops: 1, base: 0 },
+            vec![RelayState::default(); n],
+            2,
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! centralised correctness check — and returns a typed [`RunRecord`].
 
 use ncc_baselines::{broadcast_all, gossip_all};
-use ncc_butterfly::{aggregate_and_broadcast, broadcast_seed, MinU64};
+use ncc_butterfly::{aggregate_and_broadcast, broadcast_seed, MinU64, SchedReport};
 use ncc_core::{AlgoReport, BroadcastTrees};
 use ncc_graph::{analysis, check};
 use ncc_hashing::SharedRandomness;
@@ -35,6 +35,74 @@ pub trait Algorithm: Sync {
     /// agreed *in model* from `scn.spec.seed`, so the record is a pure
     /// function of `(algorithm, spec)`.
     fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError>;
+
+    /// The scheduler's packing plan for this algorithm on `scn` — how the
+    /// declared protocol DAG was packed into mux lanes. `None` for
+    /// algorithms that are not DAG-declared (the baselines).
+    fn plan(&self, _eng: &mut Engine, _scn: &Scenario) -> Result<Option<SchedReport>, ModelError> {
+        Ok(None)
+    }
+}
+
+/// Echoes the scheduler's packing plan into a record's metrics, so sweeps
+/// can see budget usage without re-running the algorithm.
+fn with_plan_metrics(rec: RunRecord, plan: &SchedReport) -> RunRecord {
+    rec.with_metric("dag_stages", plan.stages.len() as u64)
+        .with_metric("dag_lane_stages", plan.lane_stages() as u64)
+        .with_metric("dag_max_lanes", plan.max_lanes() as u64)
+        .with_metric("dag_budget", plan.budget as u64)
+        .with_metric("dag_splits", plan.splits() as u64)
+}
+
+/// Renders a packing plan for human eyes (`ncc-cli explain`): one line per
+/// packed stage — lanes vs budget, barrier, rounds, lane labels — plus a
+/// totals line. `None` when the algorithm is not DAG-declared.
+pub fn explain_text(
+    algo: &dyn Algorithm,
+    eng: &mut Engine,
+    scn: &Scenario,
+) -> Result<Option<String>, ModelError> {
+    use std::fmt::Write;
+    let Some(plan) = algo.plan(eng, scn)? else {
+        return Ok(None);
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "packing plan for `{}` on {} (lane budget {}):",
+        algo.name(),
+        scn.spec.label(),
+        plan.budget
+    );
+    for (i, st) in plan.stages.iter().enumerate() {
+        let labels: Vec<&str> = st.lanes.iter().map(|l| l.label.as_str()).collect();
+        let _ = writeln!(
+            out,
+            "  stage {:>4}  {:>2}/{} lanes  {}  {:>5} rounds  {}{}",
+            i + 1,
+            st.lanes.len(),
+            plan.budget,
+            if st.barrier { "barrier" } else { "       " },
+            st.rounds(),
+            labels.join(" "),
+            if st.deferred.is_empty() {
+                String::new()
+            } else {
+                format!("  (deferred: {})", st.deferred.join(" "))
+            }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total: {} stages, {} lane-stages, max {}/{} lanes, {} barriers, {} budget splits",
+        plan.stages.len(),
+        plan.lane_stages(),
+        plan.max_lanes(),
+        plan.budget,
+        plan.barriers(),
+        plan.splits()
+    );
+    Ok(Some(out))
 }
 
 /// Agrees on shared randomness in model (charged rounds) and records the
@@ -103,7 +171,7 @@ impl Algorithm for Mst {
             r.edges.len(),
             r.phases
         );
-        Ok(RunRecord::new(
+        let rec = RunRecord::new(
             self.name(),
             &scn.spec,
             report,
@@ -115,7 +183,13 @@ impl Algorithm for Mst {
         .with_metric("weight", weight)
         .with_metric("findmin_steps", r.findmin_steps as u64)
         .with_metric("rounds_findmin", rounds_findmin)
-        .with_metric("lane_stages", r.lane_stages as u64))
+        .with_metric("lane_stages", r.lane_stages as u64);
+        Ok(with_plan_metrics(rec, &r.plan))
+    }
+    fn plan(&self, eng: &mut Engine, scn: &Scenario) -> Result<Option<SchedReport>, ModelError> {
+        let mut report = AlgoReport::default();
+        let shared = agree(eng, &mut report, scn.spec.seed)?;
+        Ok(Some(ncc_core::mst(eng, &shared, &scn.weighted)?.plan))
     }
 }
 
@@ -148,7 +222,7 @@ impl Algorithm for Orientation {
             r.d_star,
             r.phases
         );
-        Ok(RunRecord::new(
+        let rec = RunRecord::new(
             self.name(),
             &scn.spec,
             report,
@@ -159,7 +233,13 @@ impl Algorithm for Orientation {
         .with_metric("max_outdegree", r.max_outdegree() as u64)
         .with_metric("d_star", r.d_star as u64)
         .with_metric("delta", r.max_degree as u64)
-        .with_metric("lane_stages", r.lane_stages as u64))
+        .with_metric("lane_stages", r.lane_stages as u64);
+        Ok(with_plan_metrics(rec, &r.plan))
+    }
+    fn plan(&self, eng: &mut Engine, scn: &Scenario) -> Result<Option<SchedReport>, ModelError> {
+        let mut report = AlgoReport::default();
+        let shared = agree(eng, &mut report, scn.spec.seed)?;
+        Ok(Some(ncc_core::orient(eng, &shared, &scn.graph)?.plan))
     }
 }
 
@@ -190,7 +270,7 @@ impl Algorithm for Bfs {
             scn.graph.n(),
             r.phases
         );
-        Ok(RunRecord::new(
+        let rec = RunRecord::new(
             self.name(),
             &scn.spec,
             report,
@@ -200,7 +280,15 @@ impl Algorithm for Bfs {
         )
         .with_metric("reached", reached as u64)
         .with_metric("rounds_prep", prep)
-        .with_metric("rounds_main", main))
+        .with_metric("rounds_main", main);
+        Ok(with_plan_metrics(rec, &r.plan))
+    }
+    fn plan(&self, eng: &mut Engine, scn: &Scenario) -> Result<Option<SchedReport>, ModelError> {
+        let mut report = AlgoReport::default();
+        let (shared, bt) = prepare(eng, scn, &mut report)?;
+        Ok(Some(
+            ncc_core::bfs(eng, &shared, &bt, &scn.graph, scn.source())?.plan,
+        ))
     }
 }
 
@@ -223,7 +311,7 @@ impl Algorithm for Mis {
         let verdict = Verdict::from_check(check::check_mis(&scn.graph, &r.in_mis));
         let size = r.in_mis.iter().filter(|&&b| b).count();
         let summary = format!("{size} nodes in the set, {} phases", r.phases);
-        Ok(RunRecord::new(
+        let rec = RunRecord::new(
             self.name(),
             &scn.spec,
             report,
@@ -233,7 +321,13 @@ impl Algorithm for Mis {
         )
         .with_metric("mis_size", size as u64)
         .with_metric("rounds_prep", prep)
-        .with_metric("rounds_main", main))
+        .with_metric("rounds_main", main);
+        Ok(with_plan_metrics(rec, &r.plan))
+    }
+    fn plan(&self, eng: &mut Engine, scn: &Scenario) -> Result<Option<SchedReport>, ModelError> {
+        let mut report = AlgoReport::default();
+        let (shared, bt) = prepare(eng, scn, &mut report)?;
+        Ok(Some(ncc_core::mis(eng, &shared, &bt, &scn.graph)?.plan))
     }
 }
 
@@ -256,7 +350,7 @@ impl Algorithm for Matching {
         let verdict = Verdict::from_check(check::check_matching(&scn.graph, &r.mate));
         let pairs = r.mate.iter().filter(|m| m.is_some()).count() / 2;
         let summary = format!("{pairs} pairs, {} phases", r.phases);
-        Ok(RunRecord::new(
+        let rec = RunRecord::new(
             self.name(),
             &scn.spec,
             report,
@@ -266,7 +360,15 @@ impl Algorithm for Matching {
         )
         .with_metric("pairs", pairs as u64)
         .with_metric("rounds_prep", prep)
-        .with_metric("rounds_main", main))
+        .with_metric("rounds_main", main);
+        Ok(with_plan_metrics(rec, &r.plan))
+    }
+    fn plan(&self, eng: &mut Engine, scn: &Scenario) -> Result<Option<SchedReport>, ModelError> {
+        let mut report = AlgoReport::default();
+        let (shared, bt) = prepare(eng, scn, &mut report)?;
+        Ok(Some(
+            ncc_core::maximal_matching(eng, &shared, &bt, &scn.graph)?.plan,
+        ))
     }
 }
 
@@ -289,13 +391,73 @@ impl Algorithm for Coloring {
         let verdict = Verdict::from_check(check::check_coloring(&scn.graph, &r.colors, r.palette));
         let used = r.colors.iter().max().map_or(0, |c| c + 1);
         let summary = format!("{used} colors used (palette {})", r.palette);
-        Ok(
-            RunRecord::new(self.name(), &scn.spec, report, verdict, None, summary)
-                .with_metric("colors_used", used as u64)
-                .with_metric("palette", r.palette as u64)
-                .with_metric("rounds_prep", prep)
-                .with_metric("rounds_main", main),
+        let rec = RunRecord::new(self.name(), &scn.spec, report, verdict, None, summary)
+            .with_metric("colors_used", used as u64)
+            .with_metric("palette", r.palette as u64)
+            .with_metric("rounds_prep", prep)
+            .with_metric("rounds_main", main);
+        Ok(with_plan_metrics(rec, &r.plan))
+    }
+    fn plan(&self, eng: &mut Engine, scn: &Scenario) -> Result<Option<SchedReport>, ModelError> {
+        let mut report = AlgoReport::default();
+        let (shared, bt) = prepare(eng, scn, &mut report)?;
+        Ok(Some(
+            ncc_core::coloring(eng, &shared, &bt.orientation, &scn.graph)?.plan,
+        ))
+    }
+}
+
+struct Apsp;
+
+impl Algorithm for Apsp {
+    fn name(&self) -> &'static str {
+        "apsp"
+    }
+    fn description(&self) -> &'static str {
+        "landmark distance sketches: Θ(log n) parallel BFS instances (§5.1 × §2)"
+    }
+    fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
+        let mut report = AlgoReport::default();
+        let (shared, bt) = prepare(eng, scn, &mut report)?;
+        let r = ncc_core::landmark_apsp(eng, &shared, &bt, &scn.graph, None)?;
+        report.push("apsp", r.report.total);
+        let prep = prep_rounds(&report);
+        let main = report.stage_total("apsp").rounds;
+        // every sketch must equal the centralised BFS oracle exactly
+        let exact = r
+            .landmarks
+            .iter()
+            .enumerate()
+            .all(|(l, &lm)| analysis::bfs_distances(&scn.graph, lm) == r.dist[l]);
+        let verdict = if exact {
+            Verdict::Verified
+        } else {
+            Verdict::Failed
+        };
+        let summary = format!(
+            "{} landmark sketches, {} frontier phases",
+            r.landmarks.len(),
+            r.phases
+        );
+        let rec = RunRecord::new(
+            self.name(),
+            &scn.spec,
+            report,
+            verdict,
+            Some(r.phases),
+            summary,
         )
+        .with_metric("landmarks", r.landmarks.len() as u64)
+        .with_metric("rounds_prep", prep)
+        .with_metric("rounds_main", main);
+        Ok(with_plan_metrics(rec, &r.plan))
+    }
+    fn plan(&self, eng: &mut Engine, scn: &Scenario) -> Result<Option<SchedReport>, ModelError> {
+        let mut report = AlgoReport::default();
+        let (shared, bt) = prepare(eng, scn, &mut report)?;
+        Ok(Some(
+            ncc_core::landmark_apsp(eng, &shared, &bt, &scn.graph, None)?.plan,
+        ))
     }
 }
 
@@ -400,17 +562,19 @@ static BFS: Bfs = Bfs;
 static MIS: Mis = Mis;
 static MATCHING: Matching = Matching;
 static COLORING: Coloring = Coloring;
+static APSP: Apsp = Apsp;
 static GOSSIP: Gossip = Gossip;
 static BROADCAST: Broadcast = Broadcast;
 static BUTTERFLY_AGG: ButterflyAggregation = ButterflyAggregation;
 
-static REGISTRY: [&dyn Algorithm; 9] = [
+static REGISTRY: [&dyn Algorithm; 10] = [
     &MST,
     &ORIENTATION,
     &BFS,
     &MIS,
     &MATCHING,
     &COLORING,
+    &APSP,
     &GOSSIP,
     &BROADCAST,
     &BUTTERFLY_AGG,
@@ -450,6 +614,7 @@ mod tests {
             "mis",
             "matching",
             "coloring",
+            "apsp",
             "gossip",
             "broadcast",
             "butterfly-aggregation",
@@ -460,6 +625,45 @@ mod tests {
             );
         }
         assert!(find_algorithm("no-such-algo").is_none());
+    }
+
+    #[test]
+    fn plans_exist_exactly_for_dag_algorithms() {
+        use crate::scenario::{FamilySpec, ScenarioSpec};
+        let scn = ScenarioSpec::new(FamilySpec::Gnp { p: 0.2 }, 32, 3)
+            .build()
+            .unwrap();
+        for name in [
+            "mst",
+            "orientation",
+            "bfs",
+            "mis",
+            "matching",
+            "coloring",
+            "apsp",
+        ] {
+            let algo = find_algorithm(name).unwrap();
+            let mut eng = scn.engine();
+            let plan = algo.plan(&mut eng, &scn).unwrap();
+            let plan = plan.unwrap_or_else(|| panic!("{name} should expose a packing plan"));
+            assert!(!plan.stages.is_empty(), "{name} plan has no stages");
+            assert!(
+                plan.max_lanes() <= plan.budget,
+                "{name} exceeds lane budget"
+            );
+            let mut eng = scn.engine();
+            let text = explain_text(algo, &mut eng, &scn).unwrap().unwrap();
+            assert!(text.contains("packing plan"), "{name} render misses header");
+            assert!(text.contains("total:"), "{name} render misses totals");
+        }
+        for name in ["gossip", "broadcast", "butterfly-aggregation"] {
+            let algo = find_algorithm(name).unwrap();
+            let mut eng = scn.engine();
+            assert!(
+                algo.plan(&mut eng, &scn).unwrap().is_none(),
+                "{name} is not DAG-declared"
+            );
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod record;
 pub mod scenario;
 pub mod suite;
 
-pub use algorithms::{algorithm_names, algorithms, find_algorithm, Algorithm};
+pub use algorithms::{algorithm_names, algorithms, explain_text, find_algorithm, Algorithm};
 pub use ncc_model::ModelSpec;
 pub use record::{RunRecord, Verdict};
 pub use scenario::{FamilySpec, Scenario, ScenarioSpec};

@@ -8,6 +8,7 @@
 //!               [--link-cap <c>] [--local-cap <c>] [--json <file>]
 //! ncc-cli suite [--out <file>] [--threads <t>] [--model <m>]
 //!               [--filter <algo-substring>] [--family <scenario-substring>]
+//! ncc-cli explain <algo> [--family <f> --n <N> --param <x> --seed <s>]
 //! ncc-cli list
 //! ncc-cli info --n <N>
 //! ```
@@ -20,14 +21,16 @@
 //! standard scenario grid — which includes a model dimension — and writes
 //! `BENCH_suite.json`, the deterministic snapshot the CI bench gate diffs;
 //! `suite --model <m>` re-runs the full family × n sweep under one model
-//! instead.
+//! instead. `explain` prints the scheduler's packing plan for a
+//! DAG-declared algorithm — which primitive lanes share which mux stage,
+//! and how that sits against the per-node lane budget.
 
 use std::collections::HashMap;
 
 use ncc::graph::{analysis, io};
 use ncc::model::{Capacity, ModelSpec, NetConfig};
 use ncc::runner::{
-    algorithms, filter_grid, find_algorithm, run_suite_filtered, standard_grid,
+    algorithms, explain_text, filter_grid, find_algorithm, run_suite_filtered, standard_grid,
     standard_grid_for_model, FamilySpec, RunRecord, Scenario, ScenarioSpec,
 };
 
@@ -43,6 +46,7 @@ fn main() {
         "gen" => cmd_gen(&positional, &flags),
         "run" => cmd_run(&positional, &flags),
         "suite" => cmd_suite(&flags),
+        "explain" => cmd_explain(&positional, &flags),
         "list" => cmd_list(),
         "info" => cmd_info(&flags),
         "help" | "-h" | "--help" => usage_and_exit(None),
@@ -95,6 +99,7 @@ USAGE:
                 [--link-cap <c>] [--local-cap <c>] [--json <file>]
   ncc-cli suite [--out <file>] [--threads <t>] [--model <m>]
                 [--filter <algo-substring>] [--family <scenario-substring>]
+  ncc-cli explain <algo> [--family <f> --n <N> --param <x> --seed <s>]
   ncc-cli list
   ncc-cli info --n <N>
 
@@ -111,7 +116,8 @@ EXAMPLES
   ncc-cli run bfs --family grid --n 256 --src 0 --json bfs.json
   ncc-cli run bfs --family gnp --n 256 --model kmachine --machines 16
   ncc-cli run gossip --family gnp --n 256 --model cc
-  ncc-cli suite --out BENCH_suite.json",
+  ncc-cli suite --out BENCH_suite.json
+  ncc-cli explain apsp --family gnp --n 128",
         algo_names.join(" ")
     );
     std::process::exit(if err.is_some() { 2 } else { 0 });
@@ -441,6 +447,35 @@ fn cmd_suite(flags: &HashMap<String, String>) {
     }
 }
 
+/// `explain <algo>` — re-run the algorithm's declared DAG through the
+/// scheduler and print the packing plan instead of the results.
+fn cmd_explain(positional: &[String], flags: &HashMap<String, String>) {
+    let algo_name = positional.first().map(String::as_str).unwrap_or_else(|| {
+        usage_and_exit(Some("explain needs an algorithm"));
+    });
+    let Some(algo) = find_algorithm(algo_name) else {
+        usage_and_exit(Some(&format!(
+            "unknown algorithm '{algo_name}' (try `ncc-cli list`)"
+        )));
+    };
+    let family = flags.get("family").map(String::as_str).unwrap_or("gnp");
+    let scn = spec_from_flags(family, flags).build().unwrap_or_else(|e| {
+        usage_and_exit(Some(&e.to_string()));
+    });
+    match explain_plan(algo, &scn) {
+        Some(text) => print!("{text}"),
+        None => {
+            println!("{algo_name} is not declared as a protocol DAG — no packing plan to show");
+        }
+    }
+}
+
+/// The `explain` body, separated from process concerns so tests can call it.
+fn explain_plan(algo: &'static dyn ncc::runner::Algorithm, scn: &Scenario) -> Option<String> {
+    let mut eng = scn.engine();
+    explain_text(algo, &mut eng, scn).unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()))
+}
+
 fn cmd_list() {
     println!("registered algorithms:");
     for a in algorithms() {
@@ -601,6 +636,24 @@ mod tests {
             .map(String::as_str)
             .filter(|f| !f.is_empty());
         assert_eq!(algo_filter, None);
+    }
+
+    #[test]
+    fn explain_renders_the_packing_plan() {
+        let mut flags = HashMap::new();
+        flags.insert("n".to_string(), "32".to_string());
+        flags.insert("seed".to_string(), "3".to_string());
+        let scn = spec_from_flags("gnp", &flags).build().unwrap();
+        // a DAG-declared algorithm gets a stage-by-stage plan with budget use
+        let text =
+            explain_plan(find_algorithm("apsp").unwrap(), &scn).expect("apsp is DAG-declared");
+        assert!(text.contains("packing plan for `apsp`"));
+        assert!(text.contains("lane budget"));
+        assert!(text.contains("stage    1"));
+        assert!(text.contains("spread"), "lane labels must be listed");
+        assert!(text.contains("total:"));
+        // a baseline has no DAG and therefore no plan
+        assert!(explain_plan(find_algorithm("gossip").unwrap(), &scn).is_none());
     }
 
     #[test]

@@ -4,9 +4,8 @@
 //! Case counts are kept small (each case runs a full simulated network)
 //! but every case covers a fresh graph, seed, and capacity configuration.
 
-use ncc::butterfly::{
-    aggregate, multicast, multicast_setup, self_joins, AggregationSpec, GroupId, SumU64,
-};
+use ncc::butterfly::aggregation::aggregate;
+use ncc::butterfly::{multicast, multicast_setup, self_joins, AggregationSpec, GroupId, SumU64};
 use ncc::core as algo;
 use ncc::graph::{check, gen, Graph};
 use ncc::hashing::SharedRandomness;
