@@ -9,16 +9,23 @@
 #                     dimension: every cell names its execution model
 #                     (ncc / congested-clique / kmachine / hybrid) and the
 #                     model rows carry km_rounds + max_edge_load
+#   BENCH_serve.json  the serve-layer load experiment (exp21_serve_load):
+#                     sustained scenarios/sec and latency percentiles
+#                     through the resident coordinator. Marked
+#                     `wall_clock: true`, so bench_compare *reports* it
+#                     (and still fails on any Failed verdict) but never
+#                     gates on its machine-dependent timing numbers.
 #
 # Usage:
 #   ./bench.sh [extra cargo run args...]
-#       refresh both snapshots in place
+#       refresh all three snapshots in place
 #   ./bench.sh --bless
 #       same refresh, by its gate-facing name: `rounds` is a headline
 #       metric, so the CI gate *allows* round-count improvements but keeps
 #       failing until the faster numbers are blessed into the committed
 #       snapshots — run this, review the deltas, commit the result.
 #   ./bench.sh --compare <exp01-baseline.json> [<suite-baseline.json>]
+#                        [<serve-baseline.json>]
 #       run fresh into BENCH_*.fresh.json and print per-record tables with
 #       a rounds-delta column. Exit non-zero on perf *regressions* (round
 #       counts up), on drift of any other deterministic field at equal
@@ -40,21 +47,35 @@ if [[ "${1:-}" == "--compare" ]]; then
         suite_baseline="$1"
         shift
     fi
+    serve_baseline="BENCH_serve.json"
+    if [[ $# -gt 0 && "$1" != --* ]]; then
+        serve_baseline="$1"
+        shift
+    fi
     exp01_fresh="BENCH_exp01.fresh.json"
     suite_fresh="BENCH_suite.fresh.json"
+    serve_fresh="BENCH_serve.fresh.json"
     cargo run --release -p ncc-bench --bin exp01_table1 -- --json "$exp01_fresh" "$@"
     echo
     cargo run --release -p ncc --bin ncc-cli -- suite --out "$suite_fresh" "$@"
     echo
+    cargo run --release -p ncc-bench --bin exp21_serve_load -- --smoke --json "$serve_fresh"
+    echo
     cargo run --release -p ncc-bench --bin bench_compare -- "$exp01_baseline" "$exp01_fresh"
     echo
     cargo run --release -p ncc-bench --bin bench_compare -- "$suite_baseline" "$suite_fresh"
+    echo
+    # wall_clock marker => reported, not gated (verdicts still checked)
+    cargo run --release -p ncc-bench --bin bench_compare -- "$serve_baseline" "$serve_fresh"
 else
     cargo run --release -p ncc-bench --bin exp01_table1 -- --json BENCH_exp01.json "$@"
     echo
     cargo run --release -p ncc --bin ncc-cli -- suite --out BENCH_suite.json "$@"
     echo
-    echo "snapshots written to BENCH_exp01.json + BENCH_suite.json:"
+    cargo run --release -p ncc-bench --bin exp21_serve_load -- --smoke --json BENCH_serve.json
+    echo
+    echo "snapshots written to BENCH_exp01.json + BENCH_suite.json + BENCH_serve.json:"
     head -n 12 BENCH_exp01.json
     head -n 12 BENCH_suite.json
+    head -n 12 BENCH_serve.json
 fi

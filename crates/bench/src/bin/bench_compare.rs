@@ -24,6 +24,17 @@
 //! `NEW`, not drift), while a record that disappeared from the fresh
 //! snapshot is a failure (`GONE`) — suites may grow, never silently
 //! shrink.
+//!
+//! **Wall-clock snapshots are exempt from the drift gate.** A snapshot
+//! whose top level carries `"wall_clock": true` (e.g. `BENCH_serve.json`,
+//! whose throughput and latency numbers depend on the machine) is
+//! *reported* — headline scalars printed side by side — but never gated:
+//! timing is not deterministic, so drift there is expected. The marker is
+//! schema-level, not filename-level, so new wall-clock experiments opt in
+//! by setting the field rather than by editing `bench.sh`. Correctness is
+//! still enforced: a `Failed` verdict anywhere in a wall-clock snapshot
+//! fails the gate, and a marker present on only one side is a schema
+//! mismatch and fails too.
 
 use std::process::ExitCode;
 
@@ -165,6 +176,19 @@ fn main() -> ExitCode {
         );
     }
 
+    let wall = |v: &Value| matches!(get(v, "wall_clock"), Some(Value::Bool(true)));
+    match (wall(&baseline), wall(&fresh)) {
+        (true, true) => return compare_wall_clock(&baseline, &fresh),
+        (false, false) => {}
+        (b, f) => {
+            println!(
+                "\nFAIL: wall_clock marker on one side only (baseline={b}, fresh={f}) — \
+                 snapshot schemas disagree."
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
     let empty = Vec::new();
     let base_records = match get(&baseline, "records") {
         Some(Value::Seq(s)) => s,
@@ -294,6 +318,66 @@ fn main() -> ExitCode {
         }
         println!("If the change is intentional, regenerate with `./bench.sh --bless` and commit the new snapshots.");
         ExitCode::FAILURE
+    }
+}
+
+/// Reporting-only path for `"wall_clock": true` snapshots: prints the
+/// top-level scalars side by side (throughput, latency percentiles) and
+/// enforces only correctness — a `Failed` verdict anywhere in the fresh
+/// tree fails; timing drift never does.
+fn compare_wall_clock(baseline: &Value, fresh: &Value) -> ExitCode {
+    println!("\nwall-clock snapshot (`wall_clock: true`): reported, not drift-gated.");
+    if let (Value::Map(mb), Value::Map(mf)) = (baseline, fresh) {
+        for (k, vb) in mb {
+            if matches!(vb, Value::Map(_) | Value::Seq(_)) {
+                continue;
+            }
+            let vf = mf.iter().find(|(kf, _)| kf == k).map(|(_, v)| v);
+            println!(
+                "  {k:<20} baseline={} fresh={}",
+                render(vb),
+                vf.map_or("<none>".into(), render)
+            );
+        }
+    }
+    let mut failed: Vec<String> = Vec::new();
+    scan_failed_verdicts(fresh, "fresh", &mut failed);
+    if failed.is_empty() {
+        println!("\nOK: no Failed verdicts; timing fields are machine-dependent and not gated.");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nFAIL: {} Failed verdict(s) in the fresh snapshot:",
+            failed.len()
+        );
+        for line in failed.iter().take(25) {
+            println!("  {line}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks the whole value tree looking for `"verdict": "Failed"` leaves.
+fn scan_failed_verdicts(v: &Value, path: &str, out: &mut Vec<String>) {
+    match v {
+        Value::Map(m) => {
+            for (k, vv) in m {
+                if k == "verdict" {
+                    if let Value::Str(s) = vv {
+                        if s == "Failed" {
+                            out.push(format!("{path}.verdict = Failed"));
+                        }
+                    }
+                }
+                scan_failed_verdicts(vv, &format!("{path}.{k}"), out);
+            }
+        }
+        Value::Seq(s) => {
+            for (i, vv) in s.iter().enumerate() {
+                scan_failed_verdicts(vv, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
     }
 }
 

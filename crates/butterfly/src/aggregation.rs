@@ -26,9 +26,9 @@
 //! This module also hosts **Aggregate-and-Broadcast** (Theorem 2.2) — the
 //! `O(log n)` whole-network aggregate whose execution doubles as the
 //! [`sync_barrier`] between phases — so every aggregation-style entry
-//! point lives behind one path (the historic `crate::agg_bcast`,
-//! `crate::aggregate` and `crate::multi_agg` module paths are deprecated
-//! re-export shims).
+//! point lives behind one path (the historic `agg_bcast`, `aggregate`
+//! and `multi_agg` module paths went through one release of
+//! `#[deprecated]` re-export shims and are gone).
 
 use std::collections::BTreeMap;
 

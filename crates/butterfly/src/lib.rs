@@ -7,7 +7,7 @@
 //! | primitive | paper | bound |
 //! |---|---|---|
 //! | [`aggregate_and_broadcast`] | Thm 2.2 | `O(log n)` |
-//! | [`aggregate`](aggregation::aggregate) | Thm 2.3 | `O(L/n + (ℓ₁+ℓ̂₂)/log n + log n)` |
+//! | [`aggregate`] | Thm 2.3 | `O(L/n + (ℓ₁+ℓ̂₂)/log n + log n)` |
 //! | [`multicast_setup`] | Thm 2.4 | `O(L/n + ℓ/log n + log n)`, congestion `O(L/n + log n)` |
 //! | [`multicast`](multicast::multicast) | Thm 2.5 | `O(C + ℓ̂/log n + log n)` |
 //! | [`multi_aggregate`] | Thm 2.6 | `O(C + log n)` |
@@ -53,23 +53,10 @@
 //! assert!(stats.rounds <= 2 * 7 + 3);                      // 2·⌈log₂ n⌉ + O(1)
 //! ```
 
-#[deprecated(
-    note = "moved to `aggregation` (Aggregate-and-Broadcast, `sync_barrier`); \
-            use `ncc_butterfly::aggregation` or the crate-root re-exports"
-)]
-pub mod agg_bcast;
-#[deprecated(
-    note = "moved to `combine` (the `Aggregate` trait and standard combiners); \
-            use `ncc_butterfly::combine` or the crate-root re-exports"
-)]
-pub mod aggregate;
 pub mod aggregation;
 pub mod combine;
 pub mod compose;
 pub mod mctree;
-#[deprecated(note = "moved to `aggregation` (`multi_aggregate`); \
-            use `ncc_butterfly::aggregation` or the crate-root re-exports")]
-pub mod multi_agg;
 pub mod multicast;
 pub mod schedule;
 pub mod seed;

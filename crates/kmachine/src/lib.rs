@@ -90,6 +90,18 @@ impl KMachineCost {
         self.assignment[v as usize] as usize
     }
 
+    /// Zeroes every running counter (charged rounds, message tallies, peak
+    /// loads) while keeping the partition and link capacity — the machine
+    /// assignment is scenario identity, the counters are per-run state.
+    pub fn reset(&mut self) {
+        self.km_rounds = 0;
+        self.ncc_rounds = 0;
+        self.cross_messages = 0;
+        self.local_messages = 0;
+        self.max_pair_load = 0;
+        self.scratch.iter_mut().for_each(|x| *x = 0);
+    }
+
     /// The nodes hosted per machine (for load-balance reporting).
     pub fn machine_sizes(&self) -> Vec<usize> {
         let mut sizes = vec![0usize; self.k];
@@ -221,6 +233,10 @@ impl NetworkModel for KMachineModel {
         self.cost.charge_round(round, delivered)
     }
 
+    fn reset(&mut self) {
+        self.cost.reset();
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -253,6 +269,30 @@ mod tests {
         let (mut sink, handle) = SharedSink::new(KMachineCost::new(vec![0, 1], 2, 1));
         sink.on_round(0, &[TraceEvent { src: 0, dst: 1 }]);
         assert_eq!(handle.lock().unwrap().cross_messages, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_counters_but_keeps_partition() {
+        let mut model = KMachineModel::from_assignment(vec![0, 1, 0, 1], 2, 1);
+        let evs = [
+            TraceEvent { src: 0, dst: 1 },
+            TraceEvent { src: 2, dst: 3 },
+            TraceEvent { src: 0, dst: 2 },
+        ];
+        let charge1 = NetworkModel::charge_round(&mut model, 0, &evs);
+        assert!(model.report().km_rounds > 0);
+        assert_eq!(model.report().cross_messages, 2);
+        NetworkModel::reset(&mut model);
+        let fresh = model.report();
+        assert_eq!(fresh.km_rounds, 0);
+        assert_eq!(fresh.ncc_rounds, 0);
+        assert_eq!(fresh.cross_messages, 0);
+        assert_eq!(fresh.local_messages, 0);
+        assert_eq!(fresh.max_pair_load, 0);
+        // the partition is identity, not state: the recharge is identical
+        let charge2 = NetworkModel::charge_round(&mut model, 0, &evs);
+        assert_eq!(charge1, charge2);
+        assert_eq!(model.machine_sizes(), vec![2, 2]);
     }
 
     #[test]

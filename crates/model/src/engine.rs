@@ -134,6 +134,29 @@ impl Engine {
         }
     }
 
+    /// Returns the engine to its just-constructed state: node RNGs are
+    /// reseeded from the config seed, the global round counter and the
+    /// cumulative totals are zeroed, and the network model clears its
+    /// accumulated cost accounting ([`NetworkModel::reset`]).
+    ///
+    /// After `reset()`, an execution sequence is byte-identical to the same
+    /// sequence on a freshly built engine — drop sampling is keyed by
+    /// `(seed, global_round, dst)` and per-node randomness by
+    /// `(seed, node)`, and both are restored exactly. This is what lets a
+    /// resident service (`ncc-serve`) keep an engine alive across requests
+    /// instead of rebuilding it, without forking the deterministic record
+    /// history (gated the same way thread-count invariance is). An
+    /// installed trace sink is left in place; callers that need a fresh
+    /// sink swap it explicitly.
+    pub fn reset(&mut self) {
+        for (i, r) in self.node_rngs.iter_mut().enumerate() {
+            *r = node_rng(self.cfg.seed, i as NodeId);
+        }
+        self.global_round = 0;
+        self.total = ExecStats::default();
+        self.model.reset();
+    }
+
     pub fn config(&self) -> &NetConfig {
         &self.cfg
     }

@@ -125,6 +125,14 @@ pub trait NetworkModel: Send + Sync {
         0
     }
 
+    /// Clears any accumulated cost-accounting state, returning the model to
+    /// its just-constructed condition. Called by [`crate::Engine::reset`]
+    /// so a resident engine can be reused across runs with byte-identical
+    /// results (the serve layer's cache-hit path). Stateless models keep
+    /// the default no-op; models with running counters (the k-machine
+    /// charge) must zero them here.
+    fn reset(&mut self) {}
+
     /// Downcast access for callers that need model-specific reports after an
     /// execution (e.g. the k-machine link-load summary).
     fn as_any(&self) -> &dyn Any;

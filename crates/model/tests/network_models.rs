@@ -335,3 +335,51 @@ fn hybrid_local_lane_bypasses_send_cap() {
     assert_eq!(states[2], 1);
     assert_eq!(states[3], 1);
 }
+
+/// `Engine::reset` restores the just-constructed state exactly: a second
+/// execution after reset is byte-identical to the first (and to a fresh
+/// engine), for every model — the residency contract `ncc-serve` leans on.
+/// Without the reset, the advanced node RNGs and the drop-sampling round
+/// key make the rerun diverge, which is also asserted so the test would
+/// catch a reset that silently became unnecessary (or a no-op).
+#[test]
+fn reset_restores_byte_identical_execution() {
+    let n = 96;
+    let prog = Scatter {
+        waves: 3,
+        fanout: 6,
+    };
+    for model_fresh in all_models(n) {
+        let name = model_fresh.name();
+        let cfg = NetConfig::new(n, 17)
+            .with_capacity(Capacity::squeezed(64, 5))
+            .permissive();
+        let mut eng = Engine::with_model(cfg, model_fresh);
+
+        let mut first = vec![ScatterState::default(); n];
+        let s1 = eng.execute(&prog, &mut first).unwrap();
+        let sums1: Vec<(u64, u64)> = first.iter().map(|s| (s.received, s.checksum)).collect();
+        assert_eq!(eng.total, s1, "cumulative totals mirror the single run");
+
+        // a rerun *without* reset diverges (advanced RNG streams + round key)
+        let mut stale = vec![ScatterState::default(); n];
+        let s_stale = eng.execute(&prog, &mut stale).unwrap();
+        let sums_stale: Vec<(u64, u64)> = stale.iter().map(|s| (s.received, s.checksum)).collect();
+        assert!(
+            s_stale != s1 || sums_stale != sums1,
+            "{name}: reuse without reset should diverge — if this starts \
+             passing, the engine stopped carrying cross-run state and reset \
+             may be droppable"
+        );
+
+        // after reset, the rerun is byte-identical to the first
+        eng.reset();
+        assert_eq!(eng.global_round(), 0);
+        assert_eq!(eng.total, ncc_model::ExecStats::default());
+        let mut again = vec![ScatterState::default(); n];
+        let s2 = eng.execute(&prog, &mut again).unwrap();
+        let sums2: Vec<(u64, u64)> = again.iter().map(|s| (s.received, s.checksum)).collect();
+        assert_eq!(s1, s2, "{name}: stats must survive reset");
+        assert_eq!(sums1, sums2, "{name}: states must survive reset");
+    }
+}

@@ -585,9 +585,59 @@ pub fn algorithms() -> &'static [&'static dyn Algorithm] {
     &REGISTRY
 }
 
-/// Looks an algorithm up by its registry name.
+/// Looks an algorithm up by its registry name. Matching is
+/// case-insensitive (the same label-match convention `suite --filter`
+/// uses); registry names are all lowercase, so exact names still hit.
 pub fn find_algorithm(name: &str) -> Option<&'static dyn Algorithm> {
+    let name = name.to_lowercase();
     REGISTRY.iter().copied().find(|a| a.name() == name)
+}
+
+/// The closest registry name to a failed lookup — the "did you mean"
+/// suggestion for CLI error paths. Prefers a substring match in either
+/// direction (`agg` → `butterfly-aggregation`, `mst-v2` → `mst`), then
+/// falls back to the smallest edit distance when it is small enough to be
+/// a plausible typo. `None` when nothing is close.
+pub fn suggest_algorithm(name: &str) -> Option<&'static str> {
+    let q = name.to_lowercase();
+    if q.is_empty() {
+        return None;
+    }
+    if let Some(a) = REGISTRY
+        .iter()
+        .find(|a| a.name().contains(&q) || q.contains(a.name()))
+    {
+        return Some(a.name());
+    }
+    REGISTRY
+        .iter()
+        .map(|a| (edit_distance(&q, a.name()), a.name()))
+        .min_by_key(|(d, n)| (*d, std::cmp::Reverse(common_prefix(&q, n))))
+        .filter(|(d, _)| *d <= 3)
+        .map(|(_, n)| n)
+}
+
+/// Length of the shared prefix — the tie-break between equally distant
+/// candidates (`bsf` is as far from `mst` as from `bfs`; the leading `b`
+/// decides).
+fn common_prefix(a: &str, b: &str) -> usize {
+    a.bytes().zip(b.bytes()).take_while(|(x, y)| x == y).count()
+}
+
+/// Levenshtein distance over bytes (registry names are ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// The registry vocabulary as one space-separated line (for usage text).
@@ -625,6 +675,31 @@ mod tests {
             );
         }
         assert!(find_algorithm("no-such-algo").is_none());
+    }
+
+    #[test]
+    fn find_algorithm_is_case_insensitive() {
+        assert_eq!(find_algorithm("MST").unwrap().name(), "mst");
+        assert_eq!(find_algorithm("Apsp").unwrap().name(), "apsp");
+        assert_eq!(
+            find_algorithm("Butterfly-Aggregation").unwrap().name(),
+            "butterfly-aggregation"
+        );
+    }
+
+    #[test]
+    fn suggestions_cover_typos_and_fragments() {
+        // substring in either direction
+        assert_eq!(suggest_algorithm("agg"), Some("butterfly-aggregation"));
+        assert_eq!(suggest_algorithm("mst-v2"), Some("mst"));
+        assert_eq!(suggest_algorithm("ORIENT"), Some("orientation"));
+        // small edit distance (mts is 1 edit from mis, 2 from mst)
+        assert_eq!(suggest_algorithm("mts"), Some("mis"));
+        assert_eq!(suggest_algorithm("colouring"), Some("coloring"));
+        assert_eq!(suggest_algorithm("bsf"), Some("bfs"));
+        // hopeless inputs get no suggestion
+        assert_eq!(suggest_algorithm("quicksort"), None);
+        assert_eq!(suggest_algorithm(""), None);
     }
 
     #[test]

@@ -42,11 +42,15 @@
 //! ```
 
 pub mod algorithms;
+pub mod hash;
 pub mod record;
 pub mod scenario;
 pub mod suite;
 
-pub use algorithms::{algorithm_names, algorithms, explain_text, find_algorithm, Algorithm};
+pub use algorithms::{
+    algorithm_names, algorithms, explain_text, find_algorithm, suggest_algorithm, Algorithm,
+};
+pub use hash::{canonical_spec_json, spec_hash, SpecHash};
 pub use ncc_model::ModelSpec;
 pub use record::{RunRecord, Verdict};
 pub use scenario::{FamilySpec, Scenario, ScenarioSpec};

@@ -1,0 +1,108 @@
+//! `ncc-serve` — the resident scenario coordinator daemon.
+//!
+//! ```text
+//! ncc-serve [--stdio] [--listen ADDR] [--workers N] [--engine-threads N]
+//!           [--cache N]
+//! ```
+//!
+//! Default is the stdio front (requests on stdin, responses on stdout, one
+//! JSON value per line — exits on EOF or a `Shutdown` request). With
+//! `--listen` the daemon binds a local TCP address instead and runs until
+//! a `Shutdown` request lands. See `docs/serving.md` for the protocol.
+
+use std::process::exit;
+
+use ncc_serve::{serve_stdio, ServeConfig, Server};
+
+fn usage_and_exit(code: i32) -> ! {
+    eprintln!(
+        "usage: ncc-serve [--stdio] [--listen ADDR] [--workers N] [--engine-threads N] [--cache N]
+
+fronts (default: --stdio):
+  --stdio             requests on stdin, responses on stdout, exit on EOF
+  --listen ADDR       bind a local TCP address (e.g. 127.0.0.1:7070)
+
+pool shape:
+  --workers N         worker threads / concurrent in-flight requests
+                      (default: available cores)
+  --engine-threads N  engine threads per worker (default 1)
+  --cache N           build-cache capacity in scenarios (default 64)"
+    );
+    exit(code);
+}
+
+fn parse_num(flag: &str, v: Option<String>) -> usize {
+    let Some(v) = v else {
+        eprintln!("error: {flag} needs a value");
+        usage_and_exit(2);
+    };
+    match v.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: {flag} needs a number, got `{v}`");
+            usage_and_exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = ServeConfig::default();
+    let mut listen: Option<String> = None;
+    let mut stdio = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => {
+                listen = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --listen needs an address");
+                    usage_and_exit(2);
+                }))
+            }
+            "--workers" => cfg = cfg.with_workers(parse_num("--workers", args.next())),
+            "--engine-threads" => {
+                cfg = cfg.with_engine_threads(parse_num("--engine-threads", args.next()))
+            }
+            "--cache" => cfg = cfg.with_cache_capacity(parse_num("--cache", args.next())),
+            "--help" | "-h" => usage_and_exit(0),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage_and_exit(2);
+            }
+        }
+    }
+    if stdio && listen.is_some() {
+        eprintln!("error: --stdio and --listen are mutually exclusive");
+        usage_and_exit(2);
+    }
+
+    match listen {
+        Some(addr) => {
+            let server = match Server::spawn(cfg, &addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot bind {addr}: {e}");
+                    exit(1);
+                }
+            };
+            eprintln!(
+                "ncc-serve listening on {} ({} workers, {} engine threads, cache {})",
+                server.addr(),
+                cfg.workers,
+                cfg.engine_threads,
+                cfg.cache_capacity
+            );
+            // Run until a Shutdown request flips the flag, then drain.
+            while !server.coordinator().is_shutdown() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            server.shutdown_and_join();
+        }
+        None => {
+            if let Err(e) = serve_stdio(cfg) {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+        }
+    }
+}

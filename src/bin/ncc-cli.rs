@@ -31,8 +31,9 @@ use ncc::graph::{analysis, io};
 use ncc::model::{Capacity, ModelSpec, NetConfig};
 use ncc::runner::{
     algorithms, explain_text, filter_grid, find_algorithm, run_suite_filtered, standard_grid,
-    standard_grid_for_model, FamilySpec, RunRecord, Scenario, ScenarioSpec,
+    standard_grid_for_model, suggest_algorithm, FamilySpec, RunRecord, Scenario, ScenarioSpec,
 };
+use ncc::serve::{serve_stdio, ServeConfig, Server};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +48,7 @@ fn main() {
         "run" => cmd_run(&positional, &flags),
         "suite" => cmd_suite(&flags),
         "explain" => cmd_explain(&positional, &flags),
+        "serve" => cmd_serve(&flags),
         "list" => cmd_list(),
         "info" => cmd_info(&flags),
         "help" | "-h" | "--help" => usage_and_exit(None),
@@ -100,6 +102,8 @@ USAGE:
   ncc-cli suite [--out <file>] [--threads <t>] [--model <m>]
                 [--filter <algo-substring>] [--family <scenario-substring>]
   ncc-cli explain <algo> [--family <f> --n <N> --param <x> --seed <s>]
+  ncc-cli serve [--listen <addr>] [--workers <N>] [--engine-threads <t>]
+                [--cache <N>]
   ncc-cli list
   ncc-cli info --n <N>
 
@@ -117,7 +121,8 @@ EXAMPLES
   ncc-cli run bfs --family gnp --n 256 --model kmachine --machines 16
   ncc-cli run gossip --family gnp --n 256 --model cc
   ncc-cli suite --out BENCH_suite.json
-  ncc-cli explain apsp --family gnp --n 128",
+  ncc-cli explain apsp --family gnp --n 128
+  ncc-cli serve --listen 127.0.0.1:7070 --workers 8",
         algo_names.join(" ")
     );
     std::process::exit(if err.is_some() { 2 } else { 0 });
@@ -261,14 +266,21 @@ fn cmd_gen(positional: &[String], flags: &HashMap<String, String>) {
     }
 }
 
+/// "unknown algorithm" error text, with a "did you mean" hint when a
+/// registry name is a close match.
+fn unknown_algorithm(name: &str) -> String {
+    match suggest_algorithm(name) {
+        Some(s) => format!("unknown algorithm '{name}' — did you mean '{s}'? (try `ncc-cli list`)"),
+        None => format!("unknown algorithm '{name}' (try `ncc-cli list`)"),
+    }
+}
+
 fn cmd_run(positional: &[String], flags: &HashMap<String, String>) {
     let algo_name = positional.first().map(String::as_str).unwrap_or_else(|| {
         usage_and_exit(Some("run needs an algorithm"));
     });
     let Some(algo) = find_algorithm(algo_name) else {
-        usage_and_exit(Some(&format!(
-            "unknown algorithm '{algo_name}' (try `ncc-cli list`)"
-        )));
+        usage_and_exit(Some(&unknown_algorithm(algo_name)));
     };
 
     // Scenario: either an on-disk graph (echoed as family `provided`) or a
@@ -454,9 +466,7 @@ fn cmd_explain(positional: &[String], flags: &HashMap<String, String>) {
         usage_and_exit(Some("explain needs an algorithm"));
     });
     let Some(algo) = find_algorithm(algo_name) else {
-        usage_and_exit(Some(&format!(
-            "unknown algorithm '{algo_name}' (try `ncc-cli list`)"
-        )));
+        usage_and_exit(Some(&unknown_algorithm(algo_name)));
     };
     let family = flags.get("family").map(String::as_str).unwrap_or("gnp");
     let scn = spec_from_flags(family, flags).build().unwrap_or_else(|e| {
@@ -474,6 +484,46 @@ fn cmd_explain(positional: &[String], flags: &HashMap<String, String>) {
 fn explain_plan(algo: &'static dyn ncc::runner::Algorithm, scn: &Scenario) -> Option<String> {
     let mut eng = scn.engine();
     explain_text(algo, &mut eng, scn).unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()))
+}
+
+/// `serve` — run the resident scenario coordinator (see `docs/serving.md`).
+/// Default is the stdio front; `--listen <addr>` binds a local TCP socket
+/// and runs until a `Shutdown` request lands.
+fn cmd_serve(flags: &HashMap<String, String>) {
+    let mut cfg = ServeConfig::default();
+    if let Some(w) = flags.get("workers") {
+        cfg = cfg.with_workers(w.parse().unwrap_or_else(|_| panic!("bad --workers")));
+    }
+    if let Some(t) = flags.get("engine-threads") {
+        cfg = cfg.with_engine_threads(t.parse().unwrap_or_else(|_| panic!("bad --engine-threads")));
+    }
+    if let Some(c) = flags.get("cache") {
+        cfg = cfg.with_cache_capacity(c.parse().unwrap_or_else(|_| panic!("bad --cache")));
+    }
+    match flags.get("listen") {
+        Some(addr) if !addr.is_empty() => {
+            let server = Server::spawn(cfg, addr).unwrap_or_else(|e| {
+                usage_and_exit(Some(&format!("cannot bind {addr}: {e}")));
+            });
+            eprintln!(
+                "serving on {} ({} workers, {} engine threads, cache {})",
+                server.addr(),
+                cfg.workers,
+                cfg.engine_threads,
+                cfg.cache_capacity
+            );
+            while !server.coordinator().is_shutdown() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            server.shutdown_and_join();
+        }
+        Some(_) => usage_and_exit(Some("--listen needs an address (e.g. 127.0.0.1:7070)")),
+        None => {
+            if let Err(e) = serve_stdio(cfg) {
+                usage_and_exit(Some(&e.to_string()));
+            }
+        }
+    }
 }
 
 fn cmd_list() {

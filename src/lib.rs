@@ -12,6 +12,8 @@
 //! * [`kmachine`] — Appendix A conversion to the k-machine model
 //! * [`runner`] — the unified scenario API: serializable [`runner::ScenarioSpec`],
 //!   the [`runner::Algorithm`] registry, typed JSON [`runner::RunRecord`]s
+//! * [`serve`] — the resident scenario coordinator: spec requests over
+//!   stdio/TCP, content-addressed build cache, bounded worker pool
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -23,3 +25,4 @@ pub use ncc_hashing as hashing;
 pub use ncc_kmachine as kmachine;
 pub use ncc_model as model;
 pub use ncc_runner as runner;
+pub use ncc_serve as serve;
