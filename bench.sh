@@ -15,17 +15,23 @@
 #                     `wall_clock: true`, so bench_compare *reports* it
 #                     (and still fails on any Failed verdict) but never
 #                     gates on its machine-dependent timing numbers.
+#   BENCH_scale.json  the huge-graph sweep (exp22_scale): RMAT +
+#                     hyperbolic at n ∈ {10⁴,10⁵,10⁶} plus the
+#                     sparse-tail dense-vs-dirty-set speedup. Also
+#                     `wall_clock: true` (reported, not diffed); the
+#                     refresh runs the full sweep (~1–2 min), the
+#                     --compare path runs the --smoke cell like CI.
 #
 # Usage:
 #   ./bench.sh [extra cargo run args...]
-#       refresh all three snapshots in place
+#       refresh all four snapshots in place
 #   ./bench.sh --bless
 #       same refresh, by its gate-facing name: `rounds` is a headline
 #       metric, so the CI gate *allows* round-count improvements but keeps
 #       failing until the faster numbers are blessed into the committed
 #       snapshots — run this, review the deltas, commit the result.
 #   ./bench.sh --compare <exp01-baseline.json> [<suite-baseline.json>]
-#                        [<serve-baseline.json>]
+#                        [<serve-baseline.json>] [<scale-baseline.json>]
 #       run fresh into BENCH_*.fresh.json and print per-record tables with
 #       a rounds-delta column. Exit non-zero on perf *regressions* (round
 #       counts up), on drift of any other deterministic field at equal
@@ -52,14 +58,22 @@ if [[ "${1:-}" == "--compare" ]]; then
         serve_baseline="$1"
         shift
     fi
+    scale_baseline="BENCH_scale.json"
+    if [[ $# -gt 0 && "$1" != --* ]]; then
+        scale_baseline="$1"
+        shift
+    fi
     exp01_fresh="BENCH_exp01.fresh.json"
     suite_fresh="BENCH_suite.fresh.json"
     serve_fresh="BENCH_serve.fresh.json"
+    scale_fresh="BENCH_scale.fresh.json"
     cargo run --release -p ncc-bench --bin exp01_table1 -- --json "$exp01_fresh" "$@"
     echo
     cargo run --release -p ncc --bin ncc-cli -- suite --out "$suite_fresh" "$@"
     echo
     cargo run --release -p ncc-bench --bin exp21_serve_load -- --smoke --json "$serve_fresh"
+    echo
+    cargo run --release -p ncc-bench --bin exp22_scale -- --smoke --json "$scale_fresh"
     echo
     cargo run --release -p ncc-bench --bin bench_compare -- "$exp01_baseline" "$exp01_fresh"
     echo
@@ -67,6 +81,8 @@ if [[ "${1:-}" == "--compare" ]]; then
     echo
     # wall_clock marker => reported, not gated (verdicts still checked)
     cargo run --release -p ncc-bench --bin bench_compare -- "$serve_baseline" "$serve_fresh"
+    echo
+    cargo run --release -p ncc-bench --bin bench_compare -- "$scale_baseline" "$scale_fresh"
 else
     cargo run --release -p ncc-bench --bin exp01_table1 -- --json BENCH_exp01.json "$@"
     echo
@@ -74,8 +90,11 @@ else
     echo
     cargo run --release -p ncc-bench --bin exp21_serve_load -- --smoke --json BENCH_serve.json
     echo
-    echo "snapshots written to BENCH_exp01.json + BENCH_suite.json + BENCH_serve.json:"
+    cargo run --release -p ncc-bench --bin exp22_scale -- --json BENCH_scale.json
+    echo
+    echo "snapshots written to BENCH_exp01.json + BENCH_suite.json + BENCH_serve.json + BENCH_scale.json:"
     head -n 12 BENCH_exp01.json
     head -n 12 BENCH_suite.json
     head -n 12 BENCH_serve.json
+    head -n 12 BENCH_scale.json
 fi

@@ -1,0 +1,246 @@
+//! exp22 — scale sweep: the huge-graph families at n up to 10⁶, plus the
+//! sparse-tail micro-benchmark that certifies the O(active) round loop.
+//!
+//! Two parts:
+//!
+//! 1. **Family sweep** — flooding broadcast on R-MAT and random
+//!    hyperbolic graphs at n ∈ {10⁴, 10⁵, 10⁶}, plus full tree-based
+//!    BFS at 10⁴ (BFS is a multi-thousand-round protocol whose
+//!    wall-clock is dominated by the algorithm, not the engine — one
+//!    size pins it without hour-long sweeps), timing graph generation
+//!    and the algorithm run separately. `--smoke` (the CI scale-smoke
+//!    job) runs BFS only at 10⁴ so every emitted record is checkable
+//!    and the job can gate on all-`Verified`. This is the bridge from
+//!    the CI suite (n ≤ 160) to the paper's §1 regime of "millions of
+//!    users" on power-law overlays.
+//! 2. **Sparse tail** — one node stays awake for thousands of rounds on
+//!    an n = 10⁵ network while everyone else sleeps. The same program is
+//!    timed under the seed engine's scan-everything baseline
+//!    (`dense_activity_scan`) and the dirty-set scheduler; results are
+//!    asserted identical and the wall-clock speedup is recorded. This is
+//!    the direct measurement of "a round costs O(active), not O(n)".
+//!
+//! Wall-clock numbers are machine-dependent, so the snapshot sets
+//! `"wall_clock": true` and `bench_compare` reports it without gating —
+//! while the embedded `RunRecord`s (rounds, sent, verdicts) stay fully
+//! deterministic and are still checked for `Failed` verdicts.
+//!
+//! ```text
+//! exp22_scale [--smoke] [--threads t] [--json BENCH_scale.json]
+//! ```
+
+use std::time::Instant;
+
+use ncc_bench::{cli_json, cli_threads, f2, Table, SEED};
+use ncc_model::{Ctx, Engine, Envelope, ExecStats, NetConfig, NodeProgram};
+use ncc_runner::{find_algorithm, FamilySpec, RunRecord, ScenarioSpec};
+use serde::Serialize;
+
+/// One sweep cell: deterministic record plus its wall-clock costs.
+#[derive(Serialize)]
+struct ScaleCell {
+    family: String,
+    n: usize,
+    algorithm: String,
+    /// Edges of the generated graph (deterministic for the seed).
+    edges: usize,
+    gen_ms: f64,
+    run_ms: f64,
+    record: RunRecord,
+}
+
+/// The sparse-tail measurement: same program, same results, two
+/// schedulers. `speedup` is the acceptance quantity (dense / sparse).
+#[derive(Serialize)]
+struct SparseTail {
+    n: usize,
+    tail_rounds: u64,
+    sum_active: u64,
+    dense_ms: f64,
+    sparse_ms: f64,
+    speedup: f64,
+}
+
+/// The `BENCH_scale.json` schema. `wall_clock: true` keys
+/// `bench_compare`'s report-only mode.
+#[derive(Serialize)]
+struct ScaleBench {
+    experiment: String,
+    seed: u64,
+    wall_clock: bool,
+    threads: usize,
+    smoke: bool,
+    cells: Vec<ScaleCell>,
+    sparse_tail: SparseTail,
+}
+
+/// Sparse-tail workload: node 0 counts down via `stay_awake`, pinging a
+/// far node every few ticks; all other nodes idle after round 0. Under a
+/// dirty-set scheduler each tail round is O(1); under a full scan it is
+/// O(n) — the ratio is the whole point of the measurement.
+struct LoneWalker {
+    ticks: u32,
+}
+
+impl NodeProgram for LoneWalker {
+    type State = u32;
+    type Payload = u64;
+    fn init(&self, st: &mut u32, ctx: &mut Ctx<'_, u64>) {
+        if ctx.id == 0 {
+            *st = self.ticks;
+            ctx.stay_awake();
+        }
+    }
+    fn round(&self, st: &mut u32, _inbox: &[Envelope<u64>], ctx: &mut Ctx<'_, u64>) {
+        if ctx.id == 0 && *st > 0 {
+            *st -= 1;
+            if (*st).is_multiple_of(16) {
+                ctx.send((ctx.n as u32) / 2, *st as u64);
+            }
+            if *st > 0 {
+                ctx.stay_awake();
+            }
+        }
+    }
+}
+
+fn run_tail(n: usize, ticks: u32, dense: bool) -> (ExecStats, Vec<u32>, f64) {
+    let cfg = NetConfig::new(n, SEED).with_dense_activity_scan(dense);
+    let mut eng = Engine::new(cfg);
+    let mut states = vec![0u32; n];
+    let start = Instant::now();
+    let stats = eng
+        .execute(&LoneWalker { ticks }, &mut states)
+        .expect("sparse tail executes");
+    (stats, states, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+fn sparse_tail_bench(smoke: bool) -> SparseTail {
+    let n = 100_000;
+    let ticks: u32 = if smoke { 1_000 } else { 4_000 };
+    // Untimed warmup so allocator behavior doesn't pollute the first
+    // timed run.
+    let _ = run_tail(n, ticks.min(100), false);
+    let (sparse_stats, sparse_states, sparse_ms) = run_tail(n, ticks, false);
+    let (dense_stats, dense_states, dense_ms) = run_tail(n, ticks, true);
+    assert_eq!(
+        (sparse_stats, sparse_states),
+        (dense_stats, dense_states),
+        "schedulers must produce identical results"
+    );
+    SparseTail {
+        n,
+        tail_rounds: dense_stats.rounds - 1,
+        sum_active: dense_stats.node_rounds,
+        dense_ms,
+        sparse_ms,
+        speedup: dense_ms / sparse_ms.max(1e-9),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = cli_threads(&args);
+    let ns: &[usize] = if smoke {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let families = [
+        FamilySpec::Rmat { edge_factor: 8 },
+        FamilySpec::Hyperbolic {
+            alpha: 0.75,
+            c: 0.0,
+        },
+    ];
+
+    let mut table = Table::new(&[
+        "family", "n", "algo", "edges", "gen ms", "run ms", "rounds", "peak_act", "sum_act",
+        "verdict",
+    ]);
+    let mut cells = Vec::new();
+    for &n in ns {
+        for family in &families {
+            let spec = ScenarioSpec::new(family.clone(), n, SEED);
+            let gen_start = Instant::now();
+            let scn = spec.build().expect("huge families build at any n");
+            let gen_ms = gen_start.elapsed().as_secs_f64() * 1000.0;
+            // broadcast scales to every size; the multi-thousand-round
+            // BFS protocol is pinned at the smallest cell only. Smoke mode
+            // (the CI scale-smoke job) runs just the checkable protocol so
+            // the job can gate on "every record Verified" — broadcast is a
+            // checker-less baseline whose verdict is Unchecked by design.
+            let algos: &[&str] = if smoke {
+                &["bfs"]
+            } else if n <= 10_000 {
+                &["bfs", "broadcast"]
+            } else {
+                &["broadcast"]
+            };
+            for &name in algos {
+                let algo = find_algorithm(name).expect("registered algorithm");
+                let mut eng = scn.engine_with_threads(threads);
+                let run_start = Instant::now();
+                let record = algo
+                    .run(&mut eng, &scn)
+                    .unwrap_or_else(|e| panic!("{name} on {} failed: {e}", spec.label()));
+                let run_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+                assert!(
+                    record.verdict.ok(),
+                    "{name} on {} failed verification",
+                    spec.label()
+                );
+                table.row(vec![
+                    family.name().to_string(),
+                    n.to_string(),
+                    name.to_string(),
+                    scn.graph.m().to_string(),
+                    f2(gen_ms),
+                    f2(run_ms),
+                    record.rounds.to_string(),
+                    record.metric("peak_active").unwrap_or(0).to_string(),
+                    record.metric("sum_active").unwrap_or(0).to_string(),
+                    format!("{:?}", record.verdict),
+                ]);
+                cells.push(ScaleCell {
+                    family: family.name().to_string(),
+                    n,
+                    algorithm: name.to_string(),
+                    edges: scn.graph.m(),
+                    gen_ms,
+                    run_ms,
+                    record,
+                });
+            }
+        }
+    }
+    table.print();
+
+    let tail = sparse_tail_bench(smoke);
+    println!(
+        "\nsparse tail (n={}, {} quiescent-tail rounds, sum_active={}):",
+        tail.n, tail.tail_rounds, tail.sum_active
+    );
+    println!(
+        "  scan-everything {} ms · dirty-set {} ms · speedup {}x",
+        f2(tail.dense_ms),
+        f2(tail.sparse_ms),
+        f2(tail.speedup)
+    );
+
+    if let Some(path) = cli_json(&args) {
+        let bench = ScaleBench {
+            experiment: "exp22_scale".into(),
+            seed: SEED,
+            wall_clock: true,
+            threads,
+            smoke,
+            cells,
+            sparse_tail: tail,
+        };
+        let json = serde_json::to_string_pretty(&bench).expect("bench serializes") + "\n";
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

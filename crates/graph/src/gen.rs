@@ -12,6 +12,8 @@
 //! | `forest_union(k)` | ≤ k (≈ k) | small | direct arboricity dial |
 //! | `gnp`, `gnm` | ≈ m/n | Θ(log n) | density dial |
 //! | `barabasi_albert(m)` | ≤ m | Θ(log n) | heavy-tailed degrees, "social network" |
+//! | `rmat(m)` | ≈ m/n | small | Graph500 recursive matrix; huge-n power law with communities |
+//! | `hyperbolic(α, c)` | heavy-tailed | Θ(log n) | Krioukov disk; power-law exponent 2α+1, strong clustering |
 //! | `complete` | ⌈n/2⌉ | 1 | max arboricity |
 //!
 //! All generators take explicit seeds — reruns are reproducible.
@@ -192,6 +194,159 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
         }
     }
     b.build()
+}
+
+/// R-MAT recursive-matrix graph (Chakrabarti–Zhan–Faloutsos; the
+/// Graph500 generator): `m` edge samples drawn by recursively descending
+/// a 2^scale × 2^scale adjacency matrix with the standard quadrant
+/// probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05). Produces the
+/// heavy-tailed, community-structured topology of real P2P/social
+/// overlays — the paper's "millions of users" regime (§1) — at any n,
+/// in O(m log n) time and O(m) memory.
+///
+/// `scale = ⌈log₂ n⌉`; samples landing on an endpoint ≥ n (when n is not
+/// a power of two) or on the diagonal are rejected and redrawn, so all
+/// `m` samples land on valid pairs. Duplicate pairs are deduplicated by
+/// the builder, so the final edge count is ≤ `m` (duplicates are exactly
+/// the multi-edges RMAT naturally produces).
+pub fn rmat(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let scale = usize::BITS - (n - 1).leading_zeros(); // ⌈log₂ n⌉ for n ≥ 2
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // standard Graph500 quadrant split: a | b / c | d
+    const A: f64 = 0.57;
+    const B: f64 = 0.19;
+    const C: f64 = 0.19;
+    let mut b = GraphBuilder::new(n);
+    let mut drawn = 0usize;
+    while drawn < m {
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < A {
+                // top-left: neither bit set
+            } else if r < A + B {
+                v |= 1;
+            } else if r < A + B + C {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u == v || u >= n as u64 || v >= n as u64 {
+            continue; // rejected; redraw with fresh randomness
+        }
+        b.add_edge(u as NodeId, v as NodeId);
+        drawn += 1;
+    }
+    b.build()
+}
+
+/// Random hyperbolic graph (Krioukov et al.): `n` points in a hyperbolic
+/// disk of radius `R = 2 ln n + c`, radial density `∝ sinh(αr)` (sampled
+/// by inverse CDF), angle uniform; two points connect iff their
+/// hyperbolic distance is ≤ R. Degrees follow a power law with exponent
+/// `γ = 2α + 1` and the graph has strong clustering — the geometric
+/// model of internet/P2P topologies. Larger `c` means sparser (expected
+/// degree scales with `e^{-c/2}`).
+///
+/// Candidate search is band-bucketed: points are grouped into unit-width
+/// radial bands sorted by angle, and for each (point, band) pair only the
+/// angular window that could possibly satisfy the distance condition at
+/// the band's inner radius is scanned — near-linear work for α > ½
+/// instead of the naive O(n²) all-pairs test, which is what makes
+/// n = 10⁶ feasible.
+pub fn hyperbolic(n: usize, alpha: f64, c: f64, seed: u64) -> Graph {
+    assert!(n >= 2);
+    assert!(alpha > 0.0, "alpha must be positive");
+    let r_max = 2.0 * (n as f64).ln() + c;
+    assert!(r_max > 0.0, "c too negative: disk radius must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // inverse CDF of the ∝ sinh(αr) radial density on [0, R]
+    let denom = (alpha * r_max).cosh() - 1.0;
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let r = ((1.0 + denom * u).acosh() / alpha).max(1e-12);
+            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+            (r, theta)
+        })
+        .collect();
+    let cosh_r: Vec<f64> = pts.iter().map(|p| p.0.cosh()).collect();
+    let sinh_r: Vec<f64> = pts.iter().map(|p| p.0.sinh()).collect();
+    let cosh_rmax = r_max.cosh();
+
+    // unit-width radial bands, each sorted by angle
+    let nbands = r_max.ceil() as usize;
+    let mut bands: Vec<Vec<(f64, u32)>> = vec![Vec::new(); nbands.max(1)];
+    for (i, &(r, theta)) in pts.iter().enumerate() {
+        let bi = (r as usize).min(nbands.saturating_sub(1));
+        bands[bi].push((theta, i as u32));
+    }
+    for band in &mut bands {
+        band.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    }
+
+    let mut g = GraphBuilder::new(n);
+    // scans one band's candidates with angle in [lo, hi] (no wraparound
+    // inside one call; callers split wrapped windows into two calls)
+    let scan = |g: &mut GraphBuilder, i: usize, band: &[(f64, u32)], lo: f64, hi: f64| {
+        let from = band.partition_point(|&(t, _)| t < lo);
+        for &(theta_j, j) in &band[from..] {
+            if theta_j > hi {
+                break;
+            }
+            let j = j as usize;
+            if j <= i {
+                continue; // the pair is found from its smaller endpoint
+            }
+            let dtheta = (pts[i].1 - theta_j).abs();
+            let dtheta = dtheta.min(std::f64::consts::TAU - dtheta);
+            let cosh_d = cosh_r[i] * cosh_r[j] - sinh_r[i] * sinh_r[j] * dtheta.cos();
+            if cosh_d <= cosh_rmax {
+                g.add_edge(i as NodeId, j as NodeId);
+            }
+        }
+    };
+    for i in 0..n {
+        let (_, theta_i) = pts[i];
+        for (bi, band) in bands.iter().enumerate() {
+            if band.is_empty() {
+                continue;
+            }
+            // widest angular window vs any point in this band: evaluated at
+            // the band's inner radius (the condition is monotone in r_j)
+            let rb = (bi as f64).max(1e-12);
+            let thresh = (cosh_r[i] * rb.cosh() - cosh_rmax) / (sinh_r[i] * rb.sinh());
+            if thresh > 1.0 {
+                continue; // no point in this band can be close enough
+            }
+            if thresh <= -1.0 {
+                // every angle qualifies as a candidate
+                scan(&mut g, i, band, f64::NEG_INFINITY, f64::INFINITY);
+                continue;
+            }
+            let w = thresh.acos();
+            let (lo, hi) = (theta_i - w, theta_i + w);
+            scan(&mut g, i, band, lo.max(0.0), hi);
+            if lo < 0.0 {
+                scan(&mut g, i, band, lo + std::f64::consts::TAU, f64::INFINITY);
+            }
+            if hi > std::f64::consts::TAU {
+                scan(
+                    &mut g,
+                    i,
+                    band,
+                    f64::NEG_INFINITY,
+                    hi - std::f64::consts::TAU,
+                );
+            }
+        }
+    }
+    g.build()
 }
 
 /// Random geometric graph (unit-disk model): `n` points uniform in the
@@ -426,6 +581,75 @@ mod tests {
         assert_eq!(barabasi_albert(60, 2, 1), barabasi_albert(60, 2, 1));
         assert_eq!(random_tree(60, 2), random_tree(60, 2));
         assert_eq!(random_geometric(60, 0.2, 3), random_geometric(60, 0.2, 3));
+    }
+
+    #[test]
+    fn rmat_shape_and_determinism() {
+        let g = rmat(500, 2000, 7); // n not a power of two: exercises rejection
+        assert_eq!(g.n(), 500);
+        assert!(g.m() <= 2000);
+        assert!(g.m() > 1000, "dedup should not collapse most samples");
+        assert_eq!(g, rmat(500, 2000, 7));
+        assert_ne!(g, rmat(500, 2000, 8));
+        // recursive-matrix skew concentrates degree on low ids
+        let low: usize = (0..50).map(|v| g.degree(v)).sum();
+        let high: usize = (450..500).map(|v| g.degree(v as NodeId)).sum();
+        assert!(
+            low > 4 * high,
+            "expected heavy low-id degree mass, got {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn hyperbolic_matches_brute_force() {
+        // the band-bucketed candidate search must find exactly the pairs
+        // within hyperbolic distance R
+        let n = 300;
+        let (alpha, c, seed) = (0.75, -1.0, 11);
+        let g = hyperbolic(n, alpha, c, seed);
+        let r_max = 2.0 * (n as f64).ln() + c;
+        // rebuild points with the same stream to brute-force distances
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let denom = (alpha * r_max).cosh() - 1.0;
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let r = ((1.0 + denom * u).acosh() / alpha).max(1e-12);
+                (r, rng.gen::<f64>() * std::f64::consts::TAU)
+            })
+            .collect();
+        let mut expect = 0;
+        for u in 0..n {
+            for v in u + 1..n {
+                let dtheta = (pts[u].1 - pts[v].1).abs();
+                let dtheta = dtheta.min(std::f64::consts::TAU - dtheta);
+                let cosh_d = pts[u].0.cosh() * pts[v].0.cosh()
+                    - pts[u].0.sinh() * pts[v].0.sinh() * dtheta.cos();
+                if cosh_d <= r_max.cosh() {
+                    expect += 1;
+                    assert!(g.has_edge(u as NodeId, v as NodeId), "missing edge {u}-{v}");
+                }
+            }
+        }
+        assert_eq!(g.m(), expect);
+        assert!(expect > 0, "test graph should not be empty");
+    }
+
+    #[test]
+    fn hyperbolic_deterministic_and_heavy_tailed() {
+        let g = hyperbolic(800, 0.75, 0.0, 3);
+        assert_eq!(g, hyperbolic(800, 0.75, 0.0, 3));
+        assert_ne!(g, hyperbolic(800, 0.75, 0.0, 4));
+        // power-law degrees: the max degree dwarfs the mean
+        let mean = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(
+            g.max_degree() as f64 > 5.0 * mean,
+            "max {} vs mean {mean}",
+            g.max_degree()
+        );
+        // larger c → sparser
+        let sparser = hyperbolic(800, 0.75, 2.0, 3);
+        assert!(sparser.m() < g.m());
     }
 
     #[test]

@@ -115,7 +115,7 @@ pub use mux::{
 pub use network::{CongestedClique, HybridLocal, Lane, ModelSpec, Ncc, NetworkModel, RecvPolicy};
 pub use payload::{Envelope, Payload};
 pub use program::{Ctx, NodeProgram};
-pub use router::{RouteReport, Router};
+pub use router::{RouteReport, Router, RouterScratch};
 pub use stats::{ExecStats, RoundStats};
 pub use trace::{TraceEvent, TraceSink};
 

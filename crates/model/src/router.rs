@@ -28,6 +28,21 @@
 //! the sample phase as a per-bucket scan with stamped per-sender counters,
 //! not a fallback slow path.
 //!
+//! ## Sparse rounds cost O(sends), not O(n)
+//!
+//! The router maintains an **occupied-destination list** (ascending ids of
+//! the buckets that kept at least one message) and two cross-round
+//! invariants: the count table is all zeros between rounds, and a bucket
+//! length is non-zero only for occupied destinations. Clearing a round is
+//! therefore O(occupied) — an empty round is O(1) — and when a round's
+//! sends are far below `n` the **sparse path** counts, prefixes, samples,
+//! and re-zeroes only the round's distinct destinations (collected on
+//! first touch, then sorted), never scanning the full tables. Consumers
+//! ([`Router::occupied`]) get the same list to drive the engine's
+//! dirty-set activity scheduling. Results are bit-identical between the
+//! sparse and dense paths; [`Router::with_dense_scan`] pins the old dense
+//! behavior as a cost baseline.
+//!
 //! ## Steady-state zero allocation
 //!
 //! All buffers — the inbox arena, the offset/length/count tables, the
@@ -36,7 +51,9 @@
 //! owned by the `Router` and reused across rounds. After the high-water
 //! round of an execution, routing performs **no heap allocation at all**;
 //! `route` only clears and refills what it owns. (The arena grows to the
-//! largest round's send volume and stays there.)
+//! largest round's send volume and stays there.) The payload-independent
+//! tables live in a detachable [`RouterScratch`], so a long-lived owner
+//! (the engine) can recycle them across whole executions too.
 //!
 //! ## Deterministic parallelism
 //!
@@ -62,6 +79,13 @@ use crate::NodeId;
 /// counting sort (~tens of ns per message sequentially), so the crossover
 /// sits far higher than for the compute-bound step phase.
 const PAR_MIN_SENDS: usize = 1 << 16;
+
+/// A round is routed through the sparse (touched-destination) path when
+/// `sends × SPARSE_FACTOR < n`: below that, collecting and sorting the
+/// ≤ `sends` distinct destinations costs far less than the three O(n)
+/// table passes the dense path performs. At or above it, the dense
+/// counting sort's straight-line scans win.
+const SPARSE_FACTOR: usize = 8;
 
 /// What the network did with one round's sends.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -135,6 +159,78 @@ struct BucketOutcome {
     max_edge: u64,
 }
 
+/// Every payload-independent routing table a [`Router`] owns: the
+/// per-destination offset/length/count tables, the per-thread histogram
+/// and sample scratch, the drop list, and the occupied-destination list.
+///
+/// [`Router<P>`] is generic over the payload (its inbox arena holds
+/// `Envelope<P>`), but these tables — the O(n) part of a router's memory —
+/// are not. Splitting them out lets a non-generic owner (the `Engine`)
+/// keep them alive across `execute` calls of *different* programs:
+/// [`Router::with_scratch`] adopts them, [`Router::into_scratch`] hands
+/// them back, and steady-state replays (`ncc-serve` resident engines)
+/// stop paying an O(n) allocation per execution.
+///
+/// Between rounds the tables hold two invariants the sparse route path
+/// relies on: `counts` is all zeros, and `len[d] != 0` only for
+/// `d ∈ occupied`. Every route path restores both before returning.
+#[derive(Default)]
+pub struct RouterScratch {
+    /// Pre-drop bucket offsets into the arena (exclusive prefix of
+    /// `counts` over the round's destinations).
+    start: Vec<u32>,
+    /// Post-drop bucket lengths.
+    len: Vec<u32>,
+    /// Pre-drop per-destination in-degrees; all zeros between rounds.
+    counts: Vec<u32>,
+    /// Per-thread histogram / scatter-cursor tables (index 0 doubles as
+    /// the sequential path's cursor table).
+    cursors: Vec<Vec<u32>>,
+    /// Per-thread sample-phase scratch (index 0 doubles as the sequential
+    /// path's scratch).
+    scratch: Vec<SampleScratch>,
+    /// `(destination, dropped)` for every lossy destination this round,
+    /// ascending by destination.
+    drops: Vec<(NodeId, u32)>,
+    /// Destinations with a non-empty inbox after the last routed round,
+    /// ascending — the delivery half of the engine's dirty set.
+    occupied: Vec<NodeId>,
+    /// Sparse-path scratch: the round's distinct destinations.
+    touched: Vec<NodeId>,
+}
+
+impl RouterScratch {
+    /// Grows the tables to cover `n` destinations and clears any bucket
+    /// state left over from a previous owner. Growth-only: adopting a
+    /// smaller-`n` router keeps the larger tables (the occupied list
+    /// bounds every non-zero `len` entry, so stale tails are harmless).
+    fn ensure(&mut self, n: usize) {
+        if self.start.len() < n {
+            self.start.resize(n, 0);
+            self.len.resize(n, 0);
+            self.counts.resize(n, 0);
+        }
+        for c in &mut self.cursors {
+            if c.len() < n {
+                c.resize(n, 0);
+            }
+        }
+        if self.cursors.is_empty() {
+            self.cursors.push(vec![0; n]);
+        }
+        if self.scratch.is_empty() {
+            self.scratch.push(SampleScratch::default());
+        }
+        // A completed execution ends quiescent (nothing delivered in its
+        // final round), but an aborted one may leave buckets filled.
+        for &d in &self.occupied {
+            self.len[d as usize] = 0;
+        }
+        self.occupied.clear();
+        self.drops.clear();
+    }
+}
+
 /// Reusable batched router: owns the flat inbox arena and every piece of
 /// scratch the delivery phase needs. One `Router` lives for the duration of
 /// an [`crate::Engine::execute`] call and is recycled every round.
@@ -144,40 +240,41 @@ pub struct Router<P> {
     threads: usize,
     /// Sends-per-round crossover below which routing stays sequential.
     min_par_sends: usize,
+    /// Compat mode: route every round through the dense O(n) table scans
+    /// of the seed engine, never the sparse touched-destination path.
+    dense_scan: bool,
     /// Flat inbox arena; bucket `d` occupies `start[d] .. start[d] + len[d]`.
     arena: Vec<Envelope<P>>,
-    /// Pre-drop bucket offsets into `arena` (exclusive prefix of `counts`).
-    start: Vec<u32>,
-    /// Post-drop bucket lengths.
-    len: Vec<u32>,
-    /// Pre-drop per-destination in-degrees.
-    counts: Vec<u32>,
-    /// Per-thread histogram / scatter-cursor tables (index 0 doubles as the
-    /// sequential path's cursor table).
-    cursors: Vec<Vec<u32>>,
-    /// Per-thread sample-phase scratch (index 0 doubles as the sequential
-    /// path's scratch).
-    scratch: Vec<SampleScratch>,
-    /// `(destination, dropped)` for every lossy destination this round,
-    /// ascending by destination.
-    drops: Vec<(NodeId, u32)>,
+    /// All payload-independent tables (see [`RouterScratch`]).
+    sc: RouterScratch,
 }
 
 impl<P: Payload> Router<P> {
     pub fn new(n: usize, seed: u64, threads: usize) -> Self {
+        Self::with_scratch(n, seed, threads, RouterScratch::default())
+    }
+
+    /// Builds a router around previously used tables, so a long-lived owner
+    /// (the engine) pays no O(n) table allocation on repeat executions.
+    /// The scratch is grown to `n` and its bucket state cleared; recover it
+    /// with [`Router::into_scratch`] when the execution finishes.
+    pub fn with_scratch(n: usize, seed: u64, threads: usize, mut sc: RouterScratch) -> Self {
+        sc.ensure(n);
         Router {
             n,
             seed,
             threads: threads.max(1),
             min_par_sends: PAR_MIN_SENDS,
+            dense_scan: false,
             arena: Vec::new(),
-            start: vec![0; n],
-            len: vec![0; n],
-            counts: vec![0; n],
-            cursors: vec![vec![0; n]],
-            scratch: vec![SampleScratch::default()],
-            drops: Vec::new(),
+            sc,
         }
+    }
+
+    /// Releases the payload-independent tables for reuse by a later router
+    /// (possibly of a different payload type).
+    pub fn into_scratch(self) -> RouterScratch {
+        self.sc
     }
 
     /// Overrides the sequential→parallel crossover (default: 2¹⁶ sends per
@@ -188,31 +285,50 @@ impl<P: Payload> Router<P> {
         self
     }
 
+    /// Forces the seed engine's dense O(n) per-round table scans, disabling
+    /// the sparse touched-destination path and the O(occupied) clears.
+    /// Results are bit-identical either way; this exists as the honest
+    /// cost baseline for the sparse-activity benchmarks and property tests.
+    pub fn with_dense_scan(mut self, on: bool) -> Self {
+        self.dense_scan = on;
+        self
+    }
+
     /// The messages delivered to `node` in the last routed round, in
     /// `(sender, send order)` order.
     #[inline]
     pub fn inbox(&self, node: NodeId) -> &[Envelope<P>] {
         let d = node as usize;
-        let l = self.len[d] as usize;
+        let l = self.sc.len[d] as usize;
         if l == 0 {
             // `start` may be stale after an empty round; never index with it.
             return &[];
         }
-        let s = self.start[d] as usize;
+        let s = self.sc.start[d] as usize;
         &self.arena[s..s + l]
     }
 
     /// Whether `node` received at least one message in the last routed round.
     #[inline]
     pub fn has_mail(&self, node: NodeId) -> bool {
-        self.len[node as usize] > 0
+        self.sc.len[node as usize] > 0
     }
 
     /// `(destination, dropped count)` pairs of the last routed round,
     /// ascending by destination.
     #[inline]
     pub fn drops(&self) -> &[(NodeId, u32)] {
-        &self.drops
+        &self.sc.drops
+    }
+
+    /// Destinations that received at least one message in the last routed
+    /// round, ascending. This is the delivery half of the engine's dirty
+    /// set: these buckets hold *all* of the round's mail, so consumers
+    /// (next-active construction, tracing, cost accounting) can skip the
+    /// other `n - occupied().len()` nodes without looking at them.
+    #[inline]
+    pub fn occupied(&self) -> &[NodeId] {
+        &self.sc.occupied
     }
 
     /// Routes one round's flat send buffer with NCC semantics: at most
@@ -235,7 +351,6 @@ impl<P: Payload> Router<P> {
         policy: RecvPolicy,
         model: &dyn NetworkModel,
     ) -> RouteReport {
-        self.drops.clear();
         let total = sends.len();
         // Hard assert: the prefix sums feeding the unsafe scatter are u32,
         // and a wrap there would mean out-of-bounds writes. One comparison
@@ -244,19 +359,37 @@ impl<P: Payload> Router<P> {
             total <= u32::MAX as usize,
             "round send volume overflows u32 offsets"
         );
+        // Clear the previous round's buckets. The occupied list names every
+        // destination with a non-zero length, so this is O(occupied) — an
+        // empty round costs O(1), not O(n). Dense-scan compat mode keeps
+        // the seed engine's full-table clears as an honest cost baseline.
+        if self.dense_scan {
+            self.sc.len.fill(0);
+            self.sc.counts.fill(0);
+        } else {
+            for &d in &self.sc.occupied {
+                self.sc.len[d as usize] = 0;
+            }
+        }
+        self.sc.occupied.clear();
+        self.sc.drops.clear();
         if total == 0 {
             self.arena.clear();
-            self.len.fill(0);
             return RouteReport::default();
         }
         if self.threads > 1 && total >= self.min_par_sends {
             self.route_parallel(sends, round, policy, model)
+        } else if !self.dense_scan && total.saturating_mul(SPARSE_FACTOR) < self.n {
+            self.route_sparse(sends, round, policy, model)
         } else {
-            self.route_sequential(sends, round, policy, model)
+            self.route_dense(sends, round, policy, model)
         }
     }
 
-    fn route_sequential(
+    /// Sequential dense path: the classic counting sort with O(n) prefix
+    /// and sample scans. `counts` is all zeros on entry (router invariant),
+    /// so the count pass needs no preparatory fill.
+    fn route_dense(
         &mut self,
         sends: &mut Vec<Envelope<P>>,
         round: u64,
@@ -265,111 +398,138 @@ impl<P: Payload> Router<P> {
     ) -> RouteReport {
         let n = self.n;
         let total = sends.len();
+        let seed = self.seed;
+        let Router { arena, sc, .. } = self;
+        let RouterScratch {
+            start,
+            len,
+            counts,
+            cursors,
+            scratch,
+            drops,
+            occupied,
+            ..
+        } = sc;
 
         // count
-        self.counts.fill(0);
         for e in sends.iter() {
-            self.counts[e.dst as usize] += 1;
+            counts[e.dst as usize] += 1;
         }
 
         // prefix
-        let cursor = &mut self.cursors[0];
+        let cursor = &mut cursors[0];
         let mut run = 0u32;
         for d in 0..n {
-            self.start[d] = run;
+            start[d] = run;
             cursor[d] = run;
-            run += self.counts[d];
+            run += counts[d];
         }
 
         // scatter
-        self.arena.clear();
-        self.arena.reserve(total);
-        let base = self.arena.as_mut_ptr();
-        for e in sends.drain(..) {
-            let pos = cursor[e.dst as usize];
-            cursor[e.dst as usize] = pos + 1;
-            // SAFETY: `pos` < `total` ≤ reserved capacity, and the exclusive
-            // prefix guarantees each slot is written exactly once;
-            // `ptr::write` takes ownership of `e` without dropping the slot.
-            unsafe { std::ptr::write(base.add(pos as usize), e) };
-        }
-        // SAFETY: all `total` slots were initialised by the scatter above.
-        unsafe { self.arena.set_len(total) };
+        scatter_sequential(arena, cursor, sends);
 
         // sample + compact (policy-dispatched)
-        let Router {
+        let sc0 = &mut scratch[0];
+        if matches!(
+            policy,
+            RecvPolicy::EdgeCap { .. } | RecvPolicy::Hybrid { .. }
+        ) {
+            sc0.ensure_edges(n);
+        }
+        debug_assert_eq!(run as usize, total);
+        sample_phase(
+            0..n,
             arena,
             start,
             len,
             counts,
+            sc0,
+            drops,
+            occupied,
+            seed,
+            round,
+            policy,
+            model,
+        )
+    }
+
+    /// Sequential sparse path for rounds where sends ≪ n: only the round's
+    /// distinct destinations are counted, prefixed, sampled, and re-zeroed,
+    /// so the whole route costs O(sends · log sends) with no O(n) scan.
+    /// Bucket contents, drop choices, and reports are bit-identical to the
+    /// dense path — the sorted touched list visits the same non-empty
+    /// destinations in the same ascending order.
+    fn route_sparse(
+        &mut self,
+        sends: &mut Vec<Envelope<P>>,
+        round: u64,
+        policy: RecvPolicy,
+        model: &dyn NetworkModel,
+    ) -> RouteReport {
+        let n = self.n;
+        let seed = self.seed;
+        let Router { arena, sc, .. } = self;
+        let RouterScratch {
+            start,
+            len,
+            counts,
+            cursors,
             scratch,
             drops,
-            seed,
-            ..
-        } = self;
-        let seed = *seed;
-        let mut report = RouteReport::default();
-        match policy {
-            RecvPolicy::NodeCap { recv } => {
-                let perm = &mut scratch[0].perm;
-                for d in 0..n {
-                    let c = counts[d] as usize;
-                    report.max_in = report.max_in.max(c as u64);
-                    if c > recv {
-                        let s = start[d] as usize;
-                        sample_survivors(perm, c, recv, seed, round, d as NodeId);
-                        compact_bucket(&mut arena[s..s + c], &perm[..recv]);
-                        len[d] = recv as u32;
-                        drops.push((d as NodeId, (c - recv) as u32));
-                        report.over_cap_dsts += 1;
-                        report.delivered += recv as u64;
-                        report.dropped += (c - recv) as u64;
-                    } else {
-                        len[d] = c as u32;
-                        report.delivered += c as u64;
-                    }
-                }
+            occupied,
+            touched,
+        } = sc;
+
+        // count, recording each destination on first touch (`counts` is all
+        // zeros on entry, so first touch ⟺ count still zero)
+        touched.clear();
+        for e in sends.iter() {
+            let d = e.dst as usize;
+            if counts[d] == 0 {
+                touched.push(e.dst);
             }
-            RecvPolicy::Unlimited => {
-                for d in 0..n {
-                    let c = counts[d];
-                    report.max_in = report.max_in.max(c as u64);
-                    len[d] = c;
-                    report.delivered += c as u64;
-                }
-            }
-            RecvPolicy::EdgeCap { .. } | RecvPolicy::Hybrid { .. } => {
-                let sc = &mut scratch[0];
-                sc.ensure_edges(n);
-                for d in 0..n {
-                    let c = counts[d] as usize;
-                    report.max_in = report.max_in.max(c as u64);
-                    if c == 0 {
-                        len[d] = 0;
-                        continue;
-                    }
-                    let s = start[d] as usize;
-                    let out = pair_budget_bucket(
-                        &mut arena[s..s + c],
-                        d as NodeId,
-                        policy,
-                        model,
-                        seed,
-                        round,
-                        sc,
-                    );
-                    len[d] = out.kept as u32;
-                    report.delivered += out.kept as u64;
-                    report.max_edge_load = report.max_edge_load.max(out.max_edge);
-                    if out.dropped > 0 {
-                        report.dropped += out.dropped as u64;
-                        report.over_cap_dsts += 1;
-                        drops.push((d as NodeId, out.dropped as u32));
-                    }
-                }
-            }
+            counts[d] += 1;
         }
-        report
+        // ascending destinations: bucket layout, drops, and the occupied
+        // list come out exactly as the dense 0..n scan would produce them
+        touched.sort_unstable();
+
+        // prefix over the touched destinations only
+        let cursor = &mut cursors[0];
+        let mut run = 0u32;
+        for &d in touched.iter() {
+            let d = d as usize;
+            start[d] = run;
+            cursor[d] = run;
+            run += counts[d];
+        }
+
+        // scatter (every send's destination is in `touched`, so every
+        // cursor it reads was initialised by the sparse prefix above)
+        scatter_sequential(arena, cursor, sends);
+
+        // sample + compact over the touched destinations only
+        let sc0 = &mut scratch[0];
+        if matches!(
+            policy,
+            RecvPolicy::EdgeCap { .. } | RecvPolicy::Hybrid { .. }
+        ) {
+            sc0.ensure_edges(n);
+        }
+        sample_phase(
+            touched.iter().map(|&d| d as usize),
+            arena,
+            start,
+            len,
+            counts,
+            sc0,
+            drops,
+            occupied,
+            seed,
+            round,
+            policy,
+            model,
+        )
     }
 
     fn route_parallel(
@@ -383,16 +543,16 @@ impl<P: Payload> Router<P> {
         let total = sends.len();
         let chunk = total.div_ceil(self.threads);
         let t = total.div_ceil(chunk); // number of non-empty send chunks
-        while self.cursors.len() < t {
-            self.cursors.push(vec![0; n]);
+        while self.sc.cursors.len() < t {
+            self.sc.cursors.push(vec![0; n]);
         }
-        while self.scratch.len() < t {
-            self.scratch.push(SampleScratch::default());
+        while self.sc.scratch.len() < t {
+            self.sc.scratch.push(SampleScratch::default());
         }
 
         // count: per-chunk histograms
         std::thread::scope(|scope| {
-            for (hist, part) in self.cursors[..t].iter_mut().zip(sends.chunks(chunk)) {
+            for (hist, part) in self.sc.cursors[..t].iter_mut().zip(sends.chunks(chunk)) {
                 scope.spawn(move || {
                     hist.fill(0);
                     for e in part {
@@ -409,14 +569,14 @@ impl<P: Payload> Router<P> {
         let mut report = RouteReport::default();
         let mut run = 0u32;
         for d in 0..n {
-            self.start[d] = run;
+            self.sc.start[d] = run;
             let mut c = 0u32;
-            for hist in self.cursors[..t].iter_mut() {
+            for hist in self.sc.cursors[..t].iter_mut() {
                 let h = hist[d];
                 hist[d] = run + c;
                 c += h;
             }
-            self.counts[d] = c;
+            self.sc.counts[d] = c;
             report.max_in = report.max_in.max(c as u64);
             run += c;
         }
@@ -426,7 +586,7 @@ impl<P: Payload> Router<P> {
         self.arena.reserve(total);
         let base = SendPtr(self.arena.as_mut_ptr());
         std::thread::scope(|scope| {
-            for (hist, part) in self.cursors[..t].iter_mut().zip(sends.chunks(chunk)) {
+            for (hist, part) in self.sc.cursors[..t].iter_mut().zip(sends.chunks(chunk)) {
                 scope.spawn(move || {
                     for e in part {
                         let pos = hist[e.dst as usize];
@@ -453,8 +613,8 @@ impl<P: Payload> Router<P> {
         // depends only on (seed, round, destination) and bucket content.
         let dst_chunk = n.div_ceil(t);
         let seed = self.seed;
-        let counts = &self.counts;
-        let start = &self.start;
+        let counts = &self.sc.counts;
+        let start = &self.sc.start;
         let arena_base = SendPtr(self.arena.as_mut_ptr());
         let pairwise = matches!(
             policy,
@@ -463,16 +623,17 @@ impl<P: Payload> Router<P> {
         // A round may use fewer destination chunks than `t`; pre-clear all
         // drop buffers so the merge below never picks up a previous round's
         // drops.
-        for sc in &mut self.scratch[..t] {
+        for sc in &mut self.sc.scratch[..t] {
             sc.drops.clear();
             if pairwise {
                 sc.ensure_edges(n);
             }
         }
-        let len_chunks = self.len.chunks_mut(dst_chunk);
+        let len_chunks = self.sc.len.chunks_mut(dst_chunk);
         let partials: Vec<RouteReport> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(t);
-            for (ti, (sc, len_chunk)) in self.scratch[..t].iter_mut().zip(len_chunks).enumerate() {
+            for (ti, (sc, len_chunk)) in self.sc.scratch[..t].iter_mut().zip(len_chunks).enumerate()
+            {
                 let lo = ti * dst_chunk;
                 handles.push(scope.spawn(move || {
                     let mut part = RouteReport::default();
@@ -558,11 +719,142 @@ impl<P: Payload> Router<P> {
             report.over_cap_dsts += part.over_cap_dsts;
             report.max_edge_load = report.max_edge_load.max(part.max_edge_load);
         }
-        for sc in &self.scratch[..t] {
-            self.drops.extend_from_slice(&sc.drops);
+        for sc in &self.sc.scratch[..t] {
+            self.sc.drops.extend_from_slice(&sc.drops);
+        }
+        // Restore the router invariants (counts all zero) and rebuild the
+        // occupied list. One dense pass is fine here: the parallel path
+        // only runs for rounds whose send volume dwarfs n-proportional work.
+        for d in 0..n {
+            self.sc.counts[d] = 0;
+            if self.sc.len[d] > 0 {
+                self.sc.occupied.push(d as NodeId);
+            }
         }
         report
     }
+}
+
+/// Moves one round's sends into the arena at the slots named by `cursor`
+/// (each destination's cursor advances as its bucket fills). The cursor
+/// table must hold an exclusive prefix over the sends' destinations.
+fn scatter_sequential<P: Payload>(
+    arena: &mut Vec<Envelope<P>>,
+    cursor: &mut [u32],
+    sends: &mut Vec<Envelope<P>>,
+) {
+    let total = sends.len();
+    arena.clear();
+    arena.reserve(total);
+    let base = arena.as_mut_ptr();
+    for e in sends.drain(..) {
+        let pos = cursor[e.dst as usize];
+        cursor[e.dst as usize] = pos + 1;
+        // SAFETY: `pos` < `total` ≤ reserved capacity, and the exclusive
+        // prefix guarantees each slot is written exactly once;
+        // `ptr::write` takes ownership of `e` without dropping the slot.
+        unsafe { std::ptr::write(base.add(pos as usize), e) };
+    }
+    // SAFETY: all `total` slots were initialised by the scatter above.
+    unsafe { arena.set_len(total) };
+}
+
+/// The policy-dispatched sample/compact pass shared by the sequential
+/// dense and sparse paths. `dsts` must be ascending and cover every
+/// destination with a non-zero count; visited counts are re-zeroed
+/// (restoring the router's counts-all-zero invariant) and destinations
+/// that keep at least one message are appended to `occupied` — so the
+/// occupied list comes out ascending for either caller.
+#[allow(clippy::too_many_arguments)]
+fn sample_phase<P: Payload>(
+    dsts: impl Iterator<Item = usize>,
+    arena: &mut [Envelope<P>],
+    start: &[u32],
+    len: &mut [u32],
+    counts: &mut [u32],
+    sc: &mut SampleScratch,
+    drops: &mut Vec<(NodeId, u32)>,
+    occupied: &mut Vec<NodeId>,
+    seed: u64,
+    round: u64,
+    policy: RecvPolicy,
+    model: &dyn NetworkModel,
+) -> RouteReport {
+    let mut report = RouteReport::default();
+    match policy {
+        RecvPolicy::NodeCap { recv } => {
+            for d in dsts {
+                let c = counts[d] as usize;
+                counts[d] = 0;
+                if c == 0 {
+                    continue;
+                }
+                report.max_in = report.max_in.max(c as u64);
+                if c > recv {
+                    let s = start[d] as usize;
+                    sample_survivors(&mut sc.perm, c, recv, seed, round, d as NodeId);
+                    compact_bucket(&mut arena[s..s + c], &sc.perm[..recv]);
+                    len[d] = recv as u32;
+                    drops.push((d as NodeId, (c - recv) as u32));
+                    report.over_cap_dsts += 1;
+                    report.delivered += recv as u64;
+                    report.dropped += (c - recv) as u64;
+                    if recv > 0 {
+                        occupied.push(d as NodeId);
+                    }
+                } else {
+                    len[d] = c as u32;
+                    report.delivered += c as u64;
+                    occupied.push(d as NodeId);
+                }
+            }
+        }
+        RecvPolicy::Unlimited => {
+            for d in dsts {
+                let c = counts[d];
+                counts[d] = 0;
+                if c == 0 {
+                    continue;
+                }
+                report.max_in = report.max_in.max(c as u64);
+                len[d] = c;
+                report.delivered += c as u64;
+                occupied.push(d as NodeId);
+            }
+        }
+        RecvPolicy::EdgeCap { .. } | RecvPolicy::Hybrid { .. } => {
+            for d in dsts {
+                let c = counts[d] as usize;
+                counts[d] = 0;
+                if c == 0 {
+                    continue;
+                }
+                report.max_in = report.max_in.max(c as u64);
+                let s = start[d] as usize;
+                let out = pair_budget_bucket(
+                    &mut arena[s..s + c],
+                    d as NodeId,
+                    policy,
+                    model,
+                    seed,
+                    round,
+                    sc,
+                );
+                len[d] = out.kept as u32;
+                report.delivered += out.kept as u64;
+                report.max_edge_load = report.max_edge_load.max(out.max_edge);
+                if out.kept > 0 {
+                    occupied.push(d as NodeId);
+                }
+                if out.dropped > 0 {
+                    report.dropped += out.dropped as u64;
+                    report.over_cap_dsts += 1;
+                    drops.push((d as NodeId, out.dropped as u32));
+                }
+            }
+        }
+    }
+    report
 }
 
 /// Applies a pairwise receive policy ([`RecvPolicy::EdgeCap`] or
@@ -933,6 +1225,85 @@ mod tests {
                 assert_eq!(a, run(threads), "policy={policy:?} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_are_bit_identical() {
+        // n ≫ sends forces the sparse path; with_dense_scan pins the dense
+        // one. Everything observable must match, including occupied().
+        let n = 4096;
+        let mk_sends = || -> Vec<Envelope<u64>> {
+            // a handful of hot destinations, some over the recv cap
+            (0..96u32)
+                .map(|i| env(i % 7, [5, 9, 9, 2000, 9, 4095][i as usize % 6], i as u64))
+                .collect()
+        };
+        let run = |dense: bool| {
+            let mut r: Router<u64> = Router::new(n, 42, 1).with_dense_scan(dense);
+            let mut out = Vec::new();
+            for round in 0..4 {
+                let mut sends = mk_sends();
+                let rep = r.route(&mut sends, round, 8);
+                let inboxes: Vec<Vec<Envelope<u64>>> =
+                    r.occupied().iter().map(|&d| r.inbox(d).to_vec()).collect();
+                out.push((rep, r.drops().to_vec(), r.occupied().to_vec(), inboxes));
+            }
+            out
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn occupied_lists_nonempty_buckets_ascending() {
+        let n = 64;
+        for threads in [1, 4] {
+            let mut r: Router<u64> = Router::new(n, 7, threads).with_min_parallel_sends(1);
+            let mut sends = vec![env(0, 50, 1), env(1, 3, 2), env(2, 50, 3), env(3, 17, 4)];
+            r.route(&mut sends, 0, 8);
+            assert_eq!(r.occupied(), &[3, 17, 50], "threads={threads}");
+            for d in 0..n as u32 {
+                assert_eq!(r.has_mail(d), r.occupied().contains(&d));
+            }
+            // empty round clears the occupied list
+            r.route(&mut Vec::new(), 1, 8);
+            assert!(r.occupied().is_empty());
+            assert!(!r.has_mail(50));
+        }
+    }
+
+    #[test]
+    fn occupied_excludes_fully_dropped_buckets() {
+        // recv = 0 drops every arrival: the bucket ends empty and must not
+        // appear in occupied (has_mail is false — the node stays asleep).
+        let mut r: Router<u64> = Router::new(1024, 3, 1);
+        let mut sends = vec![env(0, 5, 1), env(1, 5, 2)];
+        let rep = r.route(&mut sends, 0, 0);
+        assert_eq!(rep.dropped, 2);
+        assert!(r.occupied().is_empty());
+        assert!(!r.has_mail(5));
+    }
+
+    #[test]
+    fn scratch_survives_across_routers_and_payload_types() {
+        let mut r: Router<u64> = Router::new(8, 1, 1);
+        let mut sends = vec![env(0, 1, 5), env(2, 1, 6)];
+        r.route(&mut sends, 0, 8);
+        assert_eq!(r.inbox(1).len(), 2);
+        let sc = r.into_scratch();
+        // adopt the tables for a different payload type; previous bucket
+        // state must not leak through
+        let mut r2: Router<(u32, u32)> = Router::with_scratch(8, 1, 1, sc);
+        assert!(!r2.has_mail(1));
+        assert!(r2.occupied().is_empty());
+        let mut sends2 = vec![Envelope::new(3, 2, (7u32, 9u32))];
+        r2.route(&mut sends2, 1, 8);
+        assert_eq!(r2.inbox(2), &[Envelope::new(3, 2, (7u32, 9u32))]);
+        assert_eq!(r2.occupied(), &[2]);
+        // and a smaller-n adoption still clears correctly
+        let sc = r2.into_scratch();
+        let r3: Router<u64> = Router::with_scratch(4, 1, 1, sc);
+        assert!(!r3.has_mail(2));
+        assert!(r3.occupied().is_empty());
     }
 
     #[test]

@@ -68,7 +68,15 @@ pub struct ExecStats {
     pub max_edge_load: u64,
     pub send_cap_violations: u64,
     /// Sum over rounds of active node counts (total "node-rounds" of work).
+    /// This is the `sum_active` quantity the sparse-activity engine bounds:
+    /// a round costs O(active + messages), so `node_rounds` — not
+    /// `rounds × n` — is the real step-phase work of an execution.
     pub node_rounds: u64,
+    /// Max over rounds of the active node count — how wide the widest
+    /// round was. Together with `node_rounds` this shows how sparse an
+    /// execution's activity actually is (`node_rounds / rounds` is the
+    /// mean, `peak_active` the worst case).
+    pub peak_active: u64,
     /// Total model rounds charged by the network model's cost accounting
     /// (k-machine rounds under the `KMachine` model; 0 otherwise).
     pub km_rounds: u64,
@@ -98,6 +106,7 @@ impl ExecStats {
         self.max_edge_load = self.max_edge_load.max(r.max_edge_load);
         self.send_cap_violations += r.send_cap_violations;
         self.node_rounds += r.active_nodes;
+        self.peak_active = self.peak_active.max(r.active_nodes);
         self.km_rounds += r.km_rounds;
     }
 
@@ -116,6 +125,7 @@ impl ExecStats {
         self.max_edge_load = self.max_edge_load.max(other.max_edge_load);
         self.send_cap_violations += other.send_cap_violations;
         self.node_rounds += other.node_rounds;
+        self.peak_active = self.peak_active.max(other.peak_active);
         self.km_rounds += other.km_rounds;
     }
 
@@ -189,8 +199,29 @@ mod tests {
         assert_eq!(e.max_out, 7);
         assert_eq!(e.max_in, 5);
         assert_eq!(e.node_rounds, 8);
+        assert_eq!(e.peak_active, 4);
         assert!(e.clean());
         assert_eq!(e.peak_load(), 7);
+    }
+
+    #[test]
+    fn peak_active_maxes_across_rounds_and_merges() {
+        let mut a = ExecStats::default();
+        let mut r1 = round(1, 1, 1);
+        r1.active_nodes = 9;
+        let mut r2 = round(1, 1, 1);
+        r2.active_nodes = 2;
+        a.absorb_round(&r1);
+        a.absorb_round(&r2);
+        assert_eq!(a.peak_active, 9);
+        assert_eq!(a.node_rounds, 11);
+        let mut b = ExecStats::default();
+        let mut r3 = round(1, 1, 1);
+        r3.active_nodes = 30;
+        b.absorb_round(&r3);
+        a.merge(&b);
+        assert_eq!(a.peak_active, 30);
+        assert_eq!(a.node_rounds, 41);
     }
 
     #[test]

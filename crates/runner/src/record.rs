@@ -98,7 +98,14 @@ impl RunRecord {
             phases,
             verdict,
             summary,
-            metrics: Vec::new(),
+            // Activity-sparsity metrics are universal: every record shows
+            // how wide its widest round was and how many node-rounds of
+            // step work the run actually cost (the O(active) quantity —
+            // compare against rounds × n to see the sparsity win).
+            metrics: vec![
+                ("peak_active".to_string(), t.peak_active),
+                ("sum_active".to_string(), t.node_rounds),
+            ],
             report,
         }
     }
@@ -193,6 +200,13 @@ mod tests {
         assert_eq!(back.metric("missing"), None);
         // and the JSON itself is stable
         assert_eq!(back.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn activity_metrics_are_always_present() {
+        let r = sample();
+        assert_eq!(r.metric("peak_active"), Some(r.report.total.peak_active));
+        assert_eq!(r.metric("sum_active"), Some(r.report.total.node_rounds));
     }
 
     #[test]

@@ -62,6 +62,17 @@ pub enum FamilySpec {
     Geometric {
         radius: f64,
     },
+    /// R-MAT recursive-matrix graph (Graph500 quadrant probabilities):
+    /// `edge_factor * n` edge samples. The huge-n power-law family.
+    Rmat {
+        edge_factor: usize,
+    },
+    /// Random hyperbolic graph (Krioukov disk, `R = 2 ln n + c`):
+    /// power-law exponent `2·alpha + 1`; larger `c` is sparser.
+    Hyperbolic {
+        alpha: f64,
+        c: f64,
+    },
     /// The graph is supplied out of band (e.g. `ncc-cli run --graph file`);
     /// such a spec cannot rebuild its graph and exists only as an echo.
     Provided,
@@ -83,6 +94,8 @@ impl FamilySpec {
             FamilySpec::Gnm { .. } => "gnm",
             FamilySpec::Ba { .. } => "ba",
             FamilySpec::Geometric { .. } => "geometric",
+            FamilySpec::Rmat { .. } => "rmat",
+            FamilySpec::Hyperbolic { .. } => "hyperbolic",
             FamilySpec::Provided => "provided",
         }
     }
@@ -213,6 +226,10 @@ impl ScenarioSpec {
             FamilySpec::Gnm { m } => gen::gnm(n, *m, seed),
             FamilySpec::Ba { m } => gen::barabasi_albert(n, (*m).max(1), seed),
             FamilySpec::Geometric { radius } => gen::random_geometric(n, *radius, seed),
+            FamilySpec::Rmat { edge_factor } => {
+                gen::rmat(n, n.saturating_mul((*edge_factor).max(1)), seed)
+            }
+            FamilySpec::Hyperbolic { alpha, c } => gen::hyperbolic(n, *alpha, *c, seed),
             FamilySpec::Provided => {
                 return Err(RunnerError::Scenario(
                     "family `provided` carries no generator; use Scenario::from_graph".into(),
@@ -320,6 +337,27 @@ mod tests {
         assert_eq!(a.graph.n(), 64);
         assert_eq!(a.graph.m(), b.graph.m());
         assert_eq!(a.weighted.m(), a.graph.m());
+    }
+
+    #[test]
+    fn huge_family_specs_build_and_round_trip() {
+        for family in [
+            FamilySpec::Rmat { edge_factor: 8 },
+            FamilySpec::Hyperbolic {
+                alpha: 0.75,
+                c: 0.0,
+            },
+        ] {
+            let spec = ScenarioSpec::new(family, 256, 13);
+            let scn = spec.build().unwrap();
+            assert_eq!(scn.graph.n(), 256);
+            assert!(scn.graph.m() > 0, "{} generated no edges", spec.label());
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+            // deterministic rebuild
+            assert_eq!(scn.graph, spec.build().unwrap().graph);
+        }
     }
 
     #[test]

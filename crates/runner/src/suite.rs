@@ -66,7 +66,9 @@ pub fn standard_models(n: usize) -> Vec<ncc_model::ModelSpec> {
 /// enough to gate CI, broad enough that every algorithm sees both a
 /// hub-free and a random topology — followed by a **model dimension**: the
 /// `n = 64` `G(n,p)` scenario re-run under every non-NCC model of
-/// [`standard_models`], so the snapshot pins all four execution models.
+/// [`standard_models`], so the snapshot pins all four execution models —
+/// and finally two small cells of the huge-graph families (R-MAT and
+/// hyperbolic), so the scale-sweep topologies are gated at CI size too.
 pub fn standard_grid() -> Vec<ScenarioSpec> {
     let mut grid = Vec::new();
     for &n in &[64usize, 128] {
@@ -85,6 +87,22 @@ pub fn standard_grid() -> Vec<ScenarioSpec> {
     for model in standard_models(model_base.n) {
         grid.push(model_base.clone().with_model(model));
     }
+    // huge-graph family dimension (appended so earlier snapshot records
+    // keep their identity): small cells of the scale-sweep generators,
+    // so every algorithm exercises the power-law topologies in CI
+    grid.push(ScenarioSpec::new(
+        crate::FamilySpec::Rmat { edge_factor: 8 },
+        96,
+        SUITE_SEED + 2,
+    ));
+    grid.push(ScenarioSpec::new(
+        crate::FamilySpec::Hyperbolic {
+            alpha: 0.75,
+            c: 0.0,
+        },
+        96,
+        SUITE_SEED + 3,
+    ));
     grid
 }
 
@@ -197,8 +215,8 @@ mod tests {
     #[test]
     fn standard_grid_is_well_formed() {
         let grid = standard_grid();
-        // 4 Ncc cells + one cell per non-NCC model
-        assert_eq!(grid.len(), 4 + standard_models(64).len());
+        // 4 Ncc cells + one cell per non-NCC model + 2 huge-family cells
+        assert_eq!(grid.len(), 4 + standard_models(64).len() + 2);
         for spec in &grid {
             assert!(spec.build().is_ok(), "unbuildable spec {}", spec.label());
         }
@@ -223,7 +241,7 @@ mod tests {
             link_capacity: 1,
         };
         let grid = standard_grid_for_model(km);
-        assert_eq!(grid.len(), 4);
+        assert_eq!(grid.len(), 6); // 4 classic Ncc cells + 2 huge-family cells
         assert!(grid.iter().all(|s| s.model == km));
         let ncc = standard_grid_for_model(ncc_model::ModelSpec::Ncc);
         assert!(ncc.iter().all(|s| s.model == ncc_model::ModelSpec::Ncc));

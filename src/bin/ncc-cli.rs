@@ -108,6 +108,7 @@ USAGE:
   ncc-cli info --n <N>
 
 FAMILIES   path cycle star complete grid tgrid tree forests gnp gnm ba geometric
+           rmat hyperbolic
 MODELS     ncc (default) · cc|congested-clique [--edge-cap <msgs>]
            · kmachine [--machines <k>] [--link-cap <msgs>]
            · hybrid [--local-cap <msgs>]
@@ -201,6 +202,21 @@ fn family_spec(family: &str, n: usize, flags: &HashMap<String, String>) -> (Fami
         "geometric" => (
             FamilySpec::Geometric {
                 radius: if p.is_nan() { 0.15 } else { p },
+            },
+            n,
+        ),
+        // --param is the edge factor (sampled edges per node); default 8
+        "rmat" => (
+            FamilySpec::Rmat {
+                edge_factor: if p.is_nan() { 8 } else { param_usize.max(1) },
+            },
+            n,
+        ),
+        // --param is alpha (power-law exponent 2α+1); disk offset c fixed 0
+        "hyperbolic" => (
+            FamilySpec::Hyperbolic {
+                alpha: if p.is_nan() { 0.75 } else { p },
+                c: 0.0,
             },
             n,
         ),
@@ -478,6 +494,32 @@ fn cmd_explain(positional: &[String], flags: &HashMap<String, String>) {
             println!("{algo_name} is not declared as a protocol DAG — no packing plan to show");
         }
     }
+    print!("{}", activity_note(algo, &scn));
+}
+
+/// One-line activity-sparsity summary for `explain`: how wide the widest
+/// round was and what fraction of the naive `rounds × n` node-rounds the
+/// run actually stepped (the engine's per-round cost is O(active), so
+/// this ratio is the real step-phase work).
+fn activity_note(algo: &'static dyn ncc::runner::Algorithm, scn: &Scenario) -> String {
+    let mut eng = scn.engine();
+    match algo.run(&mut eng, scn) {
+        Ok(rec) => {
+            let (peak, sum) = (
+                rec.metric("peak_active").unwrap_or(0),
+                rec.metric("sum_active").unwrap_or(0),
+            );
+            let naive = rec.rounds.saturating_mul(scn.spec.n as u64).max(1);
+            format!(
+                "activity: peak_active {} / n {} · sum_active {} ({:.1}% of rounds × n)\n",
+                peak,
+                scn.spec.n,
+                sum,
+                100.0 * sum as f64 / naive as f64
+            )
+        }
+        Err(e) => format!("activity: run failed ({e})\n"),
+    }
 }
 
 /// The `explain` body, separated from process concerns so tests can call it.
@@ -604,6 +646,8 @@ mod tests {
             "gnm",
             "ba",
             "geometric",
+            "rmat",
+            "hyperbolic",
         ] {
             let (spec, n) = family_spec(fam, 64, &flags);
             assert!(n >= 1);
