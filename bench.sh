@@ -16,11 +16,16 @@
 #                     (and still fails on any Failed verdict) but never
 #                     gates on its machine-dependent timing numbers.
 #   BENCH_scale.json  the huge-graph sweep (exp22_scale): RMAT +
-#                     hyperbolic at n ∈ {10⁴,10⁵,10⁶} plus the
-#                     sparse-tail dense-vs-dirty-set speedup. Also
-#                     `wall_clock: true` (reported, not diffed); the
-#                     refresh runs the full sweep (~1–2 min), the
-#                     --compare path runs the --smoke cell like CI.
+#                     hyperbolic at n ∈ {10⁴,10⁵,10⁶}, the n=10⁷ RMAT
+#                     broadcast row (generate + run, end-to-end), and
+#                     the sparse-tail dense-vs-dirty-set speedup; each
+#                     cell records gen_wall_ms and the warm engine's
+#                     resident_bytes_per_node. Also `wall_clock: true`
+#                     (reported, not diffed); the refresh runs the full
+#                     sweep including the 10⁷ row (~minutes), the
+#                     --compare path runs the --smoke cells like CI
+#                     (BFS at 10⁴ + the parallel-generation identity
+#                     check).
 #
 # Usage:
 #   ./bench.sh [extra cargo run args...]

@@ -1,19 +1,25 @@
-//! exp22 — scale sweep: the huge-graph families at n up to 10⁶, plus the
+//! exp22 — scale sweep: the huge-graph families at n up to 10⁷, plus the
 //! sparse-tail micro-benchmark that certifies the O(active) round loop.
 //!
-//! Two parts:
+//! Three parts:
 //!
 //! 1. **Family sweep** — flooding broadcast on R-MAT and random
-//!    hyperbolic graphs at n ∈ {10⁴, 10⁵, 10⁶}, plus full tree-based
-//!    BFS at 10⁴ (BFS is a multi-thousand-round protocol whose
-//!    wall-clock is dominated by the algorithm, not the engine — one
-//!    size pins it without hour-long sweeps), timing graph generation
-//!    and the algorithm run separately. `--smoke` (the CI scale-smoke
-//!    job) runs BFS only at 10⁴ so every emitted record is checkable
-//!    and the job can gate on all-`Verified`. This is the bridge from
-//!    the CI suite (n ≤ 160) to the paper's §1 regime of "millions of
-//!    users" on power-law overlays.
-//! 2. **Sparse tail** — one node stays awake for thousands of rounds on
+//!    hyperbolic graphs at n ∈ {10⁴, 10⁵, 10⁶}, an R-MAT broadcast row
+//!    at n = 10⁷ (the paper's §1 "millions of users" regime,
+//!    end-to-end: generate + run), plus full tree-based BFS at 10⁴
+//!    (BFS is a multi-thousand-round protocol whose wall-clock is
+//!    dominated by the algorithm, not the engine — one size pins it
+//!    without hour-long sweeps), timing graph generation and the
+//!    algorithm run separately and recording the warm engine's
+//!    resident bytes per node. `--smoke` (the CI scale-smoke job) runs
+//!    BFS only at 10⁴ so every emitted record is checkable and the job
+//!    can gate on all-`Verified`.
+//! 2. **Generation identity smoke** (`--smoke` only) — one R-MAT
+//!    instance whose sample count crosses the parallel generator's
+//!    block boundary, generated at 1 and 4 threads and asserted
+//!    byte-identical, so the CI job guards the parallel generators,
+//!    not just the BFS cells.
+//! 3. **Sparse tail** — one node stays awake for thousands of rounds on
 //!    an n = 10⁵ network while everyone else sleeps. The same program is
 //!    timed under the seed engine's scan-everything baseline
 //!    (`dense_activity_scan`) and the dirty-set scheduler; results are
@@ -32,11 +38,13 @@
 use std::time::Instant;
 
 use ncc_bench::{cli_json, cli_threads, f2, Table, SEED};
+use ncc_graph::gen;
 use ncc_model::{Ctx, Engine, Envelope, ExecStats, NetConfig, NodeProgram};
 use ncc_runner::{find_algorithm, FamilySpec, RunRecord, ScenarioSpec};
 use serde::Serialize;
 
-/// One sweep cell: deterministic record plus its wall-clock costs.
+/// One sweep cell: deterministic record plus its wall-clock costs and
+/// the warm engine's memory footprint.
 #[derive(Serialize)]
 struct ScaleCell {
     family: String,
@@ -44,8 +52,14 @@ struct ScaleCell {
     algorithm: String,
     /// Edges of the generated graph (deterministic for the seed).
     edges: usize,
-    gen_ms: f64,
+    /// Graph generation wall time (wall_clock — tracked so the
+    /// generation-vs-run ratio stays visible in the trajectory).
+    gen_wall_ms: f64,
     run_ms: f64,
+    /// Resident engine bytes per node after the run (capacity-based
+    /// estimate from `Engine::resident_bytes`; wall-clock-adjacent in
+    /// that allocator growth policies may vary, so not gated).
+    resident_bytes_per_node: f64,
     record: RunRecord,
 }
 
@@ -70,6 +84,9 @@ struct ScaleBench {
     wall_clock: bool,
     threads: usize,
     smoke: bool,
+    /// Set in smoke mode after the parallel-vs-sequential R-MAT
+    /// generation identity assertion passed.
+    gen_identity_checked: bool,
     cells: Vec<ScaleCell>,
     sparse_tail: SparseTail,
 }
@@ -138,6 +155,82 @@ fn sparse_tail_bench(smoke: bool) -> SparseTail {
     }
 }
 
+/// Smoke-mode guard for the parallel generators: one R-MAT instance
+/// whose sample count crosses the `gen::RMAT_BLOCK` boundary (so the
+/// multi-block seeding path is exercised, not just the byte-compatible
+/// single-block prefix), generated sequentially and at 4 threads, and
+/// asserted byte-identical. The full proptest lives in
+/// `crates/graph/tests/gen_parallel.rs`; this one cell makes the CI
+/// scale-smoke job fail fast if determinism regresses.
+fn gen_identity_smoke() {
+    let n = 10_000;
+    let m = gen::RMAT_BLOCK + gen::RMAT_BLOCK / 2;
+    let start = Instant::now();
+    let sequential = gen::rmat_threads(n, m, SEED, 1);
+    let parallel = gen::rmat_threads(n, m, SEED, 4);
+    assert_eq!(
+        sequential, parallel,
+        "parallel R-MAT generation must be byte-identical to sequential"
+    );
+    println!(
+        "gen identity: rmat n={n} m={m} · 1 vs 4 threads byte-identical ({} edges, {} ms)",
+        sequential.m(),
+        f2(start.elapsed().as_secs_f64() * 1000.0)
+    );
+}
+
+/// Generates one (family, n) scenario, runs `name` on it, prints the
+/// table row, and pushes the JSON cell.
+fn run_cell(
+    family: &FamilySpec,
+    n: usize,
+    name: &str,
+    threads: usize,
+    table: &mut Table,
+    cells: &mut Vec<ScaleCell>,
+) {
+    let spec = ScenarioSpec::new(family.clone(), n, SEED).with_threads(threads);
+    let gen_start = Instant::now();
+    let scn = spec.build().expect("huge families build at any n");
+    let gen_wall_ms = gen_start.elapsed().as_secs_f64() * 1000.0;
+    let algo = find_algorithm(name).expect("registered algorithm");
+    let mut eng = scn.engine_with_threads(threads);
+    let run_start = Instant::now();
+    let record = algo
+        .run(&mut eng, &scn)
+        .unwrap_or_else(|e| panic!("{name} on {} failed: {e}", spec.label()));
+    let run_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+    let resident_bytes_per_node = eng.resident_bytes().per_node(n);
+    assert!(
+        record.verdict.ok(),
+        "{name} on {} failed verification",
+        spec.label()
+    );
+    table.row(vec![
+        family.name().to_string(),
+        n.to_string(),
+        name.to_string(),
+        scn.graph.m().to_string(),
+        f2(gen_wall_ms),
+        f2(run_ms),
+        f2(resident_bytes_per_node),
+        record.rounds.to_string(),
+        record.metric("peak_active").unwrap_or(0).to_string(),
+        record.metric("sum_active").unwrap_or(0).to_string(),
+        format!("{:?}", record.verdict),
+    ]);
+    cells.push(ScaleCell {
+        family: family.name().to_string(),
+        n,
+        algorithm: name.to_string(),
+        edges: scn.graph.m(),
+        gen_wall_ms,
+        run_ms,
+        resident_bytes_per_node,
+        record,
+    });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -156,16 +249,12 @@ fn main() {
     ];
 
     let mut table = Table::new(&[
-        "family", "n", "algo", "edges", "gen ms", "run ms", "rounds", "peak_act", "sum_act",
-        "verdict",
+        "family", "n", "algo", "edges", "gen ms", "run ms", "B/node", "rounds", "peak_act",
+        "sum_act", "verdict",
     ]);
     let mut cells = Vec::new();
     for &n in ns {
         for family in &families {
-            let spec = ScenarioSpec::new(family.clone(), n, SEED);
-            let gen_start = Instant::now();
-            let scn = spec.build().expect("huge families build at any n");
-            let gen_ms = gen_start.elapsed().as_secs_f64() * 1000.0;
             // broadcast scales to every size; the multi-thousand-round
             // BFS protocol is pinned at the smallest cell only. Smoke mode
             // (the CI scale-smoke job) runs just the checkable protocol so
@@ -179,43 +268,28 @@ fn main() {
                 &["broadcast"]
             };
             for &name in algos {
-                let algo = find_algorithm(name).expect("registered algorithm");
-                let mut eng = scn.engine_with_threads(threads);
-                let run_start = Instant::now();
-                let record = algo
-                    .run(&mut eng, &scn)
-                    .unwrap_or_else(|e| panic!("{name} on {} failed: {e}", spec.label()));
-                let run_ms = run_start.elapsed().as_secs_f64() * 1000.0;
-                assert!(
-                    record.verdict.ok(),
-                    "{name} on {} failed verification",
-                    spec.label()
-                );
-                table.row(vec![
-                    family.name().to_string(),
-                    n.to_string(),
-                    name.to_string(),
-                    scn.graph.m().to_string(),
-                    f2(gen_ms),
-                    f2(run_ms),
-                    record.rounds.to_string(),
-                    record.metric("peak_active").unwrap_or(0).to_string(),
-                    record.metric("sum_active").unwrap_or(0).to_string(),
-                    format!("{:?}", record.verdict),
-                ]);
-                cells.push(ScaleCell {
-                    family: family.name().to_string(),
-                    n,
-                    algorithm: name.to_string(),
-                    edges: scn.graph.m(),
-                    gen_ms,
-                    run_ms,
-                    record,
-                });
+                run_cell(family, n, name, threads, &mut table, &mut cells);
             }
         }
     }
+    if !smoke {
+        // The n = 10⁷ rung: R-MAT only — the hyperbolic angular scan's
+        // constant factor makes it an hours-long cell at this size on a
+        // single core, while 8·10⁷ R-MAT samples stream in seconds.
+        run_cell(
+            &FamilySpec::Rmat { edge_factor: 8 },
+            10_000_000,
+            "broadcast",
+            threads,
+            &mut table,
+            &mut cells,
+        );
+    }
     table.print();
+
+    if smoke {
+        gen_identity_smoke();
+    }
 
     let tail = sparse_tail_bench(smoke);
     println!(
@@ -236,6 +310,7 @@ fn main() {
             wall_clock: true,
             threads,
             smoke,
+            gen_identity_checked: smoke,
             cells,
             sparse_tail: tail,
         };

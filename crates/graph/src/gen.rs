@@ -207,19 +207,99 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
 /// `scale = ⌈log₂ n⌉`; samples landing on an endpoint ≥ n (when n is not
 /// a power of two) or on the diagonal are rejected and redrawn, so all
 /// `m` samples land on valid pairs. Duplicate pairs are deduplicated by
-/// the builder, so the final edge count is ≤ `m` (duplicates are exactly
-/// the multi-edges RMAT naturally produces).
+/// the CSR freeze, so the final edge count is ≤ `m` (duplicates are
+/// exactly the multi-edges RMAT naturally produces).
+///
+/// Sampling is *block-seeded*: the `m` accepted samples are split into
+/// fixed blocks of [`RMAT_BLOCK`] draws, block `k` running its own RNG
+/// stream derived from `(seed, k)`. Block 0's stream is the plain
+/// `seed_from_u64(seed)` stream, so every graph with `m ≤ RMAT_BLOCK`
+/// is bit-for-bit the graph earlier single-stream revisions produced.
+/// Because a block's samples depend only on `(seed, k)` — never on which
+/// thread ran it — the canonical edge list is byte-identical at every
+/// thread count.
 pub fn rmat(n: usize, m: usize, seed: u64) -> Graph {
+    rmat_threads(n, m, seed, 1)
+}
+
+/// Accepted R-MAT samples per independently seeded block. Each block is
+/// a unit of deterministic parallel work; see [`rmat`].
+pub const RMAT_BLOCK: usize = 1 << 20;
+
+/// [`rmat`] with edge sampling fanned out over `threads` scoped workers.
+/// The result is byte-identical to `rmat(n, m, seed)` for every
+/// `threads` value — parallelism is execution layout, never identity.
+pub fn rmat_threads(n: usize, m: usize, seed: u64, threads: usize) -> Graph {
+    rmat_blocked(n, m, seed, threads, RMAT_BLOCK)
+}
+
+/// Test hook: [`rmat_threads`] with an explicit block size, so identity
+/// proptests can cross block boundaries without 2²⁰-sample graphs.
+#[doc(hidden)]
+pub fn rmat_blocked(n: usize, m: usize, seed: u64, threads: usize, block: usize) -> Graph {
     assert!(n >= 2);
+    assert!(block >= 1, "block size must be positive");
     let scale = usize::BITS - (n - 1).leading_zeros(); // ⌈log₂ n⌉ for n ≥ 2
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let nblocks = m.div_ceil(block).max(1);
+    let workers = threads.clamp(1, nblocks);
+    // contiguous block ranges per worker; each worker samples its blocks
+    // in order and sorts its run once, so the merge in `from_sorted_runs`
+    // sees `workers` pre-sorted streams.
+    let per = nblocks.div_ceil(workers);
+    let sample_blocks = |lo: usize, hi: usize| -> Vec<(NodeId, NodeId)> {
+        let mut run: Vec<(NodeId, NodeId)> =
+            Vec::with_capacity(hi.saturating_sub(lo) * block.min(m));
+        for k in lo..hi {
+            let quota = block.min(m - k * block);
+            rmat_sample_block(n, scale, quota, rmat_block_seed(seed, k), &mut run);
+        }
+        run.sort_unstable();
+        run
+    };
+    let runs: Vec<Vec<(NodeId, NodeId)>> = if workers == 1 {
+        vec![sample_blocks(0, nblocks)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let sample_blocks = &sample_blocks;
+                    s.spawn(move || {
+                        sample_blocks((w * per).min(nblocks), ((w + 1) * per).min(nblocks))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rmat worker panicked"))
+                .collect()
+        })
+    };
+    Graph::from_sorted_runs(n, runs)
+}
+
+/// Block `k`'s RNG seed. Block 0 keeps the plain seed (byte-compat with
+/// the single-stream revisions for m ≤ block); later blocks mix the
+/// block index through the splitmix64 increment.
+fn rmat_block_seed(seed: u64, k: usize) -> u64 {
+    seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Draws exactly `quota` accepted canonical pairs from one block's
+/// stream, appending to `out`.
+fn rmat_sample_block(
+    n: usize,
+    scale: u32,
+    quota: usize,
+    seed: u64,
+    out: &mut Vec<(NodeId, NodeId)>,
+) {
     // standard Graph500 quadrant split: a | b / c | d
     const A: f64 = 0.57;
     const B: f64 = 0.19;
     const C: f64 = 0.19;
-    let mut b = GraphBuilder::new(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut drawn = 0usize;
-    while drawn < m {
+    while drawn < quota {
         let (mut u, mut v) = (0u64, 0u64);
         for _ in 0..scale {
             u <<= 1;
@@ -239,10 +319,9 @@ pub fn rmat(n: usize, m: usize, seed: u64) -> Graph {
         if u == v || u >= n as u64 || v >= n as u64 {
             continue; // rejected; redraw with fresh randomness
         }
-        b.add_edge(u as NodeId, v as NodeId);
+        out.push((u.min(v) as NodeId, u.max(v) as NodeId));
         drawn += 1;
     }
-    b.build()
 }
 
 /// Random hyperbolic graph (Krioukov et al.): `n` points in a hyperbolic
@@ -260,6 +339,17 @@ pub fn rmat(n: usize, m: usize, seed: u64) -> Graph {
 /// instead of the naive O(n²) all-pairs test, which is what makes
 /// n = 10⁶ feasible.
 pub fn hyperbolic(n: usize, alpha: f64, c: f64, seed: u64) -> Graph {
+    hyperbolic_threads(n, alpha, c, seed, 1)
+}
+
+/// [`hyperbolic`] with the angular-window pass fanned out over `threads`
+/// scoped workers. Point sampling stays a single RNG stream (it is cheap
+/// and pins the geometry); the RNG-free candidate scan is partitioned by
+/// source node `i`. Every qualifying pair is emitted exactly once, from
+/// its smaller endpoint, so `i`-range chunks produce disjoint sorted
+/// runs and the merged edge list is byte-identical at every thread
+/// count.
+pub fn hyperbolic_threads(n: usize, alpha: f64, c: f64, seed: u64, threads: usize) -> Graph {
     assert!(n >= 2);
     assert!(alpha > 0.0, "alpha must be positive");
     let r_max = 2.0 * (n as f64).ln() + c;
@@ -290,63 +380,84 @@ pub fn hyperbolic(n: usize, alpha: f64, c: f64, seed: u64) -> Graph {
         band.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     }
 
-    let mut g = GraphBuilder::new(n);
-    // scans one band's candidates with angle in [lo, hi] (no wraparound
-    // inside one call; callers split wrapped windows into two calls)
-    let scan = |g: &mut GraphBuilder, i: usize, band: &[(f64, u32)], lo: f64, hi: f64| {
-        let from = band.partition_point(|&(t, _)| t < lo);
-        for &(theta_j, j) in &band[from..] {
-            if theta_j > hi {
-                break;
-            }
-            let j = j as usize;
-            if j <= i {
-                continue; // the pair is found from its smaller endpoint
-            }
-            let dtheta = (pts[i].1 - theta_j).abs();
-            let dtheta = dtheta.min(std::f64::consts::TAU - dtheta);
-            let cosh_d = cosh_r[i] * cosh_r[j] - sinh_r[i] * sinh_r[j] * dtheta.cos();
-            if cosh_d <= cosh_rmax {
-                g.add_edge(i as NodeId, j as NodeId);
+    // Scans sources `lo_i..hi_i` against every band and returns the
+    // sorted run of canonical pairs they own. RNG-free: safe to run on
+    // any partition of the i-range without touching determinism.
+    let scan_sources = |lo_i: usize, hi_i: usize| -> Vec<(NodeId, NodeId)> {
+        let mut out: Vec<(NodeId, NodeId)> = Vec::new();
+        for i in lo_i..hi_i {
+            let (_, theta_i) = pts[i];
+            for (bi, band) in bands.iter().enumerate() {
+                if band.is_empty() {
+                    continue;
+                }
+                // widest angular window vs any point in this band: evaluated at
+                // the band's inner radius (the condition is monotone in r_j)
+                let rb = (bi as f64).max(1e-12);
+                let thresh = (cosh_r[i] * rb.cosh() - cosh_rmax) / (sinh_r[i] * rb.sinh());
+                if thresh > 1.0 {
+                    continue; // no point in this band can be close enough
+                }
+                // scans this band's candidates with angle in [lo, hi] (no
+                // wraparound inside one call; wrapped windows are split
+                // into two calls below)
+                let mut scan = |lo: f64, hi: f64| {
+                    let from = band.partition_point(|&(t, _)| t < lo);
+                    for &(theta_j, j) in &band[from..] {
+                        if theta_j > hi {
+                            break;
+                        }
+                        let j = j as usize;
+                        if j <= i {
+                            continue; // the pair is found from its smaller endpoint
+                        }
+                        let dtheta = (pts[i].1 - theta_j).abs();
+                        let dtheta = dtheta.min(std::f64::consts::TAU - dtheta);
+                        let cosh_d = cosh_r[i] * cosh_r[j] - sinh_r[i] * sinh_r[j] * dtheta.cos();
+                        if cosh_d <= cosh_rmax {
+                            out.push((i as NodeId, j as NodeId));
+                        }
+                    }
+                };
+                if thresh <= -1.0 {
+                    // every angle qualifies as a candidate
+                    scan(f64::NEG_INFINITY, f64::INFINITY);
+                    continue;
+                }
+                let w = thresh.acos();
+                let (lo, hi) = (theta_i - w, theta_i + w);
+                scan(lo.max(0.0), hi);
+                if lo < 0.0 {
+                    scan(lo + std::f64::consts::TAU, f64::INFINITY);
+                }
+                if hi > std::f64::consts::TAU {
+                    scan(f64::NEG_INFINITY, hi - std::f64::consts::TAU);
+                }
             }
         }
+        out.sort_unstable();
+        out
     };
-    for i in 0..n {
-        let (_, theta_i) = pts[i];
-        for (bi, band) in bands.iter().enumerate() {
-            if band.is_empty() {
-                continue;
-            }
-            // widest angular window vs any point in this band: evaluated at
-            // the band's inner radius (the condition is monotone in r_j)
-            let rb = (bi as f64).max(1e-12);
-            let thresh = (cosh_r[i] * rb.cosh() - cosh_rmax) / (sinh_r[i] * rb.sinh());
-            if thresh > 1.0 {
-                continue; // no point in this band can be close enough
-            }
-            if thresh <= -1.0 {
-                // every angle qualifies as a candidate
-                scan(&mut g, i, band, f64::NEG_INFINITY, f64::INFINITY);
-                continue;
-            }
-            let w = thresh.acos();
-            let (lo, hi) = (theta_i - w, theta_i + w);
-            scan(&mut g, i, band, lo.max(0.0), hi);
-            if lo < 0.0 {
-                scan(&mut g, i, band, lo + std::f64::consts::TAU, f64::INFINITY);
-            }
-            if hi > std::f64::consts::TAU {
-                scan(
-                    &mut g,
-                    i,
-                    band,
-                    f64::NEG_INFINITY,
-                    hi - std::f64::consts::TAU,
-                );
-            }
-        }
-    }
-    g.build()
+
+    let workers = threads.clamp(1, n);
+    let chunk = n.div_ceil(workers);
+    let runs: Vec<Vec<(NodeId, NodeId)>> = if workers == 1 {
+        vec![scan_sources(0, n)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let scan_sources = &scan_sources;
+                    s.spawn(move || scan_sources(w * chunk, ((w + 1) * chunk).min(n)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("hyperbolic worker panicked"))
+                .collect()
+        })
+    };
+    Graph::from_sorted_runs(n, runs)
 }
 
 /// Random geometric graph (unit-disk model): `n` points uniform in the
@@ -427,12 +538,15 @@ fn unrank_pair(mut i: usize, n: usize) -> (NodeId, NodeId) {
 
 /// Assigns uniform random integer weights in `{1..=w_max}` to a graph's
 /// edges (the §3 MST input regime, `W = poly(n)`).
+///
+/// Weights are drawn in canonical [`Graph::edges`] order — the same
+/// stream the original triple-based path consumed — and scattered into
+/// the already-frozen CSR, so the result is byte-identical to rebuilding
+/// from `(u, v, w)` triples at a fraction of the cost.
 pub fn with_random_weights(g: &Graph, w_max: Weight, seed: u64) -> WeightedGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
-    WeightedGraph::from_weighted_edges(
-        g.n(),
-        g.edges().map(|(u, v)| (u, v, rng.gen_range(1..=w_max))),
-    )
+    let weights: Vec<Weight> = (0..g.m()).map(|_| rng.gen_range(1..=w_max)).collect();
+    WeightedGraph::from_graph_and_weights(g.clone(), weights)
 }
 
 /// Assigns *distinct* weights (a random permutation of `1..=m`), which makes
@@ -446,7 +560,7 @@ pub fn with_distinct_weights(g: &Graph, seed: u64) -> WeightedGraph {
         let j = rng.gen_range(0..=i);
         perm.swap(i, j);
     }
-    WeightedGraph::from_weighted_edges(g.n(), g.edges().zip(perm).map(|((u, v), w)| (u, v, w)))
+    WeightedGraph::from_graph_and_weights(g.clone(), perm)
 }
 
 #[cfg(test)]

@@ -54,42 +54,85 @@ impl GraphBuilder {
     pub fn build(mut self) -> Graph {
         self.edges.sort_unstable();
         self.edges.dedup();
-        let mut degree = vec![0u32; self.n];
-        for &(u, v) in &self.edges {
+        Graph::from_canonical(self.n, &self.edges)
+    }
+}
+
+impl Graph {
+    /// Freezes a *canonical* edge list — sorted ascending, deduplicated,
+    /// every pair `(u, v)` with `u < v < n` — into CSR form.
+    ///
+    /// One cursor-scatter pass over the sorted list fills every neighbour
+    /// slice already sorted: a node w's list receives first the endpoints
+    /// u < w of edges (u, w) — in ascending u, because the list is sorted
+    /// by first endpoint — and then the endpoints v > w of edges (w, v),
+    /// in ascending v; every value of the first kind is < w < every value
+    /// of the second kind, so the whole slice is ascending.
+    pub(crate) fn from_canonical(n: usize, edges: &[(NodeId, NodeId)]) -> Graph {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "not canonical");
+        debug_assert!(edges.iter().all(|&(u, v)| u < v && (v as usize) < n));
+        let mut degree = vec![0u32; n];
+        for &(u, v) in edges {
             degree[u as usize] += 1;
             degree[v as usize] += 1;
         }
-        let mut offsets = vec![0u32; self.n + 1];
-        for i in 0..self.n {
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
             offsets[i + 1] = offsets[i] + degree[i];
         }
-        // One cursor-scatter pass over the lexicographically sorted
-        // canonical edge list fills every neighbour slice already sorted:
-        // a node w's list receives first the endpoints u < w of edges
-        // (u, w) — in ascending u, because the list is sorted by first
-        // endpoint — and then the endpoints v > w of edges (w, v), in
-        // ascending v; every value of the first kind is < w < every value
-        // of the second kind, so the whole slice is ascending.
-        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
-        let mut adj = vec![0 as NodeId; 2 * self.edges.len()];
-        for &(u, v) in &self.edges {
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut adj = vec![0 as NodeId; 2 * edges.len()];
+        for &(u, v) in edges {
             adj[cursor[u as usize] as usize] = v;
             cursor[u as usize] += 1;
             adj[cursor[v as usize] as usize] = u;
             cursor[v as usize] += 1;
         }
         debug_assert!(
-            (0..self.n).all(|u| { adj[offsets[u] as usize..offsets[u + 1] as usize].is_sorted() })
+            (0..n).all(|u| { adj[offsets[u] as usize..offsets[u + 1] as usize].is_sorted() })
         );
-        Graph {
-            n: self.n,
-            offsets,
-            adj,
-        }
+        Graph { n, offsets, adj }
     }
-}
 
-impl Graph {
+    /// Merges pre-sorted canonicalised edge runs into one canonical list
+    /// and freezes the CSR — the streaming back half of the parallel
+    /// generators. Each run must be sorted ascending with `u < v` pairs;
+    /// duplicates within and across runs are dropped during the merge, so
+    /// the result is identical to concatenating the runs through
+    /// [`GraphBuilder`] — without a second full-list sort.
+    pub fn from_sorted_runs(n: usize, runs: Vec<Vec<(NodeId, NodeId)>>) -> Graph {
+        let mut runs: Vec<Vec<(NodeId, NodeId)>> =
+            runs.into_iter().filter(|r| !r.is_empty()).collect();
+        debug_assert!(runs.iter().all(|r| r.is_sorted()));
+        if runs.len() == 1 {
+            let mut run = runs.pop().expect("one run");
+            run.dedup();
+            return Graph::from_canonical(n, &run);
+        }
+        // Small-k tournament-free merge: with a handful of worker runs a
+        // linear min-scan per element beats a heap.
+        let total: usize = runs.iter().map(Vec::len).sum();
+        let mut merged: Vec<(NodeId, NodeId)> = Vec::with_capacity(total);
+        let mut idx = vec![0usize; runs.len()];
+        loop {
+            let mut best: Option<(usize, (NodeId, NodeId))> = None;
+            for (r, run) in runs.iter().enumerate() {
+                if idx[r] < run.len() {
+                    let e = run[idx[r]];
+                    if best.is_none_or(|(_, be)| e < be) {
+                        best = Some((r, e));
+                    }
+                }
+            }
+            let Some((r, e)) = best else { break };
+            idx[r] += 1;
+            if merged.last() != Some(&e) {
+                merged.push(e);
+            }
+        }
+        Graph::from_canonical(n, &merged)
+    }
+
     /// Builds a graph directly from an edge list.
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
         let mut b = GraphBuilder::new(n);
@@ -197,6 +240,24 @@ impl WeightedGraph {
                 + graph.neighbors(v).binary_search(&u).expect("edge present");
             weights[iu] = w;
             weights[iv] = w;
+        }
+        WeightedGraph { graph, weights }
+    }
+
+    /// Attaches weights to an already-frozen graph, one per canonical
+    /// edge in [`Graph::edges`] order. The same cursor-scatter argument
+    /// that sorts the adjacency lists places each weight in both directed
+    /// slots in a single pass — no binary searches, which is what makes
+    /// weighting a 10⁷-node graph affordable.
+    pub fn from_graph_and_weights(graph: Graph, edge_weights: Vec<Weight>) -> Self {
+        assert_eq!(edge_weights.len(), graph.m(), "one weight per edge");
+        let mut cursor: Vec<u32> = graph.offsets[..graph.n].to_vec();
+        let mut weights = vec![0 as Weight; graph.adj.len()];
+        for ((u, v), w) in graph.edges().zip(edge_weights) {
+            weights[cursor[u as usize] as usize] = w;
+            cursor[u as usize] += 1;
+            weights[cursor[v as usize] as usize] = w;
+            cursor[v as usize] += 1;
         }
         WeightedGraph { graph, weights }
     }

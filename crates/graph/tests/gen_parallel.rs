@@ -1,0 +1,116 @@
+//! Parallel-generation identity: the canonical edge list a generator
+//! produces must be byte-identical at every thread count — `threads` is
+//! execution layout, never part of a graph's identity. These tests pin
+//! the block-seeded R-MAT sampler and the band-parallel hyperbolic scan
+//! against their sequential paths, and the streaming CSR constructors
+//! against the reference builder.
+
+use ncc_graph::gen;
+use ncc_graph::{Graph, NodeId, WeightedGraph};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    /// Block-parallel R-MAT equals the sequential path at threads
+    /// {1, 2, 4, 8}. A small explicit block size forces the sweep across
+    /// block boundaries (several blocks per worker, a partial tail
+    /// block) that `RMAT_BLOCK = 2^20` would make unaffordable here.
+    #[test]
+    fn rmat_identical_across_thread_counts(
+        n in 2usize..400,
+        m in 0usize..1500,
+        seed in any::<u64>(),
+        block in 16usize..300,
+    ) {
+        let reference = gen::rmat_blocked(n, m, seed, 1, block);
+        for threads in [2usize, 4, 8] {
+            let parallel = gen::rmat_blocked(n, m, seed, threads, block);
+            prop_assert_eq!(&reference, &parallel, "threads={}", threads);
+        }
+    }
+
+    /// With a single block (m ≤ block) every path — old single-stream,
+    /// blocked sequential, blocked parallel — is the same stream.
+    #[test]
+    fn rmat_single_block_matches_plain(
+        n in 2usize..300,
+        m in 0usize..800,
+        seed in any::<u64>(),
+    ) {
+        let plain = gen::rmat(n, m, seed);
+        prop_assert_eq!(&plain, &gen::rmat_blocked(n, m, seed, 4, m.max(1)));
+        prop_assert_eq!(&plain, &gen::rmat_threads(n, m, seed, 8));
+    }
+
+    /// Band-parallel hyperbolic equals the sequential scan at threads
+    /// {1, 2, 4, 8} across the (α, c) corners the suite uses.
+    #[test]
+    fn hyperbolic_identical_across_thread_counts(
+        n in 2usize..250,
+        alpha in 0.55f64..1.5,
+        c in -1.0f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let reference = gen::hyperbolic(n, alpha, c, seed);
+        for threads in [2usize, 4, 8] {
+            let parallel = gen::hyperbolic_threads(n, alpha, c, seed, threads);
+            prop_assert_eq!(&reference, &parallel, "threads={}", threads);
+        }
+    }
+
+    /// `from_sorted_runs` over an arbitrary partition of an edge list
+    /// equals pushing everything through the reference builder.
+    #[test]
+    fn sorted_runs_equal_builder(
+        n in 2usize..120,
+        edges in collection::vec((0u32..120, 0u32..120), 0..400),
+        cuts in collection::vec(0usize..400, 0..6),
+    ) {
+        let canon: Vec<(NodeId, NodeId)> = edges
+            .iter()
+            .filter(|&&(u, v)| u != v && (u as usize) < n && (v as usize) < n)
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        let reference = Graph::from_edges(n, canon.iter().copied());
+        let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % (canon.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(canon.len());
+        cuts.sort_unstable();
+        let runs: Vec<Vec<(NodeId, NodeId)>> = cuts
+            .windows(2)
+            .map(|w| {
+                let mut run = canon[w[0]..w[1]].to_vec();
+                run.sort_unstable();
+                run
+            })
+            .collect();
+        prop_assert_eq!(reference, Graph::from_sorted_runs(n, runs));
+    }
+
+    /// The cursor-scatter weight constructor equals the triple-based
+    /// binary-search path fed from the same RNG stream — the fast path
+    /// must not move a single weight.
+    #[test]
+    fn weight_scatter_matches_triples(
+        n in 2usize..100,
+        m in 0usize..300,
+        seed in any::<u64>(),
+        w_max in 1u64..1000,
+    ) {
+        let g = gen::gnm(n, m.min(n * (n - 1) / 2), seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 1);
+        let slow = WeightedGraph::from_weighted_edges(
+            g.n(),
+            g.edges().map(|(u, v)| (u, v, rng.gen_range(1..=w_max))),
+        );
+        let fast = gen::with_random_weights(&g, w_max, seed ^ 1);
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -53,6 +53,8 @@
 //! bit-identical to the sequential path. Property tests assert
 //! sequential ≡ parallel for 1, 2, 4 and 8 threads on random programs.
 
+use std::any::{Any, TypeId};
+
 use rand::rngs::SmallRng;
 
 use crate::capacity::Capacity;
@@ -62,7 +64,7 @@ use crate::payload::{Envelope, Payload};
 use crate::program::{Ctx, NodeProgram};
 use crate::rng::node_rng;
 use crate::router::{Router, RouterScratch, SendPtr};
-use crate::stats::{ExecStats, RoundStats};
+use crate::stats::{ExecStats, MemoryFootprint, RoundStats};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::NodeId;
 
@@ -156,18 +158,120 @@ pub struct Engine {
 }
 
 /// Cross-execution scratch: the router's payload-independent tables plus
-/// the engine's own per-round lists. Owned by the engine so that repeat
-/// executions — the multi-phase algorithm pipelines, and resident-engine
-/// replays after [`Engine::reset`] — allocate nothing O(n) in the steady
-/// state. Pure scratch: contents never influence results, so `reset()`
-/// leaves it alone.
+/// the engine's own per-round lists and the recycled payload-typed
+/// buffers. Owned by the engine so that repeat executions — the
+/// multi-phase algorithm pipelines, and resident-engine replays after
+/// [`Engine::reset`] — allocate nothing in the steady state. Pure
+/// scratch: contents never influence results, so `reset()` leaves it
+/// alone.
+///
+/// Node state is held struct-of-arrays style: parallel columns indexed
+/// by position (ascending activity lists, per-worker buffers) instead of
+/// per-node structs. The old O(n) awake bool column is gone — a node's
+/// stay-awake flag lives on the stepping worker's stack and is collected
+/// into an ascending id list, so an execution's footprint beyond the
+/// router tables is O(active), not O(n).
 #[derive(Default)]
 struct EngineScratch {
     router: RouterScratch,
     active: Vec<NodeId>,
     next_active: Vec<NodeId>,
-    awake: Vec<bool>,
+    /// Ascending ids of nodes that kept themselves awake this round —
+    /// a subset of `active`, rebuilt every round.
+    awake: Vec<NodeId>,
+    /// Per-worker awake lists for the parallel step phase, concatenated
+    /// into `awake` in chunk order.
+    awake_locals: Vec<Vec<NodeId>>,
     trace_buf: Vec<TraceEvent>,
+    /// Recycled payload-typed buffer sets, keyed by payload `TypeId`.
+    /// Linear scan: an engine sees a handful of payload types, ever.
+    typed: Vec<(TypeId, Box<dyn RecycledBufs>)>,
+}
+
+impl EngineScratch {
+    /// Detaches the recycled buffers for payload type `P`, or fresh empty
+    /// ones the first time `P` executes on this engine.
+    fn take_bufs<P: Payload>(&mut self) -> PayloadBufs<P> {
+        let key = TypeId::of::<P>();
+        for (k, b) in &mut self.typed {
+            if *k == key {
+                let bufs = b
+                    .as_any_mut()
+                    .downcast_mut::<PayloadBufs<P>>()
+                    .expect("entry keyed by payload TypeId");
+                return std::mem::take(bufs);
+            }
+        }
+        PayloadBufs::default()
+    }
+
+    /// Returns `P`'s buffers for reuse by the next execution.
+    fn put_bufs<P: Payload>(&mut self, bufs: PayloadBufs<P>) {
+        let key = TypeId::of::<P>();
+        for (k, b) in &mut self.typed {
+            if *k == key {
+                *b.as_any_mut()
+                    .downcast_mut::<PayloadBufs<P>>()
+                    .expect("entry keyed by payload TypeId") = bufs;
+                return;
+            }
+        }
+        self.typed.push((key, Box::new(bufs)));
+    }
+}
+
+/// Type-erased face of [`PayloadBufs`], so one scratch can hold recycled
+/// buffers for several payload types at once.
+trait RecycledBufs: Send {
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn resident_bytes(&self) -> usize;
+}
+
+/// Every payload-typed buffer one execution needs: the flat send buffer,
+/// the router's inbox arena, and the step phase's per-worker out/send
+/// vectors. Retained across executions (and [`Engine::reset`]) so a
+/// steady-state replay performs no heap allocation at all once each
+/// buffer has grown to its high-water capacity.
+struct PayloadBufs<P: Payload> {
+    sends: Vec<Envelope<P>>,
+    arena: Vec<Envelope<P>>,
+    /// Per-worker `Ctx::out` buffers (index 0 doubles as the sequential
+    /// path's buffer).
+    outs: Vec<Vec<(NodeId, P)>>,
+    /// Per-worker send-buffer shards for the parallel step phase.
+    locals: Vec<Vec<Envelope<P>>>,
+}
+
+impl<P: Payload> Default for PayloadBufs<P> {
+    fn default() -> Self {
+        PayloadBufs {
+            sends: Vec::new(),
+            arena: Vec::new(),
+            outs: Vec::new(),
+            locals: Vec::new(),
+        }
+    }
+}
+
+impl<P: Payload> RecycledBufs for PayloadBufs<P> {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.sends.capacity() + self.arena.capacity()) * size_of::<Envelope<P>>()
+            + self
+                .outs
+                .iter()
+                .map(|o| o.capacity() * size_of::<(NodeId, P)>())
+                .sum::<usize>()
+            + self
+                .locals
+                .iter()
+                .map(|l| l.capacity() * size_of::<Envelope<P>>())
+                .sum::<usize>()
+    }
 }
 
 impl Engine {
@@ -275,35 +379,38 @@ impl Engine {
         let recv_policy = model.recv_policy(&cap);
         let wants_pairs = model.wants_delivered_pairs();
 
-        // The router adopts the engine's reusable tables for the duration
-        // of this execution and hands them back below, so repeat
-        // executions allocate nothing O(n).
-        let mut router: Router<Prog::Payload> = Router::with_scratch(
+        // The router adopts the engine's reusable tables and the recycled
+        // payload buffers for the duration of this execution and hands
+        // them back below, so repeat executions allocate nothing.
+        let PayloadBufs {
+            mut sends,
+            arena,
+            mut outs,
+            mut locals,
+        } = scratch.take_bufs::<Prog::Payload>();
+        let mut router: Router<Prog::Payload> = Router::with_recycled(
             n,
             cfg.seed,
             cfg.threads,
             std::mem::take(&mut scratch.router),
+            arena,
         )
         .with_dense_scan(cfg.dense_activity_scan);
         let EngineScratch {
             active,
             next_active,
             awake,
+            awake_locals,
             trace_buf,
             ..
         } = scratch;
-        // Round 0 runs `init` on every node. Between executions all awake
-        // bits are false: each round clears exactly the bits its step set,
+        // Round 0 runs `init` on every node. Between executions the awake
+        // list is empty: each round drains exactly what its step pushed,
         // and the error path below sweeps the rest.
         active.clear();
         active.extend(0..n as NodeId);
-        awake.resize(n, false);
-        debug_assert!(awake.iter().all(|a| !a));
+        debug_assert!(awake.is_empty());
         let mut local_round: u64 = 0;
-
-        // Flat send buffer for the round: envelopes in deterministic
-        // (node order, send order) sequence. Reused across rounds.
-        let mut sends: Vec<Envelope<Prog::Payload>> = Vec::new();
 
         let result = (|| -> Result<ExecStats, ModelError> {
             let mut stats = ExecStats::default();
@@ -321,9 +428,12 @@ impl Engine {
                         states,
                         &router,
                         awake,
+                        awake_locals,
                         active,
                         local_round,
                         &mut sends,
+                        &mut outs,
+                        &mut locals,
                         cfg,
                         node_rngs,
                         send_cap,
@@ -338,6 +448,7 @@ impl Engine {
                         active,
                         local_round,
                         &mut sends,
+                        &mut outs,
                         cfg,
                         node_rngs,
                         send_cap,
@@ -413,42 +524,42 @@ impl Engine {
                 }
 
                 // ---- next active set ----------------------------------------
+                // The awake list is ascending and duplicate-free (each
+                // stepped node pushes at most once, `active` is ascending,
+                // and parallel chunks concatenate in order), as is the
+                // router's occupied list, so both schedulers below are
+                // plain ordered merges.
                 next_active.clear();
                 if cfg.dense_activity_scan {
                     // Seed-engine baseline: scan every id in order (sorted,
                     // deduplicated by construction).
-                    for i in 0..n {
-                        if awake[i] || router.has_mail(i as NodeId) {
-                            next_active.push(i as NodeId);
+                    let mut ai = 0;
+                    for i in 0..n as NodeId {
+                        let is_awake = ai < awake.len() && awake[ai] == i;
+                        if is_awake {
+                            ai += 1;
                         }
-                        awake[i] = false;
+                        if is_awake || router.has_mail(i) {
+                            next_active.push(i);
+                        }
                     }
                 } else {
-                    // Dirty set: merge the nodes that kept themselves awake
-                    // (a subset of `active` — only stepped nodes can set
-                    // their bit, and `active` is ascending) with the
-                    // router's occupied list (ascending). Same sorted,
-                    // deduplicated set as the full scan, in
-                    // O(active + occupied) instead of O(n).
+                    // Dirty set: two-pointer merge-dedup of the awake list
+                    // with the occupied list. Same sorted, deduplicated set
+                    // as the full scan, in O(active + occupied) instead of
+                    // O(n).
                     let occ = router.occupied();
-                    let mut oi = 0;
-                    for &node in active.iter() {
-                        let i = node as usize;
-                        if !awake[i] {
-                            continue;
-                        }
-                        awake[i] = false;
-                        while oi < occ.len() && occ[oi] < node {
-                            next_active.push(occ[oi]);
-                            oi += 1;
-                        }
-                        if oi < occ.len() && occ[oi] == node {
-                            oi += 1;
-                        }
-                        next_active.push(node);
+                    let (mut ai, mut oi) = (0, 0);
+                    while ai < awake.len() && oi < occ.len() {
+                        let (a, o) = (awake[ai], occ[oi]);
+                        next_active.push(a.min(o));
+                        ai += (a <= o) as usize;
+                        oi += (o <= a) as usize;
                     }
+                    next_active.extend_from_slice(&awake[ai..]);
                     next_active.extend_from_slice(&occ[oi..]);
                 }
+                awake.clear();
 
                 stats.absorb_round(&round_stats);
                 total.absorb_round(&round_stats);
@@ -469,12 +580,42 @@ impl Engine {
         })();
 
         if result.is_err() {
-            // An abort mid-round can leave awake bits set; sweep them so
-            // they never leak into a later execution on this engine.
-            awake.fill(false);
+            // An abort mid-round can leave the round's awake pushes in
+            // place; drain them so they never leak into a later execution
+            // on this engine.
+            awake.clear();
         }
-        scratch.router = router.into_scratch();
+        let (router_sc, arena) = router.into_recycled();
+        scratch.router = router_sc;
+        scratch.put_bufs(PayloadBufs {
+            sends,
+            arena,
+            outs,
+            locals,
+        });
         result
+    }
+
+    /// Estimated resident heap footprint of the engine's long-lived
+    /// state, by component — what a resident scenario service pays per
+    /// node to keep this engine warm. Capacity-based (what is held, not
+    /// what is momentarily in use) and never part of a deterministic
+    /// snapshot.
+    pub fn resident_bytes(&self) -> MemoryFootprint {
+        use std::mem::size_of;
+        let sc = &self.scratch;
+        let activity_lists = (sc.active.capacity()
+            + sc.next_active.capacity()
+            + sc.awake.capacity()
+            + sc.awake_locals.iter().map(|v| v.capacity()).sum::<usize>())
+            * size_of::<NodeId>()
+            + sc.trace_buf.capacity() * size_of::<TraceEvent>();
+        MemoryFootprint {
+            node_rngs: self.node_rngs.capacity() * size_of::<SmallRng>(),
+            activity_lists,
+            router_tables: sc.router.resident_bytes(),
+            payload_bufs: sc.typed.iter().map(|(_, b)| b.resident_bytes()).sum(),
+        }
     }
 }
 
@@ -483,28 +624,35 @@ fn step_sequential<Prog: NodeProgram>(
     prog: &Prog,
     states: &mut [Prog::State],
     router: &Router<Prog::Payload>,
-    awake: &mut [bool],
+    awake: &mut Vec<NodeId>,
     active: &[NodeId],
     local_round: u64,
     sends: &mut Vec<Envelope<Prog::Payload>>,
+    outs: &mut Vec<Vec<(NodeId, Prog::Payload)>>,
     cfg: &NetConfig,
     node_rngs: &mut [SmallRng],
     send_cap: usize,
     model: &dyn NetworkModel,
 ) -> Violation {
     let mut v = Violation::default();
-    let mut out: Vec<(NodeId, Prog::Payload)> = Vec::new();
+    if outs.is_empty() {
+        outs.push(Vec::new());
+    }
+    let out = &mut outs[0];
     for &node in active {
         let i = node as usize;
         out.clear();
+        // The stay-awake flag is a stack local, not an O(n) column:
+        // nodes that set it are collected into the ascending awake list.
+        let mut stay = false;
         {
             let mut ctx = Ctx {
                 id: node,
                 n: cfg.n,
                 round: local_round,
                 rng: &mut node_rngs[i],
-                out: &mut out,
-                awake: &mut awake[i],
+                out,
+                awake: &mut stay,
             };
             if local_round == 0 {
                 prog.init(&mut states[i], &mut ctx);
@@ -512,7 +660,10 @@ fn step_sequential<Prog: NodeProgram>(
                 prog.round(&mut states[i], router.inbox(node), &mut ctx);
             }
         }
-        v.account(node, &out, cfg, send_cap, model, sends);
+        if stay {
+            awake.push(node);
+        }
+        v.account(node, out, cfg, send_cap, model, sends);
     }
     v
 }
@@ -522,10 +673,13 @@ fn step_parallel<Prog: NodeProgram>(
     prog: &Prog,
     states: &mut [Prog::State],
     router: &Router<Prog::Payload>,
-    awake: &mut [bool],
+    awake: &mut Vec<NodeId>,
+    awake_locals: &mut Vec<Vec<NodeId>>,
     active: &[NodeId],
     local_round: u64,
     sends: &mut Vec<Envelope<Prog::Payload>>,
+    outs: &mut Vec<Vec<(NodeId, Prog::Payload)>>,
+    locals: &mut Vec<Vec<Envelope<Prog::Payload>>>,
     cfg: &NetConfig,
     node_rngs: &mut [SmallRng],
     send_cap: usize,
@@ -533,74 +687,87 @@ fn step_parallel<Prog: NodeProgram>(
 ) -> Violation {
     let threads = cfg.threads.min(active.len());
     let chunk = active.len().div_ceil(threads);
+    let nchunks = active.len().div_ceil(chunk);
     let n = cfg.n;
+    while outs.len() < nchunks {
+        outs.push(Vec::new());
+    }
+    while locals.len() < nchunks {
+        locals.push(Vec::new());
+    }
+    while awake_locals.len() < nchunks {
+        awake_locals.push(Vec::new());
+    }
 
     // SAFETY: the active list contains unique node ids (engine invariant:
     // built by an ascending id scan), and chunks partition it, so every
-    // thread touches a disjoint set of indices in `states`, `awake`, and
+    // thread touches a disjoint set of indices in `states` and
     // `node_rngs`. The router is only read (shared inbox slices).
     let states_ptr = SendPtr(states.as_mut_ptr());
-    let awake_ptr = SendPtr(awake.as_mut_ptr());
     let rngs_ptr = SendPtr(node_rngs.as_mut_ptr());
 
-    let mut chunk_results: Vec<(Violation, Vec<Envelope<Prog::Payload>>)> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for c in 0..threads {
-                let lo = c * chunk;
-                let hi = ((c + 1) * chunk).min(active.len());
-                if lo >= hi {
-                    break;
-                }
-                let slice = &active[lo..hi];
-                let cfg = cfg.clone();
-                let (states_ptr, awake_ptr, rngs_ptr) = (states_ptr, awake_ptr, rngs_ptr);
-                handles.push(scope.spawn(move || {
-                    let mut v = Violation::default();
-                    let mut local: Vec<Envelope<Prog::Payload>> = Vec::new();
-                    let mut out: Vec<(NodeId, Prog::Payload)> = Vec::new();
-                    for &node in slice {
-                        let i = node as usize;
-                        debug_assert!(i < n);
-                        // SAFETY: disjoint indices per the invariant above.
-                        let (state, awake_slot, rng) = unsafe {
-                            (
-                                &mut *states_ptr.get().add(i),
-                                &mut *awake_ptr.get().add(i),
-                                &mut *rngs_ptr.get().add(i),
-                            )
+    let violations: Vec<Violation> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nchunks);
+        let worker_bufs = outs[..nchunks]
+            .iter_mut()
+            .zip(locals[..nchunks].iter_mut())
+            .zip(awake_locals[..nchunks].iter_mut());
+        for (slice, ((out, local), awl)) in active.chunks(chunk).zip(worker_bufs) {
+            let cfg = cfg.clone();
+            let (states_ptr, rngs_ptr) = (states_ptr, rngs_ptr);
+            handles.push(scope.spawn(move || {
+                let mut v = Violation::default();
+                local.clear();
+                awl.clear();
+                for &node in slice {
+                    let i = node as usize;
+                    debug_assert!(i < n);
+                    // SAFETY: disjoint indices per the invariant above.
+                    let (state, rng) =
+                        unsafe { (&mut *states_ptr.get().add(i), &mut *rngs_ptr.get().add(i)) };
+                    out.clear();
+                    let mut stay = false;
+                    {
+                        let mut ctx = Ctx {
+                            id: node,
+                            n,
+                            round: local_round,
+                            rng,
+                            out,
+                            awake: &mut stay,
                         };
-                        out.clear();
-                        {
-                            let mut ctx = Ctx {
-                                id: node,
-                                n,
-                                round: local_round,
-                                rng,
-                                out: &mut out,
-                                awake: awake_slot,
-                            };
-                            if local_round == 0 {
-                                prog.init(state, &mut ctx);
-                            } else {
-                                prog.round(state, router.inbox(node), &mut ctx);
-                            }
+                        if local_round == 0 {
+                            prog.init(state, &mut ctx);
+                        } else {
+                            prog.round(state, router.inbox(node), &mut ctx);
                         }
-                        v.account(node, &out, &cfg, send_cap, model, &mut local);
                     }
-                    (v, local)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
+                    if stay {
+                        awl.push(node);
+                    }
+                    v.account(node, out, &cfg, send_cap, model, local);
+                }
+                v
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut v = Violation::default();
-    for (cv, mut local) in chunk_results.drain(..) {
+    for cv in violations {
         v.merge(cv);
-        sends.append(&mut local);
+    }
+    // Chunk-order concatenation reproduces the sequential order exactly —
+    // for the send buffer and for the ascending awake list alike.
+    for local in &mut locals[..nchunks] {
+        sends.append(local);
+    }
+    for awl in &mut awake_locals[..nchunks] {
+        awake.extend_from_slice(awl);
+        awl.clear();
     }
     v
 }

@@ -116,7 +116,7 @@ pub use network::{CongestedClique, HybridLocal, Lane, ModelSpec, Ncc, NetworkMod
 pub use payload::{Envelope, Payload};
 pub use program::{Ctx, NodeProgram};
 pub use router::{RouteReport, Router, RouterScratch};
-pub use stats::{ExecStats, RoundStats};
+pub use stats::{ExecStats, MemoryFootprint, RoundStats};
 pub use trace::{TraceEvent, TraceSink};
 
 /// Node identifier. The model fixes identifiers to `{0, 1, ..., n-1}`

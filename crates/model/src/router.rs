@@ -197,6 +197,11 @@ pub struct RouterScratch {
     occupied: Vec<NodeId>,
     /// Sparse-path scratch: the round's distinct destinations.
     touched: Vec<NodeId>,
+    /// Radix histogram for the touched-destination sort (257 slots: one
+    /// per high-byte bucket plus the classic +1 prefix offset).
+    radix_counts: Vec<u32>,
+    /// Radix scatter buffer, sized to the touched list being sorted.
+    radix_buf: Vec<NodeId>,
 }
 
 impl RouterScratch {
@@ -229,6 +234,82 @@ impl RouterScratch {
         self.occupied.clear();
         self.drops.clear();
     }
+
+    /// Bytes of heap the tables currently hold — the payload-independent
+    /// part of a resident engine's per-node memory footprint.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let vecs = self.start.capacity() * size_of::<u32>()
+            + self.len.capacity() * size_of::<u32>()
+            + self.counts.capacity() * size_of::<u32>()
+            + self.drops.capacity() * size_of::<(NodeId, u32)>()
+            + self.occupied.capacity() * size_of::<NodeId>()
+            + self.touched.capacity() * size_of::<NodeId>()
+            + self.radix_counts.capacity() * size_of::<u32>()
+            + self.radix_buf.capacity() * size_of::<NodeId>();
+        let cursors: usize = self
+            .cursors
+            .iter()
+            .map(|c| c.capacity() * size_of::<u32>())
+            .sum();
+        let samples: usize = self
+            .scratch
+            .iter()
+            .map(|s| {
+                s.perm.capacity() * size_of::<u32>()
+                    + s.keep.capacity() * size_of::<u32>()
+                    + s.globals.capacity() * size_of::<u32>()
+                    + s.drops.capacity() * size_of::<(NodeId, u32)>()
+                    + s.edge_stamp.capacity() * size_of::<u64>()
+                    + s.edge_cnt.capacity() * size_of::<u32>()
+            })
+            .sum();
+        vecs + cursors + samples
+    }
+}
+
+/// Minimum touched-list length before the radix path pays for itself;
+/// below it a plain `sort_unstable` wins on constants.
+const RADIX_MIN: usize = 64;
+
+/// Sorts the round's distinct destinations ascending. For long lists this
+/// is a two-pass radix bucket — histogram on the high byte of the id
+/// range, scatter into `buf`, then an in-place `sort_unstable` per bucket
+/// — which turns the full-list comparison sort into 256 cache-resident
+/// small sorts. Output is identical to `sort_unstable` (the ids are
+/// distinct, so equal-key order cannot matter).
+fn sort_touched(touched: &mut [NodeId], n: usize, counts: &mut Vec<u32>, buf: &mut Vec<NodeId>) {
+    if touched.len() < RADIX_MIN {
+        touched.sort_unstable();
+        return;
+    }
+    // high byte of the largest possible id: bucket b covers ids with
+    // `id >> shift == b`, so buckets partition the range in order
+    let bits = usize::BITS - (n - 1).leading_zeros();
+    let shift = bits.saturating_sub(8);
+    counts.clear();
+    counts.resize(257, 0);
+    for &d in touched.iter() {
+        counts[(d >> shift) as usize + 1] += 1;
+    }
+    for b in 0..256 {
+        counts[b + 1] += counts[b];
+    }
+    buf.clear();
+    buf.resize(touched.len(), 0);
+    for &d in touched.iter() {
+        let b = (d >> shift) as usize;
+        buf[counts[b] as usize] = d;
+        counts[b] += 1;
+    }
+    // after the scatter `counts[b]` is bucket b's *end* offset
+    let mut lo = 0usize;
+    for b in 0..256 {
+        let hi = counts[b] as usize;
+        buf[lo..hi].sort_unstable();
+        lo = hi;
+    }
+    touched.copy_from_slice(buf);
 }
 
 /// Reusable batched router: owns the flat inbox arena and every piece of
@@ -258,15 +339,29 @@ impl<P: Payload> Router<P> {
     /// (the engine) pays no O(n) table allocation on repeat executions.
     /// The scratch is grown to `n` and its bucket state cleared; recover it
     /// with [`Router::into_scratch`] when the execution finishes.
-    pub fn with_scratch(n: usize, seed: u64, threads: usize, mut sc: RouterScratch) -> Self {
+    pub fn with_scratch(n: usize, seed: u64, threads: usize, sc: RouterScratch) -> Self {
+        Self::with_recycled(n, seed, threads, sc, Vec::new())
+    }
+
+    /// [`Router::with_scratch`] plus a recycled inbox arena of the same
+    /// payload type, so steady-state replays also skip the O(messages)
+    /// arena allocation. The arena is cleared but keeps its capacity.
+    pub fn with_recycled(
+        n: usize,
+        seed: u64,
+        threads: usize,
+        mut sc: RouterScratch,
+        mut arena: Vec<Envelope<P>>,
+    ) -> Self {
         sc.ensure(n);
+        arena.clear();
         Router {
             n,
             seed,
             threads: threads.max(1),
             min_par_sends: PAR_MIN_SENDS,
             dense_scan: false,
-            arena: Vec::new(),
+            arena,
             sc,
         }
     }
@@ -275,6 +370,12 @@ impl<P: Payload> Router<P> {
     /// (possibly of a different payload type).
     pub fn into_scratch(self) -> RouterScratch {
         self.sc
+    }
+
+    /// Releases both the tables and the typed inbox arena, the full
+    /// recycling counterpart of [`Router::with_recycled`].
+    pub fn into_recycled(self) -> (RouterScratch, Vec<Envelope<P>>) {
+        (self.sc, self.arena)
     }
 
     /// Overrides the sequential→parallel crossover (default: 2¹⁶ sends per
@@ -478,6 +579,8 @@ impl<P: Payload> Router<P> {
             drops,
             occupied,
             touched,
+            radix_counts,
+            radix_buf,
         } = sc;
 
         // count, recording each destination on first touch (`counts` is all
@@ -492,7 +595,7 @@ impl<P: Payload> Router<P> {
         }
         // ascending destinations: bucket layout, drops, and the occupied
         // list come out exactly as the dense 0..n scan would produce them
-        touched.sort_unstable();
+        sort_touched(touched, n, radix_counts, radix_buf);
 
         // prefix over the touched destinations only
         let cursor = &mut cursors[0];
@@ -1251,6 +1354,88 @@ mod tests {
             out
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn radix_touched_sort_matches_sort_unstable() {
+        // adversarial distinct-id distributions at and around the radix
+        // gate: clustered in one bucket, spread across all buckets,
+        // reversed, and LCG-scrambled.
+        let n = 1 << 20;
+        let cases: Vec<Vec<NodeId>> = vec![
+            (0..RADIX_MIN as u32).rev().collect(), // just at the gate
+            (0..300u32).rev().collect(),           // single low bucket
+            (0..300u32).map(|i| i * 4096 % (n as u32)).collect(), // every bucket
+            (0..4000u32)
+                .map(|i| (i.wrapping_mul(2654435761)) % (n as u32))
+                .collect(), // scrambled
+            (0..90u32).map(|i| (n as u32) - 1 - i).collect(), // top bucket only
+        ];
+        for mut ids in cases {
+            ids.sort_unstable();
+            ids.dedup();
+            // un-sort deterministically so the sort has work to do
+            ids.reverse();
+            let mut expect = ids.clone();
+            expect.sort_unstable();
+            let mut counts = Vec::new();
+            let mut buf = Vec::new();
+            sort_touched(&mut ids, n, &mut counts, &mut buf);
+            assert_eq!(ids, expect);
+        }
+    }
+
+    #[test]
+    fn sparse_path_with_radix_gate_crossed_matches_dense() {
+        // enough distinct destinations to push the touched list over
+        // RADIX_MIN, so the sparse path exercises the radix sort and must
+        // still match the dense 0..n scan byte for byte.
+        let n = 1 << 14;
+        let mk_sends = || -> Vec<Envelope<u64>> {
+            (0..700u32)
+                .map(|i| env(i % 11, (i.wrapping_mul(2654435761)) % n as u32, i as u64))
+                .collect()
+        };
+        let run = |dense: bool| {
+            let mut r: Router<u64> = Router::new(n, 42, 1).with_dense_scan(dense);
+            let mut out = Vec::new();
+            for round in 0..3 {
+                let mut sends = mk_sends();
+                let rep = r.route(&mut sends, round, 4);
+                let inboxes: Vec<Vec<Envelope<u64>>> =
+                    r.occupied().iter().map(|&d| r.inbox(d).to_vec()).collect();
+                out.push((rep, r.drops().to_vec(), r.occupied().to_vec(), inboxes));
+            }
+            out
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn recycled_arena_reused_across_routers() {
+        let n = 256;
+        let route_once = |r: &mut Router<u64>, round: u64| {
+            let mut sends: Vec<_> = (0..96u32).map(|i| env(i % 5, i % 96, i as u64)).collect();
+            r.route(&mut sends, round, 8);
+            (r.occupied().to_vec(), r.inbox(7).to_vec())
+        };
+        let mut fresh: Router<u64> = Router::new(n, 11, 1);
+        let expect = route_once(&mut fresh, 0);
+
+        let mut r: Router<u64> = Router::new(n, 11, 1);
+        let _ = route_once(&mut r, 0);
+        let (sc, arena) = r.into_recycled();
+        let cap_before = arena.capacity();
+        assert!(cap_before >= 96, "arena should retain capacity");
+        let mut r2: Router<u64> = Router::with_recycled(n, 11, 1, sc, arena);
+        let got = route_once(&mut r2, 0);
+        assert_eq!(got, expect, "recycled router must be bit-identical");
+        let (_, arena) = r2.into_recycled();
+        assert_eq!(
+            arena.capacity(),
+            cap_before,
+            "no reallocation in steady state"
+        );
     }
 
     #[test]

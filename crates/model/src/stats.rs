@@ -150,6 +150,35 @@ impl ExecStats {
     }
 }
 
+/// Resident heap footprint of an engine's long-lived state, by component
+/// (see `Engine::resident_bytes`). Capacity-based estimates of what a
+/// warm engine holds between executions — a cost report for sizing
+/// n = 10⁷ deployments, never part of a deterministic snapshot
+/// (`ExecStats`/`RoundStats` stay untouched so records do not drift).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct MemoryFootprint {
+    /// Per-node RNG streams (the one unavoidable O(n) column).
+    pub node_rngs: usize,
+    /// Activity lists: active/next-active/awake id columns + trace buffer.
+    pub activity_lists: usize,
+    /// Router tables: start/len/counts columns, cursors, sample scratch.
+    pub router_tables: usize,
+    /// Recycled payload-typed buffers (send buffer, inbox arena,
+    /// per-worker shards), summed over payload types seen so far.
+    pub payload_bufs: usize,
+}
+
+impl MemoryFootprint {
+    pub fn total(&self) -> usize {
+        self.node_rngs + self.activity_lists + self.router_tables + self.payload_bufs
+    }
+
+    /// Average resident bytes per node — the headline scaling number.
+    pub fn per_node(&self, n: usize) -> f64 {
+        self.total() as f64 / n.max(1) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -154,7 +154,7 @@ impl Algorithm for Mst {
     fn run(&self, eng: &mut Engine, scn: &Scenario) -> Result<RunRecord, ModelError> {
         let mut report = AlgoReport::default();
         let shared = agree(eng, &mut report, scn.spec.seed)?;
-        let r = ncc_core::mst(eng, &shared, &scn.weighted)?;
+        let r = ncc_core::mst(eng, &shared, scn.weighted())?;
         // per-phase accounting: where the lane-composed rounds went
         let rounds_findmin: u64 = r
             .report
@@ -164,8 +164,8 @@ impl Algorithm for Mst {
             .map(|(_, s)| s.rounds)
             .sum();
         report.push("mst", r.report.total);
-        let verdict = Verdict::from_check(check::check_mst(&scn.weighted, &r.edges));
-        let weight = scn.weighted.total_weight(&r.edges);
+        let verdict = Verdict::from_check(check::check_mst(scn.weighted(), &r.edges));
+        let weight = scn.weighted().total_weight(&r.edges);
         let summary = format!(
             "{} edges, weight {weight}, {} Boruvka phases",
             r.edges.len(),
@@ -189,7 +189,7 @@ impl Algorithm for Mst {
     fn plan(&self, eng: &mut Engine, scn: &Scenario) -> Result<Option<SchedReport>, ModelError> {
         let mut report = AlgoReport::default();
         let shared = agree(eng, &mut report, scn.spec.seed)?;
-        Ok(Some(ncc_core::mst(eng, &shared, &scn.weighted)?.plan))
+        Ok(Some(ncc_core::mst(eng, &shared, scn.weighted())?.plan))
     }
 }
 

@@ -9,6 +9,8 @@
 //! file (or a literal in an experiment binary) fully describes a run, and
 //! adding a scenario is a data change, not a new hand-rolled entrypoint.
 
+use std::sync::OnceLock;
+
 use ncc_graph::{gen, Graph, WeightedGraph};
 use ncc_kmachine::KMachineModel;
 use ncc_model::{
@@ -226,10 +228,19 @@ impl ScenarioSpec {
             FamilySpec::Gnm { m } => gen::gnm(n, *m, seed),
             FamilySpec::Ba { m } => gen::barabasi_albert(n, (*m).max(1), seed),
             FamilySpec::Geometric { radius } => gen::random_geometric(n, *radius, seed),
-            FamilySpec::Rmat { edge_factor } => {
-                gen::rmat(n, n.saturating_mul((*edge_factor).max(1)), seed)
+            // The huge-n families generate on the spec's thread layout.
+            // `threads` stays execution layout, not identity: the parallel
+            // generators are byte-identical for any thread count
+            // (property-tested in `crates/graph/tests/gen_parallel.rs`).
+            FamilySpec::Rmat { edge_factor } => gen::rmat_threads(
+                n,
+                n.saturating_mul((*edge_factor).max(1)),
+                seed,
+                self.threads.max(1),
+            ),
+            FamilySpec::Hyperbolic { alpha, c } => {
+                gen::hyperbolic_threads(n, *alpha, *c, seed, self.threads.max(1))
             }
-            FamilySpec::Hyperbolic { alpha, c } => gen::hyperbolic(n, *alpha, *c, seed),
             FamilySpec::Provided => {
                 return Err(RunnerError::Scenario(
                     "family `provided` carries no generator; use Scenario::from_graph".into(),
@@ -259,10 +270,10 @@ impl ScenarioSpec {
 pub struct Scenario {
     pub spec: ScenarioSpec,
     pub graph: Graph,
-    /// The graph with seeded random weights in `1..=weight_max` (used by
-    /// weighted algorithms; derived from `seed ^ 1` like the CLI always
-    /// did).
-    pub weighted: WeightedGraph,
+    /// Lazily weighted copy of the graph — see [`Scenario::weighted`].
+    /// Unweighted algorithms (the majority) never pay the second O(n + m)
+    /// graph, which matters at n = 10⁷.
+    weighted: OnceLock<WeightedGraph>,
 }
 
 impl Scenario {
@@ -271,12 +282,21 @@ impl Scenario {
     /// the input stay on the same node set.
     pub fn from_graph(mut spec: ScenarioSpec, graph: Graph) -> Self {
         spec.n = graph.n();
-        let weighted = gen::with_random_weights(&graph, spec.weight_max.max(1), spec.seed ^ 1);
         Scenario {
             spec,
             graph,
-            weighted,
+            weighted: OnceLock::new(),
         }
+    }
+
+    /// The graph with seeded random weights in `1..=weight_max` (used by
+    /// weighted algorithms; derived from `seed ^ 1` like the CLI always
+    /// did). Built on first use and cached; the weight stream depends only
+    /// on the spec, so laziness cannot change any result.
+    pub fn weighted(&self) -> &WeightedGraph {
+        self.weighted.get_or_init(|| {
+            gen::with_random_weights(&self.graph, self.spec.weight_max.max(1), self.spec.seed ^ 1)
+        })
     }
 
     /// Instantiates the spec's [`ModelSpec`] into a live network model.
@@ -336,7 +356,9 @@ mod tests {
         let b = spec.build().unwrap();
         assert_eq!(a.graph.n(), 64);
         assert_eq!(a.graph.m(), b.graph.m());
-        assert_eq!(a.weighted.m(), a.graph.m());
+        assert_eq!(a.weighted().m(), a.graph.m());
+        // lazy weights are deterministic too
+        assert_eq!(a.weighted(), b.weighted());
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub fn main() {
 
     // 4. Run the §3 MST algorithm: Boruvka + sketch-based FindMin, all
     //    communication through the capacity-limited clique.
-    let result = mst(&mut engine, &shared, &scenario.weighted).expect("mst failed");
+    let result = mst(&mut engine, &shared, scenario.weighted()).expect("mst failed");
     println!(
         "MST: {} edges in {} Boruvka phases, {} rounds total",
         result.edges.len(),
@@ -60,11 +60,11 @@ pub fn main() {
     );
 
     // 5. Verify against the centralised reference.
-    check::check_mst(&scenario.weighted, &result.edges).expect("MST invalid");
-    let weight = scenario.weighted.total_weight(&result.edges);
+    check::check_mst(scenario.weighted(), &result.edges).expect("MST invalid");
+    let weight = scenario.weighted().total_weight(&result.edges);
     println!(
         "verified ✓  (weight {weight} == Kruskal weight {})",
-        check::kruskal_mst_weight(&scenario.weighted)
+        check::kruskal_mst_weight(scenario.weighted())
     );
 
     // 6. Model compliance: nothing was dropped, nobody exceeded the cap.

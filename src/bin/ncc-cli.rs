@@ -485,23 +485,25 @@ fn cmd_explain(positional: &[String], flags: &HashMap<String, String>) {
         usage_and_exit(Some(&unknown_algorithm(algo_name)));
     };
     let family = flags.get("family").map(String::as_str).unwrap_or("gnp");
+    let gen_start = std::time::Instant::now();
     let scn = spec_from_flags(family, flags).build().unwrap_or_else(|e| {
         usage_and_exit(Some(&e.to_string()));
     });
+    let gen_ms = gen_start.elapsed().as_secs_f64() * 1000.0;
     match explain_plan(algo, &scn) {
         Some(text) => print!("{text}"),
         None => {
             println!("{algo_name} is not declared as a protocol DAG — no packing plan to show");
         }
     }
-    print!("{}", activity_note(algo, &scn));
+    print!("{}", activity_note(algo, &scn, gen_ms));
 }
 
 /// One-line activity-sparsity summary for `explain`: how wide the widest
 /// round was and what fraction of the naive `rounds × n` node-rounds the
 /// run actually stepped (the engine's per-round cost is O(active), so
 /// this ratio is the real step-phase work).
-fn activity_note(algo: &'static dyn ncc::runner::Algorithm, scn: &Scenario) -> String {
+fn activity_note(algo: &'static dyn ncc::runner::Algorithm, scn: &Scenario, gen_ms: f64) -> String {
     let mut eng = scn.engine();
     match algo.run(&mut eng, scn) {
         Ok(rec) => {
@@ -510,12 +512,17 @@ fn activity_note(algo: &'static dyn ncc::runner::Algorithm, scn: &Scenario) -> S
                 rec.metric("sum_active").unwrap_or(0),
             );
             let naive = rec.rounds.saturating_mul(scn.spec.n as u64).max(1);
+            let footprint = eng.resident_bytes();
             format!(
-                "activity: peak_active {} / n {} · sum_active {} ({:.1}% of rounds × n)\n",
+                "activity: peak_active {} / n {} · sum_active {} ({:.1}% of rounds × n)\n\
+                 resources: gen {:.2} ms · resident {:.1} B/node ({} B engine state)\n",
                 peak,
                 scn.spec.n,
                 sum,
-                100.0 * sum as f64 / naive as f64
+                100.0 * sum as f64 / naive as f64,
+                gen_ms,
+                footprint.per_node(scn.spec.n),
+                footprint.total()
             )
         }
         Err(e) => format!("activity: run failed ({e})\n"),
